@@ -1,0 +1,274 @@
+package diode
+
+import (
+	"fmt"
+	"testing"
+
+	"diode/internal/apps"
+	"diode/internal/core"
+	"diode/internal/harness"
+	"diode/internal/solver"
+)
+
+// This file is the benchmark harness that regenerates every data artifact in
+// the paper's evaluation section (§5). The paper's figures (1–8) are
+// architecture/semantics/algorithm diagrams implemented as code (see
+// DESIGN.md); its measured data all lives in Table 1 and Table 2, whose
+// columns the benchmarks below reproduce:
+//
+//	BenchmarkTable1                 – Table 1: per-app site classification
+//	BenchmarkTable2Discovery        – Table 2 cols 1–6: per-site hunts,
+//	                                  error types, times, enforced X/Y
+//	BenchmarkSuccessRateTargetOnly  – Table 2 col 7 (§5.5): 200 inputs from
+//	                                  the target constraint alone
+//	BenchmarkSuccessRateEnforced    – Table 2 col 8 (§5.6): 200 inputs from
+//	                                  target ∧ enforced constraints
+//	BenchmarkSamePath               – §5.4: same-path constraint verdicts
+//
+// plus the DESIGN.md ablations:
+//
+//	BenchmarkAblationFullPath       – enforce the whole seed path up front
+//	BenchmarkAblationNoCompress     – skip Figure 8 branch compression
+//	BenchmarkAblationNoRelevance    – keep irrelevant branches in φ
+//	BenchmarkAblationSolverMode     – bit-blast-only vs hybrid solving
+//
+// Run everything with:  go test -bench=. -benchmem
+// Each benchmark reports domain-specific metrics via b.ReportMetric.
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outcomes := harness.EvaluateAll(harness.Config{Seed: int64(i + 1)})
+		var exposed, unsat, prevented int
+		for _, o := range outcomes {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			for _, sr := range o.Result.Sites {
+				switch sr.Verdict.Class() {
+				case apps.ClassExposed:
+					exposed++
+				case apps.ClassUnsat:
+					unsat++
+				default:
+					prevented++
+				}
+			}
+		}
+		b.ReportMetric(float64(exposed), "exposed")
+		b.ReportMetric(float64(unsat), "unsat")
+		b.ReportMetric(float64(prevented), "prevented")
+		if exposed != 14 || unsat != 17 || prevented != 9 {
+			b.Fatalf("classification drifted: %d/%d/%d, paper: 14/17/9", exposed, unsat, prevented)
+		}
+	}
+}
+
+func BenchmarkTable2Discovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outcomes := harness.EvaluateAll(harness.Config{Seed: int64(i + 1)})
+		var totalEnforced, exposedSites int
+		for _, o := range outcomes {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			for _, sr := range o.Result.Sites {
+				if sr.Verdict == core.VerdictExposed {
+					exposedSites++
+					totalEnforced += sr.EnforcedCount()
+				}
+			}
+		}
+		b.ReportMetric(float64(exposedSites), "overflows")
+		b.ReportMetric(float64(totalEnforced)/float64(exposedSites), "avg-enforced")
+	}
+}
+
+// successRates runs the §5.5 / §5.6 experiment for every exposed site of one
+// application and reports the aggregate hit rates.
+func successRates(b *testing.B, short string, n int) {
+	app, err := apps.ByName(short)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		eng := core.New(app, core.Options{Seed: int64(i + 1)})
+		res, err := eng.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hits, total int
+		for _, sr := range res.Sites {
+			if sr.Verdict != core.VerdictExposed {
+				continue
+			}
+			h, t := eng.SuccessRate(sr.Target, sr.Target.Beta, n)
+			hits += h
+			total += t
+		}
+		if total > 0 {
+			b.ReportMetric(float64(hits)/float64(total)*100, "target-only-%")
+		}
+	}
+}
+
+func BenchmarkSuccessRateTargetOnly(b *testing.B) {
+	for _, short := range []string{"vlc", "swfplay", "cwebp", "imagemagick", "dillo"} {
+		b.Run(short, func(b *testing.B) { successRates(b, short, 200) })
+	}
+}
+
+func BenchmarkSuccessRateEnforced(b *testing.B) {
+	// Only the enforcement-requiring sites have a §5.6 column.
+	for i := 0; i < b.N; i++ {
+		for _, short := range []string{"dillo", "vlc"} {
+			app, err := apps.ByName(short)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := core.New(app, core.Options{Seed: int64(i + 1)})
+			res, err := eng.RunAll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, sr := range res.Sites {
+				if sr.Verdict != core.VerdictExposed || sr.EnforcedCount() == 0 {
+					continue
+				}
+				h, t := eng.SuccessRate(sr.Target, core.EnforcedConstraint(sr), 200)
+				if t > 0 {
+					b.ReportMetric(float64(h)/float64(t)*100, short+"-enforced-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSamePath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sat := 0
+		for _, app := range apps.All() {
+			eng := core.New(app, core.Options{Seed: int64(i + 1)})
+			targets, err := eng.Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range targets {
+				ps, ok := app.PaperFor(t.Site)
+				if !ok || ps.Class != apps.ClassExposed {
+					continue
+				}
+				if eng.SamePathSatisfiable(t) == solver.Sat {
+					sat++
+				}
+			}
+		}
+		b.ReportMetric(float64(sat), "samepath-sat")
+		if sat != 2 {
+			b.Fatalf("same-path satisfiable for %d sites, paper: 2", sat)
+		}
+	}
+}
+
+// BenchmarkAblationFullPath measures the alternative the paper argues
+// against (§5.4): requiring the overflow on the seed's exact path. Counts
+// how many of the 14 exposed sites remain findable.
+func BenchmarkAblationFullPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		findable := 0
+		for _, app := range apps.All() {
+			eng := core.New(app, core.Options{Seed: int64(i + 1)})
+			targets, err := eng.Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range targets {
+				ps, ok := app.PaperFor(t.Site)
+				if !ok || ps.Class != apps.ClassExposed {
+					continue
+				}
+				if eng.SamePathSatisfiable(t) == solver.Sat {
+					findable++
+				}
+			}
+		}
+		b.ReportMetric(float64(findable), "fullpath-findable")
+		b.ReportMetric(14, "goal-directed-findable")
+	}
+}
+
+func ablationSweep(b *testing.B, opts core.Options) {
+	exposed := 0
+	for _, app := range apps.All() {
+		eng := core.New(app, opts)
+		res, err := eng.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range res.Sites {
+			if sr.Verdict == core.VerdictExposed {
+				exposed++
+			}
+		}
+	}
+	b.ReportMetric(float64(exposed), "exposed")
+}
+
+func BenchmarkAblationNoCompress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ablationSweep(b, core.Options{Seed: int64(i + 1), DisableCompression: true})
+	}
+}
+
+func BenchmarkAblationNoRelevance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ablationSweep(b, core.Options{Seed: int64(i + 1), DisableRelevanceFilter: true})
+	}
+}
+
+func BenchmarkAblationSolverMode(b *testing.B) {
+	modes := []struct {
+		name string
+		mode solver.Mode
+	}{
+		{"hybrid", solver.ModeHybrid},
+		{"sat-only", solver.ModeSATOnly},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ablationSweep(b, core.Options{Seed: int64(i + 1), SolverMode: m.mode})
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisOnly isolates stages 1–3 (taint + symbolic extraction),
+// the per-application "(A)" component of Table 2's time column.
+func BenchmarkAnalysisOnly(b *testing.B) {
+	for _, app := range apps.All() {
+		b.Run(app.Short, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := core.New(app, core.Options{Seed: 1})
+				if _, err := eng.Analyze(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Example-style sanity for the benchmark harness itself.
+func TestBenchHarnessSmoke(t *testing.T) {
+	outcomes := harness.EvaluateAll(harness.Config{Seed: 1})
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	recs := harness.Records(outcomes)
+	t1 := Table1(Applications(), recs)
+	if len(t1) == 0 {
+		t.Fatal("empty Table 1")
+	}
+	fmt.Println(t1)
+}

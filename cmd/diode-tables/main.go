@@ -1,0 +1,83 @@
+// Command diode-tables regenerates the paper's evaluation tables: Table 1
+// (target site classification), Table 2 (evaluation summary, including the
+// §5.5/§5.6 success-rate columns) and the §5.4 same-path experiment, with
+// paper values printed beside the measured ones.
+//
+// Usage:
+//
+//	diode-tables [-table all|1|2|samepath] [-n 200] [-seed 1] [-json out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diode"
+	"diode/internal/harness"
+	"diode/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to produce: all, 1, 2, samepath")
+	n := flag.Int("n", 200, "inputs per success-rate experiment (0 disables; paper uses 200)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	jsonOut := flag.String("json", "", "also write the results database to this file")
+	flag.Parse()
+
+	cfg := harness.Config{Seed: *seed}
+	switch *table {
+	case "1":
+		// Classification only: no sampling experiments needed.
+	case "2", "all":
+		cfg.SampleN = *n
+		cfg.SamePath = *table == "all"
+	case "samepath":
+		cfg.SamePath = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	outcomes := harness.EvaluateAll(cfg)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintln(os.Stderr, o.Err)
+			os.Exit(1)
+		}
+	}
+	recs := harness.Records(outcomes)
+	appList := diode.Applications()
+
+	if *table == "1" || *table == "all" {
+		fmt.Println(diode.Table1(appList, recs))
+	}
+	if *table == "2" || *table == "all" {
+		fmt.Println(diode.Table2(appList, recs))
+	}
+	if *table == "samepath" || *table == "all" {
+		fmt.Println("Same-path constraint satisfiability (§5.4; paper: sat only for")
+		fmt.Println("SwfPlay jpeg.c@192 and CWebP jpegdec.c@248):")
+		for _, rec := range recs {
+			for _, s := range rec.Sites {
+				if s.Class == "exposed" && s.SamePathSat != "" {
+					fmt.Printf("  %-32s %s\n", s.Site, s.SamePathSat)
+				}
+			}
+		}
+		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		data, err := report.Save(recs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("results database written to", *jsonOut)
+	}
+}

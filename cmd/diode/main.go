@@ -1,0 +1,73 @@
+// Command diode runs the DIODE pipeline against one benchmark application
+// and prints a bug report per target site: classification, the enforced
+// sanity checks, the triggering input's field values, and the observed
+// error.
+//
+// Usage:
+//
+//	diode -app dillo [-seed 1] [-expr] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diode"
+)
+
+func main() {
+	appName := flag.String("app", "dillo", "application: dillo, vlc, swfplay, cwebp, imagemagick")
+	seed := flag.Int64("seed", 1, "random seed for the hunt")
+	showExpr := flag.Bool("expr", false, "print the symbolic target expression per site")
+	verbose := flag.Bool("v", false, "print relevant input bytes and path statistics")
+	flag.Parse()
+
+	app, err := diode.Application(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	engine := diode.NewEngine(app, diode.Options{Seed: *seed})
+	result, err := engine.RunAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analysis failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s — %d target sites (analysis %s)\n\n", app.Name, len(result.Sites), result.Analysis)
+	exposed := 0
+	for _, sr := range result.Sites {
+		t := sr.Target
+		fmt.Printf("site %s: %s", t.Site, sr.Verdict)
+		if sr.Verdict == diode.VerdictExposed {
+			exposed++
+			fmt.Printf(" (%s, %d branches enforced, %s)", sr.ErrorType, sr.EnforcedCount(), sr.Discovery)
+		}
+		fmt.Println()
+		if *verbose {
+			fmt.Printf("  relevant bytes: %v\n", t.RelevantBytes)
+			fmt.Printf("  relevant branches on seed path: %d static / %d dynamic\n",
+				len(t.SeedPath), t.DynamicBranches)
+		}
+		if *showExpr {
+			fmt.Printf("  target expression: %s\n", t.Expr)
+		}
+		if sr.Verdict == diode.VerdictExposed {
+			if len(sr.Enforced) > 0 {
+				fmt.Printf("  enforced checks: %s\n", strings.Join(sr.Enforced, ", "))
+			}
+			fmt.Printf("  triggering field values:\n")
+			for _, spec := range app.Format.Fields.Specs() {
+				seedVal := spec.Read(app.Format.Seed)
+				newVal := spec.Read(sr.Input)
+				if seedVal != newVal {
+					fmt.Printf("    %-20s %d -> %d\n", spec.Name, seedVal, newVal)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d overflows exposed out of %d sites\n", exposed, len(result.Sites))
+}

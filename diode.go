@@ -1,0 +1,111 @@
+// Package diode is a from-scratch Go implementation of DIODE, the targeted
+// integer-overflow discovery system of "Targeted Automatic Integer Overflow
+// Discovery Using Goal-Directed Conditional Branch Enforcement"
+// (Sidiroglou-Douskos et al., ASPLOS 2015).
+//
+// DIODE starts from a target memory allocation site whose size the input
+// influences, extracts a symbolic target expression for the allocated size,
+// derives the target constraint (the inputs for which that computation
+// overflows), and then runs goal-directed conditional branch enforcement:
+// solve, run, find the first sanity check the generated input flips, enforce
+// it, and re-solve — until an input triggers the overflow or the constraint
+// becomes unsatisfiable.
+//
+// This package is the public facade. The heavy machinery lives in internal
+// packages: the bitvector engine and CDCL/bit-blasting solver (the Z3
+// substitute), the concrete+symbolic interpreter for the paper's core
+// language (the Valgrind substitute), the field-dictionary and
+// input-reconstruction layers (the Hachoir/Peach substitutes), and the five
+// re-authored benchmark applications. See DESIGN.md for the inventory and
+// EXPERIMENTS.md for the paper-vs-measured evaluation.
+//
+// Quick start:
+//
+//	app, _ := diode.Application("dillo")
+//	engine := diode.NewEngine(app, diode.Options{Seed: 1})
+//	result, _ := engine.RunAll()
+//	for _, site := range result.Sites {
+//	    fmt.Println(site.Target.Site, site.Verdict)
+//	}
+package diode
+
+import (
+	"diode/internal/apps"
+	"diode/internal/core"
+	"diode/internal/report"
+)
+
+// App is a benchmark application: a guest program, its input format with a
+// seed input, and the paper's per-site expectations.
+type App = apps.App
+
+// PaperSite is one row of the paper's evaluation tables for an application.
+type PaperSite = apps.PaperSite
+
+// Class is the Table 1 site classification.
+type Class = apps.Class
+
+// Site classifications (Table 1 columns).
+const (
+	ClassExposed   = apps.ClassExposed
+	ClassUnsat     = apps.ClassUnsat
+	ClassPrevented = apps.ClassPrevented
+)
+
+// Options configure an Engine. The zero value uses sensible defaults; set
+// Seed for reproducible hunts.
+type Options = core.Options
+
+// Engine runs the DIODE pipeline against one application.
+type Engine = core.Engine
+
+// Target is an analyzed target site: relevant input bytes, symbolic target
+// expression, target constraint, and the seed's branch condition sequence.
+type Target = core.Target
+
+// Verdict classifies a hunt's outcome.
+type Verdict = core.Verdict
+
+// Hunt verdicts.
+const (
+	VerdictExposed   = core.VerdictExposed
+	VerdictUnsat     = core.VerdictUnsat
+	VerdictPrevented = core.VerdictPrevented
+	VerdictUnknown   = core.VerdictUnknown
+)
+
+// SiteResult is the outcome of hunting one site.
+type SiteResult = core.SiteResult
+
+// AppResult is the outcome of hunting every site of an application.
+type AppResult = core.AppResult
+
+// AppRecord and SiteRecord are persistable result records used by the table
+// renderers.
+type (
+	AppRecord  = report.AppRecord
+	SiteRecord = report.SiteRecord
+)
+
+// Applications returns the five benchmark applications in the paper's table
+// order: Dillo 2.1, VLC 0.8.6h, SwfPlay 0.5.5, CWebP 0.3.1 and
+// ImageMagick 6.5.2.
+func Applications() []*App { return apps.All() }
+
+// Application returns a benchmark application by short name ("dillo", "vlc",
+// "swfplay", "cwebp", "imagemagick").
+func Application(short string) (*App, error) { return apps.ByName(short) }
+
+// NewEngine returns a DIODE engine for the application.
+func NewEngine(app *App, opts Options) *Engine { return core.New(app, opts) }
+
+// Record converts an engine result into a persistable record for the table
+// renderers.
+func Record(res *AppResult) *AppRecord { return report.FromResult(res) }
+
+// Table1 renders the paper's Table 1 (target site classification), measured
+// values next to the paper's.
+func Table1(appList []*App, recs []*AppRecord) string { return report.Table1(appList, recs) }
+
+// Table2 renders the paper's Table 2 (evaluation summary for exposed sites).
+func Table2(appList []*App, recs []*AppRecord) string { return report.Table2(appList, recs) }

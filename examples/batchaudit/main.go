@@ -1,0 +1,34 @@
+// Batchaudit sweeps all five benchmark applications in parallel — the
+// paper's full Table 1 experiment — and prints the measured classification
+// next to the paper's.
+//
+// Run with: go run ./examples/batchaudit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diode"
+	"diode/internal/harness"
+)
+
+func main() {
+	outcomes := harness.EvaluateAll(harness.Config{Seed: 1})
+	for _, o := range outcomes {
+		if o.Err != nil {
+			log.Fatal(o.Err)
+		}
+	}
+	fmt.Print(diode.Table1(diode.Applications(), harness.Records(outcomes)))
+
+	fmt.Println("\nDiscovered overflows:")
+	for _, o := range outcomes {
+		for _, sr := range o.Result.Sites {
+			if sr.Verdict == diode.VerdictExposed {
+				paper, _ := o.App.PaperFor(sr.Target.Site)
+				fmt.Printf("  %-32s %-22s %s\n", sr.Target.Site, sr.ErrorType, paper.CVE)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Wavhunt runs DIODE against all four VLC 0.8.6h WAV-path target sites,
+// including CVE-2008-2430 (wav.c@147), whose target expression fmt_size+2
+// has exactly two overflowing solutions — the §5.5 "2/2" row.
+//
+// Run with: go run ./examples/wavhunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diode"
+)
+
+func main() {
+	app, err := diode.Application("vlc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := diode.NewEngine(app, diode.Options{Seed: 7})
+	result, err := engine.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: hunting %d WAV-path allocation sites\n\n", app.Name, len(result.Sites))
+	for _, sr := range result.Sites {
+		paper, _ := app.PaperFor(sr.Target.Site)
+		fmt.Printf("%-24s %-12s (paper: %s)\n", sr.Target.Site, sr.Verdict, paper.CVE)
+		if sr.Verdict != diode.VerdictExposed {
+			continue
+		}
+		fmt.Printf("  error: %s, enforced %d branch(es)\n", sr.ErrorType, sr.EnforcedCount())
+		for _, spec := range app.Format.Fields.Specs() {
+			oldV, newV := spec.Read(app.Format.Seed), spec.Read(sr.Input)
+			if oldV != newV {
+				fmt.Printf("  %-16s %d -> %d\n", spec.Name, oldV, newV)
+			}
+		}
+	}
+
+	// The CVE-2008-2430 story: count the distinct solutions of the target
+	// constraint. x+2 over a 32-bit field overflows for exactly two values.
+	var wav *diode.Target
+	targets, _ := engine.Analyze()
+	for _, t := range targets {
+		if t.Site == "vlc:wav.c@147" {
+			wav = t
+		}
+	}
+	hits, total := engine.SuccessRate(wav, wav.Beta, 200)
+	fmt.Printf("\nwav.c@147 target-constraint sampling: %d/%d inputs trigger "+
+		"(the constraint has only two solutions; paper reports 2/2)\n", hits, total)
+}

@@ -1,0 +1,178 @@
+// Package apps contains the five benchmark guest applications, re-authored in
+// the core language with the same pipeline shapes, sanity checks, blocking
+// checks and allocation-size expressions the paper describes for Dillo 2.1,
+// VLC 0.8.6h, SwfPlay 0.5.5, CWebP 0.3.1 and ImageMagick 6.5.2.
+//
+// Each application is engineered so the measured evaluation matches the
+// paper's Table 1 site classification (per app: total target sites, exposed,
+// target-constraint-unsatisfiable, sanity-check-prevented), the enforced-
+// branch regimes of Table 2, the same-path/blocking-check structure of §5.4
+// and the bimodal success rates of §5.5. Expectation tables for reporting
+// live alongside the programs.
+package apps
+
+import (
+	"fmt"
+
+	"diode/internal/formats"
+	"diode/internal/lang"
+)
+
+// Class is the paper's Table 1 site classification.
+type Class int
+
+// Site classifications.
+const (
+	ClassExposed   Class = iota // DIODE exposes an overflow
+	ClassUnsat                  // the target constraint alone is unsatisfiable
+	ClassPrevented              // sanity checks prevent any overflow
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassExposed:
+		return "exposed"
+	case ClassUnsat:
+		return "unsatisfiable"
+	}
+	return "sanity-prevented"
+}
+
+// PaperSite records what the paper reports for one target site, for the
+// paper-vs-measured comparison in the reports.
+type PaperSite struct {
+	Site string
+	// Class is the Table 1 classification.
+	Class Class
+	// CVE is the CVE number for previously-known overflows, "New" otherwise.
+	// Empty for non-exposed sites.
+	CVE string
+	// ErrorType is the paper's Table 2 error type, e.g. "SIGSEGV/InvalidRead".
+	ErrorType string
+	// EnforcedX/EnforcedY are the paper's "X/Y" enforced-branch entry.
+	EnforcedX, EnforcedY int
+	// TargetRate is the paper's §5.5 success count out of TargetRateOf.
+	TargetRate, TargetRateOf int
+	// EnforcedRate is the paper's §5.6 success count out of 200 (-1 = N/A).
+	EnforcedRate int
+	// SamePathSat reports the §5.4 property: an overflow exists on the very
+	// path the seed took (no blocking checks bind).
+	SamePathSat bool
+}
+
+// App is one benchmark application: its guest program, input format and the
+// paper's expectations.
+type App struct {
+	// Name is the application name with version, as in the paper's tables.
+	Name string
+	// Short is the registry key (e.g. "dillo").
+	Short string
+	// Program is the guest program; already finalized.
+	Program *lang.Program
+	// Format describes the input file type and supplies the seed.
+	Format *formats.Format
+	// Paper lists the paper's per-site expectations.
+	Paper []PaperSite
+}
+
+// PaperFor returns the paper expectations for a site.
+func (a *App) PaperFor(site string) (PaperSite, bool) {
+	for _, p := range a.Paper {
+		if p.Site == site {
+			return p, true
+		}
+	}
+	return PaperSite{}, false
+}
+
+// All returns the five benchmark applications in the paper's table order.
+func All() []*App {
+	return []*App{Dillo(), VLC(), SwfPlay(), CWebP(), ImageMagick()}
+}
+
+// ByName returns the application with the given short name.
+func ByName(short string) (*App, error) {
+	for _, a := range All() {
+		if a.Short == short {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", short)
+}
+
+func mustFinalize(p *lang.Program) *lang.Program {
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- shared guest-code helpers: endian readers as guest procedures ---
+
+// readBE32 defines a procedure reading a big-endian 32-bit value at offset
+// "off" (32-bit), reproducing the byte swizzle real parsers perform (and
+// therefore the swizzle structure of the recorded symbolic expressions).
+func readBE32(name string) *lang.Func {
+	b := func(k uint64) lang.Expr {
+		return lang.ZX(32, lang.In(lang.Add(lang.V("off"), lang.U32(k))))
+	}
+	return lang.Fn(name, []string{"off"},
+		lang.Ret(lang.BitOr(
+			lang.BitOr(
+				lang.Shl(b(0), lang.U32(24)),
+				lang.Shl(b(1), lang.U32(16))),
+			lang.BitOr(
+				lang.Shl(b(2), lang.U32(8)),
+				b(3)))),
+	)
+}
+
+// readBE16 reads a big-endian 16-bit value (zero-extended to 32 bits).
+func readBE16(name string) *lang.Func {
+	b := func(k uint64) lang.Expr {
+		return lang.ZX(32, lang.In(lang.Add(lang.V("off"), lang.U32(k))))
+	}
+	return lang.Fn(name, []string{"off"},
+		lang.Ret(lang.BitOr(lang.Shl(b(0), lang.U32(8)), b(1))),
+	)
+}
+
+// readLE32 reads a little-endian 32-bit value.
+func readLE32(name string) *lang.Func {
+	b := func(k uint64) lang.Expr {
+		return lang.ZX(32, lang.In(lang.Add(lang.V("off"), lang.U32(k))))
+	}
+	return lang.Fn(name, []string{"off"},
+		lang.Ret(lang.BitOr(
+			lang.BitOr(b(0), lang.Shl(b(1), lang.U32(8))),
+			lang.BitOr(
+				lang.Shl(b(2), lang.U32(16)),
+				lang.Shl(b(3), lang.U32(24))))),
+	)
+}
+
+// readLE16 reads a little-endian 16-bit value (zero-extended to 32 bits).
+func readLE16(name string) *lang.Func {
+	b := func(k uint64) lang.Expr {
+		return lang.ZX(32, lang.In(lang.Add(lang.V("off"), lang.U32(k))))
+	}
+	return lang.Fn(name, []string{"off"},
+		lang.Ret(lang.BitOr(b(0), lang.Shl(b(1), lang.U32(8)))),
+	)
+}
+
+// chunkChecksum defines a procedure computing the additive 32-bit checksum
+// over [start, start+count) input bytes — the guest-side counterpart of the
+// formats' sum32.
+func chunkChecksum(name string) *lang.Func {
+	return lang.Fn(name, []string{"start", "count"},
+		lang.Let("sum", lang.U32(0)),
+		lang.Let("i", lang.U32(0)),
+		lang.Loop(name+"/loop", lang.Ult(lang.V("i"), lang.V("count")),
+			lang.Let("sum", lang.Add(lang.V("sum"),
+				lang.ZX(32, lang.In(lang.Add(lang.V("start"), lang.V("i")))))),
+			lang.Let("i", lang.Add(lang.V("i"), lang.U32(1))),
+		),
+		lang.Ret(lang.V("sum")),
+	)
+}

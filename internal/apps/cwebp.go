@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"diode/internal/formats"
+	. "diode/internal/lang"
+)
+
+// CWebP reproduces CWebP 0.3.1, which converts JPEG input to WebP; the
+// vulnerable code is its JPEG decoder. Seven target sites: one exposed
+// (jpegdec.c@248 — the RGBA buffer w*h*4 with no sanity checks, allocated
+// before any dimension-dependent loop, so its same-path constraint is
+// satisfiable, §5.4) and six with unsatisfiable target constraints.
+func CWebP() *App {
+	p := NewProgram("cwebp")
+
+	p.AddFunc(readBE16("read_be16"))
+
+	p.AddFunc(Fn("jd_app0", []string{"off"},
+		Let("vmajor", ZX(32, In(Add(V("off"), U32(6))))),
+		AllocAt("appbuf", "cwebp:jpegdec.c@96",
+			Add(Mul(V("vmajor"), U32(32)), U32(16))),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jd_dqt", []string{"off"},
+		Let("tid", ZX(32, In(V("off")))),
+		AllocAt("qtab", "cwebp:jpegdec.c@133",
+			Add(Mul(V("tid"), U32(128)), U32(64))),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jd_sof", []string{"off"},
+		Let("prec", ZX(32, In(V("off")))),
+		Let("h", Call("read_be16", Add(V("off"), U32(1)))),
+		Let("w", Call("read_be16", Add(V("off"), U32(3)))),
+		Let("nc", ZX(32, In(Add(V("off"), U32(5))))),
+		Let("g_nc", V("nc")),
+		// Unsatisfiable: precision-derived sample scratch.
+		AllocAt("scratch", "cwebp:jpegdec.c@180",
+			Add(Mul(V("prec"), U32(16)), U32(8))),
+		// Relevant but non-blocking: same-path stays satisfiable (§5.4).
+		IfThen("jpegdec.c@241", Eq(BitOr(V("h"), V("w")), U32(0)),
+			Abort("empty image"),
+		),
+		// Exposed: the RGBA conversion buffer, allocated from raw
+		// dimensions with no checks and before any loop over them.
+		AllocAt("rgba", "cwebp:jpegdec.c@248", Mul(Mul(V("w"), V("h")), U32(4))),
+		Put(V("rgba"),
+			Sub(Mul(Mul(ZX(64, V("w")), ZX(64, V("h"))), U64(4)), U64(1)),
+			U8(0)),
+		// Row loop after the site (adds realistic relevant branches).
+		Let("rows8", LShr(Add(V("h"), U32(7)), U32(3))),
+		Let("r", U32(0)),
+		Loop("jpegdec.c@rows", Ult(V("r"), V("rows8")),
+			Put(V("rgba"), ZX(64, V("r")), U8(2)),
+			Let("r", Add(V("r"), U32(1))),
+		),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jd_dht", []string{"off"},
+		Let("class", ZX(32, In(V("off")))),
+		AllocAt("htab", "cwebp:huffdec.c@72",
+			Add(Mul(V("class"), U32(17)), U32(32))),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jd_sos", []string{"off"},
+		Let("snc", ZX(32, In(V("off")))),
+		AllocAt("scanbuf", "cwebp:jpegdec.c@301",
+			Add(Mul(V("snc"), U32(8)), U32(8))),
+		Let("g_done", U32(1)),
+		RetVoid(),
+	))
+
+	// WebP encoder output buffer after decoding: bounded by construction.
+	p.AddFunc(Fn("webp_encode", nil,
+		AllocAt("outbuf", "cwebp:webpenc.c@210",
+			Add(Mul(BitAnd(V("g_nc"), U32(7)), U32(40)), U32(100))),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("main", nil,
+		Let("g_nc", U32(0)), Let("g_done", U32(0)),
+		IfThen("jpegdec.c@soi", Or(
+			Ne(ZX(32, InAt(0)), U32(0xFF)),
+			Ne(ZX(32, InAt(1)), U32(0xD8))),
+			Abort("missing SOI"),
+		),
+		Let("off", U32(2)),
+		Loop("jpegdec.c@walk",
+			And(Ule(Add(V("off"), U32(4)), Len()), Eq(V("g_done"), U32(0))),
+			IfThen("jpegdec.c@marker", Ne(ZX(32, In(V("off"))), U32(0xFF)),
+				Abort("bad marker"),
+			),
+			Let("marker", ZX(32, In(Add(V("off"), U32(1))))),
+			Let("seglen", Call("read_be16", Add(V("off"), U32(2)))),
+			IfThen("jpegdec.c@seglen", Ult(V("seglen"), U32(2)),
+				Abort("bad segment length"),
+			),
+			IfThen("jpegdec.c@segbound",
+				Ugt(Add(Add(V("off"), U32(2)), V("seglen")), Len()),
+				Abort("segment runs past EOF"),
+			),
+			Let("dataoff", Add(V("off"), U32(4))),
+			IfThen("", Eq(V("marker"), U32(0xE0)), Do(Call("jd_app0", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xDB)), Do(Call("jd_dqt", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xC0)), Do(Call("jd_sof", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xC4)), Do(Call("jd_dht", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xDA)), Do(Call("jd_sos", V("dataoff")))),
+			Let("off", Add(Add(V("off"), U32(2)), V("seglen"))),
+		),
+		Do(Call("webp_encode")),
+	))
+
+	return &App{
+		Name:    "CWebP 0.3.1",
+		Short:   "cwebp",
+		Program: mustFinalize(p),
+		Format:  formats.SJPG(),
+		Paper: []PaperSite{
+			{Site: "cwebp:jpegdec.c@248", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidWrite", EnforcedX: 0, EnforcedY: 651,
+				TargetRate: 155, TargetRateOf: 200, EnforcedRate: -1, SamePathSat: true},
+			{Site: "cwebp:jpegdec.c@96", Class: ClassUnsat},
+			{Site: "cwebp:jpegdec.c@133", Class: ClassUnsat},
+			{Site: "cwebp:jpegdec.c@180", Class: ClassUnsat},
+			{Site: "cwebp:huffdec.c@72", Class: ClassUnsat},
+			{Site: "cwebp:jpegdec.c@301", Class: ClassUnsat},
+			{Site: "cwebp:webpenc.c@210", Class: ClassUnsat},
+		},
+	}
+}

@@ -1,0 +1,353 @@
+package apps
+
+import (
+	"diode/internal/formats"
+	. "diode/internal/lang"
+)
+
+// Dillo reproduces the paper's §2 application: Dillo 2.1 with libpng. The
+// SPNG pipeline mirrors Figure 2:
+//
+//   - png_get_uint_31 rejects width/height values above 2^31-1 (checks 1–2),
+//   - png_check_IHDR rejects height/width above one million (checks 3–4),
+//   - Png_datainfo_callback guards the image allocation with the *overflow-
+//     vulnerable* size check abs(width*height) > IMAGE_MAX (check 5), then
+//     allocates rowbytes*height at png.c@203 — the paper's famous site,
+//   - a png_memset-style loop over the row buffer whose iteration count is a
+//     function of rowbytes provides the blocking checks of §5.4,
+//   - every other chunk handler allocates a buffer whose 16-bit size
+//     computation is protected by a genuine sanity check (the eight
+//     "sanity checks prevent overflow" sites of Table 1), and
+//   - the render stage hosts the Image.cxx@741 and fltkimagebuf.cc@39
+//     exposed sites with their own (partly overflow-vulnerable) checks.
+func Dillo() *App {
+	p := NewProgram("dillo")
+
+	p.AddFunc(readBE32("read_be32"))
+	p.AddFunc(readBE16("read_be16"))
+	p.AddFunc(chunkChecksum("png_calculate_crc"))
+
+	// png_get_uint_31: checks 1 & 2 of Figure 2 (uval > PNG_UINT_31_MAX).
+	p.AddFunc(Fn("png_get_uint_31", []string{"off"},
+		Let("uval", Call("read_be32", V("off"))),
+		IfThen("png_get_uint_31@40", Ugt(V("uval"), U32(0x7FFFFFFF)),
+			Abort("PNG unsigned integer out of range"),
+		),
+		Ret(V("uval")),
+	))
+
+	// png_handle_IHDR: header parsing, checks 3 & 4, rowbytes computation,
+	// the unsatisfiable site png.c@118 and the row-buffer site png.c@164.
+	p.AddFunc(Fn("png_handle_IHDR", []string{"off"},
+		Let("width", Call("png_get_uint_31", V("off"))),
+		Let("height", Call("png_get_uint_31", Add(V("off"), U32(4)))),
+		Let("bd", ZX(32, In(Add(V("off"), U32(8))))),
+		Let("ct", ZX(32, In(Add(V("off"), U32(9))))),
+		IfThen("png_handle_IHDR@60", Eq(V("bd"), U32(0)),
+			Abort("zero bit depth in IHDR"),
+		),
+		IfThen("png_handle_IHDR@62", Ugt(V("bd"), U32(16)),
+			Abort("invalid bit depth in IHDR"),
+		),
+		// png_check_IHDR checks 3 and 4 (Figure 2 lines 25 and 31).
+		IfThen("png_check_IHDR@25", Ugt(V("height"), U32(1000000)),
+			Warn("Image height exceeds user limit in IHDR"),
+			Abort("invalid IHDR"),
+		),
+		IfThen("png_check_IHDR@31", Ugt(V("width"), U32(1000000)),
+			Warn("Image width exceeds user limit in IHDR"),
+			Abort("invalid IHDR"),
+		),
+		// channels: color type 2 is RGB.
+		Let("channels", U32(1)),
+		IfThen("png_handle_IHDR@70", Eq(V("ct"), U32(2)),
+			Let("channels", U32(3)),
+		),
+		// pixel_depth is a png_byte: the 8-bit multiply mirrors libpng.
+		Let("pixel_depth8", Mul(ZX(8, V("bd")), ZX(8, V("channels")))),
+		Let("pd", ZX(32, V("pixel_depth8"))),
+		// PNG_ROWBYTES (Figure 2 line 45).
+		Let("rowbytes", U32(0)),
+		IfElse("png_handle_IHDR@76", Uge(V("pd"), U32(8)),
+			Block{Let("rowbytes", Mul(V("width"), LShr(V("pd"), U32(3))))},
+			Block{Let("rowbytes", LShr(Add(Mul(V("width"), V("pd")), U32(7)), U32(3)))},
+		),
+		Let("g_width", V("width")),
+		Let("g_height", V("height")),
+		Let("g_bd", V("bd")),
+		Let("g_rowbytes", V("rowbytes")),
+		// Unsatisfiable target site: the chunk bookkeeping buffer can never
+		// overflow (255*4+16 fits easily in 32 bits).
+		AllocAt("namebuf", "dillo:png.c@118", Add(Mul(V("ct"), U32(4)), U32(16))),
+		// Row buffer, sized rowbytes+1 as in libpng. Genuine sanity checks
+		// (width ≤ 1e6, bit depth ≤ 16) keep rowbytes+1 far from 2^32.
+		AllocAt("g_row_buf", "dillo:png.c@164", Add(V("rowbytes"), U32(1))),
+		// png_memset over the row buffer: the blocking check of §5.4. The
+		// loop-head condition is a function of rowbytes, so the compressed
+		// branch constraint pins the iteration count.
+		Let("i", U32(0)),
+		Loop("png_memset@~sse2", Ult(Mul(V("i"), U32(64)), V("rowbytes")),
+			Put(V("g_row_buf"), ZX(64, Mul(V("i"), U32(64))), U8(0)),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		RetVoid(),
+	))
+
+	// Png_datainfo_callback: check 5 (itself vulnerable to overflow) and the
+	// paper's target site png.c@203.
+	p.AddFunc(Fn("png_datainfo_callback", nil,
+		IfThen("png_datainfo_callback@guard", Eq(V("g_rowbytes"), U32(0)),
+			RetVoid(),
+		),
+		// Check 5 (Figure 2 line 81): size check computed in wrapping 32-bit
+		// arithmetic — carefully chosen width/height overflow the *check*.
+		Let("size32", Mul(V("g_width"), V("g_height"))),
+		IfElse("Png_datainfo_callback@81", Ugt(V("size32"), U32(36000000)),
+			Block{Warn("suspicious image size request")},
+			Block{
+				// The overflow happens here (Figure 2 line 87).
+				AllocAt("g_image_data", "dillo:png.c@203",
+					Mul(V("g_rowbytes"), V("g_height"))),
+				// Touch the last byte of the *intended* image, with size_t
+				// (64-bit) indexing as on x86-64: when the 32-bit size
+				// computation wrapped, this lands far outside the block.
+				Put(V("g_image_data"),
+					Sub(Mul(ZX(64, V("g_rowbytes")), ZX(64, V("g_height"))), U64(1)),
+					U8(0)),
+			},
+		),
+		RetVoid(),
+	))
+
+	// Chunk handlers whose sites are protected by genuine sanity checks:
+	// the eight "Sanity Checks Prevent Overflow" rows of Table 1. Each size
+	// is computed in 16-bit arithmetic (where the multiply could wrap) but a
+	// prior bound check keeps the product below 2^16.
+	prevented := func(fn, label, site string, bound, factor uint64, countVar string) *Func {
+		return Fn(fn, []string{"off"},
+			Let(countVar, Call("read_be16", V("off"))),
+			IfThen(label, Ugt(V(countVar), U32(bound)),
+				Abort(fn+": count exceeds limit"),
+			),
+			Let("sz16", Mul(ZX(16, V(countVar)), Lit{W: 16, V: factor})),
+			AllocAt("buf", site, ZX(32, V("sz16"))),
+			// Write the last cell of the (never-wrapped) buffer.
+			IfThen(label+"/nz", Ugt(V("sz16"), Lit{W: 16, V: 0}),
+				Put(V("buf"), Sub(ZX(64, V("sz16")), U64(1)), U8(0)),
+			),
+			RetVoid(),
+		)
+	}
+	p.AddFunc(prevented("png_handle_PLTE", "png_handle_PLTE@check", "dillo:png.c@321", 1024, 48, "entries"))
+	p.AddFunc(prevented("png_handle_tRNS", "png_handle_tRNS@check", "dillo:png.c@356", 256, 192, "count"))
+	p.AddFunc(prevented("png_handle_gAMA", "png_handle_gAMA@check", "dillo:png.c@389", 2000, 24, "gamma"))
+	p.AddFunc(prevented("png_handle_bKGD", "png_handle_bKGD@check", "dillo:png.c@421", 128, 320, "tiles"))
+	p.AddFunc(prevented("png_handle_sBIT", "png_handle_sBIT@check", "dillo:png.c@490", 300, 180, "sig"))
+
+	// tEXt carries two allocations protected by one shared keyword check.
+	p.AddFunc(Fn("png_handle_tEXt", []string{"off"},
+		Let("klen", Call("read_be16", V("off"))),
+		IfThen("png_handle_tEXt@check", Ugt(V("klen"), U32(512)),
+			Abort("tEXt keyword too long"),
+		),
+		Let("k16", ZX(16, V("klen"))),
+		Let("ksz", Mul(V("k16"), Lit{W: 16, V: 96})),
+		AllocAt("keybuf", "dillo:png.c@455", ZX(32, V("ksz"))),
+		Let("vsz", Mul(V("k16"), Lit{W: 16, V: 120})),
+		AllocAt("valbuf", "dillo:png.c@458", ZX(32, V("vsz"))),
+		IfThen("png_handle_tEXt@copy", Ugt(V("ksz"), Lit{W: 16, V: 0}),
+			Put(V("keybuf"), Sub(ZX(64, V("ksz")), U64(1)), U8(0)),
+		),
+		RetVoid(),
+	))
+
+	// oFFs and pHYs only record their fields; the render stage uses them.
+	p.AddFunc(Fn("png_handle_oFFs", []string{"off"},
+		Let("g_ocount", Call("read_be16", V("off"))),
+		Let("g_ounit", Call("read_be16", Add(V("off"), U32(2)))),
+		RetVoid(),
+	))
+	p.AddFunc(Fn("png_handle_pHYs", []string{"off"},
+		Let("g_ppu", Call("read_be16", V("off"))),
+		Let("g_punit", Call("read_be16", Add(V("off"), U32(2)))),
+		RetVoid(),
+	))
+
+	// Image.cxx@741: the scanline cache. Four relevant checks; the size
+	// check at @735 computes the size in wrapping 32-bit arithmetic, so it
+	// is evadable (the paper's "sanity check itself vulnerable to overflow"
+	// pattern). The scanline-prep loop before the allocation is a blocking
+	// check: its iteration count is a function of the resolution field.
+	p.AddFunc(Fn("dw_image_render", nil,
+		IfThen("Image.cxx@721", Ugt(V("g_ppu"), U32(40000)),
+			Abort("image resolution out of range"),
+		),
+		IfThen("Image.cxx@724", Ugt(V("g_punit"), U32(40000)),
+			Abort("image unit out of range"),
+		),
+		IfThen("Image.cxx@728", Ne(BitAnd(V("g_ppu"), U32(3)), U32(0)),
+			Abort("unaligned resolution"),
+		),
+		Let("sw", Add(Mul(V("g_ppu"), U32(3)), U32(4))),
+		Let("sh", Add(V("g_punit"), U32(2))),
+		Let("t", Mul(V("sw"), V("sh"))),
+		IfElse("Image.cxx@735", Ugt(V("t"), U32(0x20000000)),
+			Block{Warn("scanline cache too large")},
+			Block{
+				// Scanline prep over a fixed staging buffer: a blocking
+				// loop whose count depends on the resolution field.
+				AllocAt("stage", "dillo:Image.cxx@stage", U32(64)),
+				Let("i", U32(0)),
+				Loop("Image.cxx@prep",
+					And(Ult(Mul(V("i"), U32(8)), V("g_ppu")), Ult(V("i"), U32(16))),
+					Put(V("stage"), ZX(64, V("i")), U8(0)),
+					Let("i", Add(V("i"), U32(1))),
+				),
+				AllocAt("cache", "dillo:Image.cxx@741", Mul(V("sw"), V("sh"))),
+				Put(V("cache"),
+					Sub(Mul(ZX(64, V("sw")), ZX(64, V("sh"))), U64(1)),
+					U8(0)),
+			},
+		),
+		RetVoid(),
+	))
+
+	// fltkimagebuf.cc@39: the FLTK image buffer. Five relevant checks; the
+	// size check at @33 computes the full byte size in wrapping 32-bit
+	// arithmetic and is evadable. The row-stride loop before the allocation
+	// is a blocking check on the width field.
+	p.AddFunc(Fn("fltk_image_buf", nil,
+		IfThen("fltkimagebuf.cc@21", Ult(V("g_ocount"), U32(4)),
+			Abort("image too narrow"),
+		),
+		IfThen("fltkimagebuf.cc@24", Ult(V("g_ounit"), U32(2)),
+			Abort("invalid unit"),
+		),
+		IfThen("fltkimagebuf.cc@27", Ugt(V("g_ocount"), U32(36000)),
+			Abort("image too wide"),
+		),
+		IfThen("fltkimagebuf.cc@30", Ugt(V("g_ounit"), U32(36000)),
+			Abort("unit out of range"),
+		),
+		Let("t2", Mul(Mul(V("g_ocount"), V("g_ounit")), U32(4))),
+		IfElse("fltkimagebuf.cc@33", Ugt(V("t2"), U32(0x10000000)),
+			Block{Warn("fltk buffer too large")},
+			Block{
+				AllocAt("fstage", "dillo:fltkimagebuf.cc@stage", U32(64)),
+				Let("i", U32(0)),
+				Loop("fltkimagebuf.cc@stride",
+					And(Ult(Mul(V("i"), U32(4)), V("g_ocount")), Ult(V("i"), U32(16))),
+					Put(V("fstage"), ZX(64, V("i")), U8(0)),
+					Let("i", Add(V("i"), U32(1))),
+				),
+				AllocAt("fbuf", "dillo:fltkimagebuf.cc@39",
+					Mul(Mul(V("g_ocount"), V("g_ounit")), U32(4))),
+				Put(V("fbuf"),
+					Sub(Mul(Mul(ZX(64, V("g_ocount")), ZX(64, V("g_ounit"))), U64(4)), U64(1)),
+					U8(0)),
+			},
+		),
+		RetVoid(),
+	))
+
+	// Chunk type constants (big-endian ASCII).
+	const (
+		tIHDR = 0x49484452
+		tPLTE = 0x504C5445
+		tTRNS = 0x74524E53
+		tGAMA = 0x67414D41
+		tBKGD = 0x624B4744
+		tTEXT = 0x74455874
+		tOFFS = 0x6F464673
+		tPHYS = 0x70485973
+		tSBIT = 0x73424954
+		tIDAT = 0x49444154
+		tIEND = 0x49454E44
+	)
+
+	dispatch := func(typ uint64, fn string) Stmt {
+		return IfThen("", Eq(V("typ"), U32(typ)),
+			Do(Call(fn, V("dataoff"))),
+		)
+	}
+
+	p.AddFunc(Fn("main", nil,
+		// Globals consumed by later stages.
+		Let("g_width", U32(0)), Let("g_height", U32(0)),
+		Let("g_bd", U32(0)), Let("g_rowbytes", U32(0)),
+		Let("g_ocount", U32(0)), Let("g_ounit", U32(0)),
+		Let("g_ppu", U32(0)), Let("g_punit", U32(0)),
+		Let("g_done", U32(0)),
+		// Signature check.
+		IfThen("png_sig_check", Or(
+			Ne(Call("read_be32", U32(0)), U32(0x8953504E)),
+			Ne(Call("read_be32", U32(4)), U32(0x470D0A1A))),
+			Abort("not an SPNG file"),
+		),
+		// Chunk walk (png_process_data / png_push_read_chunk).
+		Let("off", U32(8)),
+		Loop("png_push_read_chunk@walk",
+			And(Ule(Add(V("off"), U32(8)), Len()), Eq(V("g_done"), U32(0))),
+			Let("length", Call("read_be32", V("off"))),
+			IfThen("png_push_read_chunk@trunc",
+				Ugt(Add(Add(V("off"), U32(12)), V("length")), Len()),
+				Abort("truncated chunk"),
+			),
+			Let("typ", Call("read_be32", Add(V("off"), U32(4)))),
+			Let("dataoff", Add(V("off"), U32(8))),
+			// CRC verification (Peach must reconstruct the checksum for a
+			// generated input to make it past this branch).
+			Let("crc", Call("png_calculate_crc", Add(V("off"), U32(4)), Add(V("length"), U32(4)))),
+			Let("stored", Call("read_be32", Add(Add(V("off"), U32(8)), V("length")))),
+			IfThen("png_crc_finish@err", Ne(V("crc"), V("stored")),
+				Abort("CRC error in chunk"),
+			),
+			dispatch(tIHDR, "png_handle_IHDR"),
+			dispatch(tPLTE, "png_handle_PLTE"),
+			dispatch(tTRNS, "png_handle_tRNS"),
+			dispatch(tGAMA, "png_handle_gAMA"),
+			dispatch(tBKGD, "png_handle_bKGD"),
+			dispatch(tTEXT, "png_handle_tEXt"),
+			dispatch(tOFFS, "png_handle_oFFs"),
+			dispatch(tPHYS, "png_handle_pHYs"),
+			dispatch(tSBIT, "png_handle_sBIT"),
+			IfThen("", Eq(V("typ"), U32(tIDAT)),
+				Do(Call("png_datainfo_callback")),
+			),
+			IfThen("", Eq(V("typ"), U32(tIEND)),
+				Let("g_done", U32(1)),
+			),
+			Let("off", Add(Add(V("off"), U32(12)), V("length"))),
+		),
+		// Render stage.
+		Do(Call("dw_image_render")),
+		Do(Call("fltk_image_buf")),
+	))
+
+	return &App{
+		Name:    "Dillo 2.1",
+		Short:   "dillo",
+		Program: mustFinalize(p),
+		Format:  formats.SPNG(),
+		Paper: []PaperSite{
+			{Site: "dillo:png.c@203", Class: ClassExposed, CVE: "CVE-2009-2294",
+				ErrorType: "SIGSEGV/InvalidRead", EnforcedX: 4, EnforcedY: 35,
+				TargetRate: 0, TargetRateOf: 200, EnforcedRate: 190},
+			{Site: "dillo:fltkimagebuf.cc@39", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidRead", EnforcedX: 5, EnforcedY: 69,
+				TargetRate: 0, TargetRateOf: 200, EnforcedRate: 189},
+			{Site: "dillo:Image.cxx@741", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidRead", EnforcedX: 4, EnforcedY: 5779,
+				TargetRate: 0, TargetRateOf: 200, EnforcedRate: 190},
+			{Site: "dillo:png.c@118", Class: ClassUnsat},
+			{Site: "dillo:png.c@164", Class: ClassPrevented},
+			{Site: "dillo:png.c@321", Class: ClassPrevented},
+			{Site: "dillo:png.c@356", Class: ClassPrevented},
+			{Site: "dillo:png.c@389", Class: ClassPrevented},
+			{Site: "dillo:png.c@421", Class: ClassPrevented},
+			{Site: "dillo:png.c@455", Class: ClassPrevented},
+			{Site: "dillo:png.c@458", Class: ClassPrevented},
+			{Site: "dillo:png.c@490", Class: ClassPrevented},
+		},
+	}
+}

@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"diode/internal/formats"
+	. "diode/internal/lang"
+)
+
+// ImageMagick reproduces ImageMagick 6.5.2's XWD reader and display path.
+// Nine target sites: three exposed with no effective checks (xwindow.c@5619,
+// cache.c@803, display.c@4393 — each driven by its own pair of header
+// fields, so the three overflows are independent), five with masked size
+// computations whose target constraints are unsatisfiable, and one colormap
+// site protected by a genuine bound check (the single "Sanity Checks Prevent
+// Overflow" entry for ImageMagick in Table 1).
+func ImageMagick() *App {
+	p := NewProgram("magick")
+
+	p.AddFunc(readBE32("read_be32"))
+
+	p.AddFunc(Fn("main", nil,
+		IfThen("xwd.c@hdrlen", Ult(Len(), U32(60)),
+			Abort("truncated XWD header"),
+		),
+		IfThen("xwd.c@version", Ne(Call("read_be32", U32(4)), U32(7)),
+			Abort("unsupported XWD version"),
+		),
+		Let("depth", Call("read_be32", U32(12))),
+		Let("w", Call("read_be32", U32(16))),
+		Let("h", Call("read_be32", U32(20))),
+		Let("xoff", Call("read_be32", U32(24))),
+		Let("bpp", Call("read_be32", U32(28))),
+		Let("bpl", Call("read_be32", U32(32))),
+		Let("cme", Call("read_be32", U32(36))),
+		Let("ncol", Call("read_be32", U32(40))),
+		Let("ww", Call("read_be32", U32(44))),
+		Let("wh", Call("read_be32", U32(48))),
+
+		// Masked size computations: unsatisfiable target constraints.
+		AllocAt("dscratch", "magick:xwd.c@102",
+			Add(Mul(BitAnd(V("depth"), U32(31)), U32(8)), U32(8))),
+		AllocAt("pscratch", "magick:xwd.c@131",
+			Add(Mul(BitAnd(V("bpp"), U32(63)), U32(4)), U32(32))),
+		AllocAt("cmap", "magick:colormap.c@55",
+			Add(Mul(BitAnd(V("ncol"), U32(0xFF)), U32(12)), U32(12))),
+		AllocAt("centry", "magick:xwd.c@160",
+			Add(Mul(BitAnd(V("cme"), U32(0x1FF)), U32(8)), U32(16))),
+		AllocAt("wname", "magick:xwd.c@188",
+			Add(BitAnd(V("ww"), U32(0xFFF)), U32(64))),
+
+		// Sanity-prevented: the full colormap table. The bound check keeps
+		// cme*65500 below 2^32; without it the constraint is satisfiable.
+		IfThen("colormap.c@80", Ugt(V("cme"), U32(60000)),
+			Abort("colormap too large"),
+		),
+		AllocAt("cmfull", "magick:colormap.c@88", Mul(V("cme"), U32(65500))),
+
+		// Staging block for the capped preparation loops below. Each loop's
+		// iteration count follows one header field: these are the blocking
+		// checks that make the §5.4 same-path constraints unsatisfiable for
+		// the three exposed sites, while goal-directed enforcement never
+		// needs to touch them.
+		AllocAt("stage", "magick:xwd.c@stage", U32(64)),
+
+		// Exposed site 1: the X window backing store (window geometry).
+		Let("i", U32(0)),
+		Loop("xwindow.c@wwprep",
+			And(Ult(Mul(V("i"), U32(64)), V("ww")), Ult(V("i"), U32(16))),
+			Put(V("stage"), ZX(64, V("i")), U8(0)),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		Let("j", U32(0)),
+		Loop("xwindow.c@whprep",
+			And(Ult(Mul(V("j"), U32(32)), V("wh")), Ult(V("j"), U32(16))),
+			Put(V("stage"), Add(ZX(64, V("j")), U64(16)), U8(0)),
+			Let("j", Add(V("j"), U32(1))),
+		),
+		AllocAt("xwbuf", "magick:xwindow.c@5619", Mul(Mul(V("ww"), V("wh")), U32(4))),
+		Put(V("xwbuf"),
+			Sub(Mul(Mul(ZX(64, V("ww")), ZX(64, V("wh"))), U64(4)), U64(1)),
+			U8(0)),
+
+		// Exposed site 2: the pixel cache (image dimensions).
+		Let("a", U32(0)),
+		Loop("cache.c@wprep",
+			And(Ult(Mul(V("a"), U32(64)), V("w")), Ult(V("a"), U32(16))),
+			Put(V("stage"), Add(ZX(64, V("a")), U64(32)), U8(0)),
+			Let("a", Add(V("a"), U32(1))),
+		),
+		Let("b", U32(0)),
+		Loop("cache.c@hprep",
+			And(Ult(Mul(V("b"), U32(32)), V("h")), Ult(V("b"), U32(16))),
+			Put(V("stage"), Add(ZX(64, V("b")), U64(48)), U8(0)),
+			Let("b", Add(V("b"), U32(1))),
+		),
+		AllocAt("cachebuf", "magick:cache.c@803", Mul(Mul(V("w"), V("h")), U32(8))),
+		Put(V("cachebuf"),
+			Sub(Mul(Mul(ZX(64, V("w")), ZX(64, V("h"))), U64(8)), U64(1)),
+			U8(0)),
+
+		// Exposed site 3: the display scanline buffer (bytes-per-line and
+		// x-offset).
+		Let("c", U32(0)),
+		Loop("display.c@bplprep",
+			And(Ult(Mul(V("c"), U32(256)), V("bpl")), Ult(V("c"), U32(16))),
+			Put(V("stage"), ZX(64, V("c")), U8(1)),
+			Let("c", Add(V("c"), U32(1))),
+		),
+		Let("d", U32(0)),
+		Loop("display.c@xoffprep",
+			And(Ult(V("d"), V("xoff")), Ult(V("d"), U32(8))),
+			Put(V("stage"), Add(ZX(64, V("d")), U64(16)), U8(1)),
+			Let("d", Add(V("d"), U32(1))),
+		),
+		AllocAt("dispbuf", "magick:display.c@4393",
+			Mul(V("bpl"), Add(V("xoff"), U32(2)))),
+		Put(V("dispbuf"),
+			Sub(Mul(ZX(64, V("bpl")), Add(ZX(64, V("xoff")), U64(2))), U64(1)),
+			U8(0)),
+	))
+
+	return &App{
+		Name:    "ImageMagick 6.5.2",
+		Short:   "imagemagick",
+		Program: mustFinalize(p),
+		Format:  formats.SXWD(),
+		Paper: []PaperSite{
+			{Site: "magick:xwindow.c@5619", Class: ClassExposed, CVE: "CVE-2009-1882",
+				ErrorType: "SIGSEGV/InvalidWrite", EnforcedX: 0, EnforcedY: 2521,
+				TargetRate: 200, TargetRateOf: 200, EnforcedRate: -1},
+			{Site: "magick:cache.c@803", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidWrite", EnforcedX: 0, EnforcedY: 306,
+				TargetRate: 199, TargetRateOf: 200, EnforcedRate: -1},
+			{Site: "magick:display.c@4393", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidWrite", EnforcedX: 0, EnforcedY: 154,
+				TargetRate: 200, TargetRateOf: 200, EnforcedRate: -1},
+			{Site: "magick:xwd.c@102", Class: ClassUnsat},
+			{Site: "magick:xwd.c@131", Class: ClassUnsat},
+			{Site: "magick:colormap.c@55", Class: ClassUnsat},
+			{Site: "magick:xwd.c@160", Class: ClassUnsat},
+			{Site: "magick:xwd.c@188", Class: ClassUnsat},
+			{Site: "magick:colormap.c@88", Class: ClassPrevented},
+		},
+	}
+}

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"diode/internal/formats"
+	. "diode/internal/lang"
+)
+
+// SwfPlay reproduces SwfPlay 0.5.5's JPEG decoding path (swfdec). Its eight
+// target sites split 3 exposed / 5 unsatisfiable / 0 sanity-prevented, as in
+// Table 1. None of the exposed sites needs branch enforcement (the paper
+// reports 0 enforced branches and 200/200 target-only success): the SOF
+// handler allocates from raw width/height with no sanity checks.
+//
+// jpeg.c@192 allocates before any width/height-dependent loop executes, so
+// an overflow exists on the exact seed path (one of the two sites in §5.4
+// for which the same-path constraint is satisfiable). The two RGB decoder
+// sites sit after the MCU row loop, whose iteration count is a function of
+// height — the blocking check that makes their same-path constraints
+// unsatisfiable.
+func SwfPlay() *App {
+	p := NewProgram("swfplay")
+
+	p.AddFunc(readBE16("read_be16"))
+
+	p.AddFunc(Fn("jpeg_app0", []string{"off"},
+		Let("vmajor", ZX(32, In(Add(V("off"), U32(6))))),
+		AllocAt("appbuf", "swfplay:jpeg_mem.c@88",
+			Add(Mul(V("vmajor"), U32(16)), U32(8))),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jpeg_dqt", []string{"off"},
+		Let("tid", ZX(32, In(V("off")))),
+		AllocAt("qtab", "swfplay:jpeg_quant.c@61",
+			Add(Mul(V("tid"), U32(64)), U32(64))),
+		// Copy the 32 seed table bytes.
+		Let("i", U32(0)),
+		Loop("jpeg_quant.c@copy", Ult(V("i"), U32(32)),
+			Put(V("qtab"), ZX(64, V("i")), In(Add(V("off"), Add(V("i"), U32(1))))),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jpeg_sof", []string{"off"},
+		Let("prec", ZX(32, In(V("off")))),
+		Let("h", Call("read_be16", Add(V("off"), U32(1)))),
+		Let("w", Call("read_be16", Add(V("off"), U32(3)))),
+		Let("nc", ZX(32, In(Add(V("off"), U32(5))))),
+		Let("g_w", V("w")),
+		Let("g_h", V("h")),
+		// Unsatisfiable: the component descriptor array.
+		AllocAt("comps", "swfplay:jpeg.c@150",
+			Add(Mul(V("prec"), U32(8)), U32(24))),
+		// A relevant but non-blocking check: it never binds against the
+		// overflow, so this site's same-path constraint stays satisfiable
+		// (one of the two §5.4 sites).
+		IfThen("jpeg.c@186", Eq(BitOr(V("h"), V("w")), U32(0)),
+			Abort("empty image"),
+		),
+		// Exposed, no checks, before any w/h loop: the strip buffer. An
+		// overflow exists on the seed's exact path (§5.4).
+		AllocAt("strip", "swfplay:jpeg.c@192", Mul(Mul(V("h"), V("w")), U32(2))),
+		Put(V("strip"),
+			Sub(Mul(Mul(ZX(64, V("h")), ZX(64, V("w"))), U64(2)), U64(1)),
+			U8(0)),
+		// MCU row loop: iteration count is a function of height — the
+		// blocking check for the two decoder sites below.
+		Let("rows8", LShr(Add(V("h"), U32(7)), U32(3))),
+		Let("r", U32(0)),
+		Loop("jpeg.c@mcu_rows", Ult(V("r"), V("rows8")),
+			Put(V("strip"), ZX(64, V("r")), U8(1)),
+			Let("r", Add(V("r"), U32(1))),
+		),
+		// The two RGB decoder sites (exposed, no checks).
+		AllocAt("rgb1", "swfplay:jpeg_rgb_decoder.c@253",
+			Mul(Mul(V("w"), V("h")), U32(3))),
+		Put(V("rgb1"),
+			Sub(Mul(Mul(ZX(64, V("w")), ZX(64, V("h"))), U64(3)), U64(1)),
+			U8(0)),
+		AllocAt("rgb2", "swfplay:jpeg_rgb_decoder.c@257",
+			Mul(Mul(V("w"), V("h")), U32(4))),
+		Put(V("rgb2"),
+			Sub(Mul(Mul(ZX(64, V("w")), ZX(64, V("h"))), U64(4)), U64(1)),
+			U8(0)),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jpeg_dht", []string{"off"},
+		Let("class", ZX(32, In(V("off")))),
+		AllocAt("htab", "swfplay:huffman.c@44",
+			Add(Mul(V("class"), U32(17)), U32(16))),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("jpeg_sos", []string{"off"},
+		Let("snc", ZX(32, In(V("off")))),
+		AllocAt("scanbuf", "swfplay:jpeg.c@310",
+			Add(Mul(V("snc"), U32(2)), U32(12))),
+		Let("g_done", U32(1)),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("main", nil,
+		Let("g_w", U32(0)), Let("g_h", U32(0)), Let("g_done", U32(0)),
+		IfThen("jpeg.c@soi", Or(
+			Ne(ZX(32, InAt(0)), U32(0xFF)),
+			Ne(ZX(32, InAt(1)), U32(0xD8))),
+			Abort("missing SOI"),
+		),
+		Let("off", U32(2)),
+		Loop("jpeg.c@walk",
+			And(Ule(Add(V("off"), U32(4)), Len()), Eq(V("g_done"), U32(0))),
+			IfThen("jpeg.c@marker", Ne(ZX(32, In(V("off"))), U32(0xFF)),
+				Abort("bad marker"),
+			),
+			Let("marker", ZX(32, In(Add(V("off"), U32(1))))),
+			Let("seglen", Call("read_be16", Add(V("off"), U32(2)))),
+			IfThen("jpeg.c@seglen", Ult(V("seglen"), U32(2)),
+				Abort("bad segment length"),
+			),
+			IfThen("jpeg.c@segbound",
+				Ugt(Add(Add(V("off"), U32(2)), V("seglen")), Len()),
+				Abort("segment runs past EOF"),
+			),
+			Let("dataoff", Add(V("off"), U32(4))),
+			IfThen("", Eq(V("marker"), U32(0xE0)), Do(Call("jpeg_app0", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xDB)), Do(Call("jpeg_dqt", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xC0)), Do(Call("jpeg_sof", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xC4)), Do(Call("jpeg_dht", V("dataoff")))),
+			IfThen("", Eq(V("marker"), U32(0xDA)), Do(Call("jpeg_sos", V("dataoff")))),
+			Let("off", Add(Add(V("off"), U32(2)), V("seglen"))),
+		),
+	))
+
+	return &App{
+		Name:    "SwfPlay 0.5.5",
+		Short:   "swfplay",
+		Program: mustFinalize(p),
+		Format:  formats.SJPG(),
+		Paper: []PaperSite{
+			{Site: "swfplay:jpeg_rgb_decoder.c@253", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidWrite", EnforcedX: 0, EnforcedY: 1736,
+				TargetRate: 200, TargetRateOf: 200, EnforcedRate: -1},
+			{Site: "swfplay:jpeg_rgb_decoder.c@257", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidWrite", EnforcedX: 0, EnforcedY: 1736,
+				TargetRate: 200, TargetRateOf: 200, EnforcedRate: -1},
+			{Site: "swfplay:jpeg.c@192", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGABRT/InvalidWrite", EnforcedX: 0, EnforcedY: 1012,
+				TargetRate: 200, TargetRateOf: 200, EnforcedRate: -1, SamePathSat: true},
+			{Site: "swfplay:jpeg_mem.c@88", Class: ClassUnsat},
+			{Site: "swfplay:jpeg_quant.c@61", Class: ClassUnsat},
+			{Site: "swfplay:jpeg.c@150", Class: ClassUnsat},
+			{Site: "swfplay:huffman.c@44", Class: ClassUnsat},
+			{Site: "swfplay:jpeg.c@310", Class: ClassUnsat},
+		},
+	}
+}

@@ -1,0 +1,207 @@
+package apps
+
+import (
+	"diode/internal/formats"
+	. "diode/internal/lang"
+)
+
+// VLC reproduces VLC 0.8.6h's WAV demuxer and decoder paths. All four of its
+// target sites are exposed, matching Table 1 (4/4/0/0); per the paper, the
+// application *has* overflow sanity checks, but they are computed in
+// wrapping arithmetic and are therefore ineffective — DIODE evades them.
+//
+//   - wav.c@147 (CVE-2008-2430): the format-chunk buffer is allocated as
+//     fmt_size+2 before the size is validated; the target expression x+2 has
+//     exactly two overflowing solutions (§5.5).
+//   - messages.c@355: the log-line buffer len*4+8 behind two wrapping checks
+//     (alignment and a size bound computed as len*4).
+//   - block.c@54: the sample block frames*2+16 with no checks at all.
+//   - dec.c@277: the PCM buffer ch*rate*(bits/8) behind five checks whose
+//     bound computations all wrap.
+func VLC() *App {
+	p := NewProgram("vlc")
+
+	p.AddFunc(readBE32("read_fourcc"))
+	p.AddFunc(readLE32("read_le32"))
+	p.AddFunc(readLE16("read_le16"))
+
+	// fmt chunk: the CVE-2008-2430 site, then the stream description reads.
+	p.AddFunc(Fn("wav_read_fmt", []string{"off", "size"},
+		// Capped header scan over the declared size: the blocking check
+		// that makes this site's same-path constraint unsatisfiable (§5.4).
+		AllocAt("fstage", "vlc:wav.c@stage", U32(64)),
+		Let("i", U32(0)),
+		Loop("wav.c@hdrscan",
+			And(Ult(Mul(V("i"), U32(8)), V("size")), Ult(V("i"), U32(16))),
+			Put(V("fstage"), ZX(64, V("i")), In(Add(V("off"), V("i")))),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		// The extra-size buffer is allocated from the declared chunk size
+		// before any validation — the original bug.
+		AllocAt("esbuf", "vlc:wav.c@147", Add(V("size"), U32(2))),
+		Put(V("esbuf"), U64(0), U8(0)),
+		Put(V("esbuf"), U64(1), U8(0)),
+		Let("g_channels", Call("read_le16", Add(V("off"), U32(2)))),
+		Let("g_rate", Call("read_le32", Add(V("off"), U32(4)))),
+		Let("g_bits", Call("read_le16", Add(V("off"), U32(14)))),
+		RetVoid(),
+	))
+
+	// note chunk: the message-log site with two wrapping sanity checks.
+	p.AddFunc(Fn("wav_read_note", []string{"off"},
+		Let("mlen", Call("read_le32", V("off"))),
+		IfThen("messages.c@341", Ne(BitAnd(V("mlen"), U32(3)), U32(0)),
+			Abort("unaligned message length"),
+		),
+		Let("t", Mul(V("mlen"), U32(4))),
+		IfThen("messages.c@347", Ugt(V("t"), U32(0x40000000)),
+			Abort("message too long"),
+		),
+		// Header-word copy into a fixed staging area: a blocking loop whose
+		// count follows the message length (capped, as the staging area is).
+		AllocAt("mstage", "vlc:messages.c@stage", U32(64)),
+		Let("i", U32(0)),
+		Loop("messages.c@hdrcopy",
+			And(Ult(Mul(V("i"), U32(4)), V("mlen")), Ult(V("i"), U32(16))),
+			Put(V("mstage"), ZX(64, V("i")), In(Add(V("off"), Add(U32(4), V("i"))))),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		AllocAt("mbuf", "vlc:messages.c@355", Add(Mul(V("mlen"), U32(4)), U32(8))),
+		Put(V("mbuf"),
+			Sub(Add(Mul(ZX(64, V("mlen")), U64(4)), U64(8)), U64(1)),
+			U8(0)),
+		RetVoid(),
+	))
+
+	// data chunk: the block site, no sanity checks — but a capped prebuffer
+	// scan (a blocking loop on the frame count) precedes the allocation.
+	p.AddFunc(Fn("wav_read_data", []string{"off"},
+		Let("frames", Call("read_le32", V("off"))),
+		AllocAt("dstage", "vlc:block.c@stage", U32(64)),
+		Let("i", U32(0)),
+		Loop("block.c@prescan",
+			And(Ult(Mul(V("i"), U32(2)), V("frames")), Ult(V("i"), U32(16))),
+			Put(V("dstage"), ZX(64, V("i")), U8(0)),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		AllocAt("dbuf", "vlc:block.c@54", Add(Mul(V("frames"), U32(2)), U32(16))),
+		Let("x", Load(V("dbuf"),
+			Sub(Add(Mul(ZX(64, V("frames")), U64(2)), U64(16)), U64(1)))),
+		RetVoid(),
+	))
+
+	// Decoder initialization: five checks, all with wrapping bound
+	// computations, then the PCM buffer site.
+	p.AddFunc(Fn("dec_init", nil,
+		IfThen("dec.c@239", Eq(V("g_rate"), U32(0)),
+			RetVoid(),
+		),
+		IfThen("dec.c@243", Eq(V("g_channels"), U32(0)),
+			Abort("no channels"),
+		),
+		Let("ta", Mul(ZX(16, V("g_channels")), Lit{W: 16, V: 64})),
+		IfThen("dec.c@247", Ugt(V("ta"), Lit{W: 16, V: 1024}),
+			Abort("too many channels"),
+		),
+		IfThen("dec.c@252", Ne(BitAnd(V("g_bits"), U32(7)), U32(0)),
+			Abort("bad sample size"),
+		),
+		Let("tb", Mul(ZX(16, V("g_bits")), Lit{W: 16, V: 8})),
+		IfThen("dec.c@257", Ugt(V("tb"), Lit{W: 16, V: 256}),
+			Abort("sample size out of range"),
+		),
+		Let("tc", Mul(V("g_rate"), U32(16))),
+		IfThen("dec.c@263", Ugt(V("tc"), U32(0x300000)),
+			Abort("sample rate out of range"),
+		),
+		// Decoder warm-up loops: per-channel, per-sample-byte and rate
+		// calibration, each over a fixed staging block — the blocking
+		// checks for this site.
+		AllocAt("dcstage", "vlc:dec.c@stage", U32(64)),
+		Let("i", U32(0)),
+		Loop("dec.c@chinit",
+			And(Ult(V("i"), V("g_channels")), Ult(V("i"), U32(16))),
+			Put(V("dcstage"), ZX(64, V("i")), U8(0)),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		Let("j", U32(0)),
+		Loop("dec.c@bytesinit",
+			And(Ult(Mul(V("j"), U32(8)), V("g_bits")), Ult(V("j"), U32(16))),
+			Put(V("dcstage"), Add(ZX(64, V("j")), U64(16)), U8(0)),
+			Let("j", Add(V("j"), U32(1))),
+		),
+		Let("k", U32(0)),
+		Loop("dec.c@ratecal",
+			And(Ult(Mul(V("k"), U32(8192)), V("g_rate")), Ult(V("k"), U32(16))),
+			Put(V("dcstage"), Add(ZX(64, V("k")), U64(32)), U8(0)),
+			Let("k", Add(V("k"), U32(1))),
+		),
+		AllocAt("pcm", "vlc:dec.c@277",
+			Mul(Mul(V("g_channels"), V("g_rate")), LShr(V("g_bits"), U32(3)))),
+		Put(V("pcm"),
+			Sub(Mul(Mul(ZX(64, V("g_channels")), ZX(64, V("g_rate"))),
+				LShr(ZX(64, V("g_bits")), U64(3))), U64(1)),
+			U8(0)),
+		RetVoid(),
+	))
+
+	const (
+		ccFmt  = 0x666D7420 // "fmt "
+		ccNote = 0x6E6F7465 // "note"
+		ccData = 0x64617461 // "data"
+	)
+
+	p.AddFunc(Fn("main", nil,
+		Let("g_channels", U32(0)), Let("g_rate", U32(0)), Let("g_bits", U32(0)),
+		IfThen("wav.c@sig", Or(
+			Ne(Call("read_fourcc", U32(0)), U32(0x52494646)),  // "RIFF"
+			Ne(Call("read_fourcc", U32(8)), U32(0x57415645))), // "WAVE"
+			Abort("not a RIFF/WAVE file"),
+		),
+		Let("off", U32(12)),
+		Loop("wav.c@walk", Ule(Add(V("off"), U32(8)), Len()),
+			Let("cc", Call("read_fourcc", V("off"))),
+			Let("csize", Call("read_le32", Add(V("off"), U32(4)))),
+			Let("dataoff", Add(V("off"), U32(8))),
+			IfThen("", Eq(V("cc"), U32(ccFmt)),
+				Do(Call("wav_read_fmt", V("dataoff"), V("csize"))),
+			),
+			IfThen("", Eq(V("cc"), U32(ccNote)),
+				Do(Call("wav_read_note", V("dataoff"))),
+			),
+			IfThen("", Eq(V("cc"), U32(ccData)),
+				Do(Call("wav_read_data", V("dataoff"))),
+			),
+			// Advance by the declared size, clamped to the file (short
+			// chunks end the walk).
+			Let("clamped", V("csize")),
+			IfThen("wav.c@clamp",
+				Ugt(Add(Add(V("off"), U32(8)), V("csize")), Len()),
+				Let("clamped", Sub(Len(), Add(V("off"), U32(8)))),
+			),
+			Let("off", Add(Add(V("off"), U32(8)), V("clamped"))),
+		),
+		Do(Call("dec_init")),
+	))
+
+	return &App{
+		Name:    "VLC 0.8.6h",
+		Short:   "vlc",
+		Program: mustFinalize(p),
+		Format:  formats.SWAV(),
+		Paper: []PaperSite{
+			{Site: "vlc:messages.c@355", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidRead", EnforcedX: 2, EnforcedY: 117,
+				TargetRate: 32, TargetRateOf: 200, EnforcedRate: 108},
+			{Site: "vlc:wav.c@147", Class: ClassExposed, CVE: "CVE-2008-2430",
+				ErrorType: "InvalidRead/Write", EnforcedX: 0, EnforcedY: 62,
+				TargetRate: 2, TargetRateOf: 2, EnforcedRate: -1, SamePathSat: false},
+			{Site: "vlc:dec.c@277", Class: ClassExposed, CVE: "New",
+				ErrorType: "SIGSEGV/InvalidRead", EnforcedX: 5, EnforcedY: 291,
+				TargetRate: 57, TargetRateOf: 200, EnforcedRate: 97},
+			{Site: "vlc:block.c@54", Class: ClassExposed, CVE: "New",
+				ErrorType: "InvalidRead", EnforcedX: 0, EnforcedY: 151,
+				TargetRate: 200, TargetRateOf: 200, EnforcedRate: -1},
+		},
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"time"
+
+	"diode/internal/bv"
+	"diode/internal/interp"
+	"diode/internal/solver"
+	"diode/internal/trace"
+)
+
+// Hunt runs the goal-directed conditional branch enforcement algorithm of
+// Figure 7 against one target site:
+//
+//  1. Solve the target constraint β alone; if a generated input triggers the
+//     overflow at the site, done (lines 3–6).
+//  2. Otherwise compress φ, keep the relevant entries (lines 7–8; done once
+//     during Analyze), and repeat: find the first relevant conditional
+//     branch where the generated input's path diverges from the seed's,
+//     conjoin that branch's constraint into φ′, and re-solve φ′∧β
+//     (lines 10–16) — until an input triggers the overflow, the constraint
+//     becomes unsatisfiable, or the input follows the seed path with no
+//     overflow.
+//
+// The first flipped branch is located by comparing the instrumented branch
+// traces of the seed run and the generated run (§4.5): both executions are
+// recorded with the same relevant-byte restriction and walked in lockstep
+// until label or direction differs. (Evaluating the recorded seed
+// constraints on the new input would mis-handle fields the input generator
+// reconstructs, such as checksums, whose branch conditions mention stale
+// stored values; the concrete re-execution sees the repaired file.)
+func (e *Engine) Hunt(t *Target) *SiteResult {
+	start := time.Now()
+	res := &SiteResult{Target: t}
+	defer func() { res.Discovery = time.Since(start) }()
+
+	// Lines 3–6: the target constraint alone.
+	initial := e.sol.SampleModels(t.Beta, e.opts.InitialAttempts)
+	if len(initial) == 0 {
+		// β itself is unsatisfiable (or the budget ran out).
+		res.Verdict = VerdictUnsat
+		return res
+	}
+	var lastInput []byte
+	for _, m := range initial {
+		input, err := e.gen.Generate(e.app.Format.Seed, m)
+		if err != nil {
+			continue
+		}
+		res.Runs++
+		out := e.execute(t, input, false)
+		if ok, et := triggered(t, out); ok {
+			res.Verdict = VerdictExposed
+			res.Input = input
+			res.ErrorType = et
+			return res
+		}
+		lastInput = input
+	}
+	if lastInput == nil {
+		res.Verdict = VerdictUnknown
+		return res
+	}
+
+	// Lines 9–16: goal-directed branch enforcement.
+	phiPrime := bv.True()
+	enforced := map[string]bool{}
+	current := lastInput
+	for iter := 0; iter < e.opts.MaxEnforce; iter++ {
+		// Instrumented run of the current input for trace comparison.
+		res.Runs++
+		curOut := e.execute(t, current, true)
+		label, flipped, followed := e.firstFlipped(t, curOut, enforced)
+		// Line 11's break requires the input to have actually executed the
+		// target site via the seed path; a run that matched every branch but
+		// crashed at an intermediate allocation never evaluated the target
+		// expression, so the search must continue with a fresh model.
+		followed = followed && reachedSite(t, curOut)
+		switch {
+		case flipped:
+			entry, ok := pathEntry(t.SeedPath, label)
+			if !ok {
+				// The diverging branch has no enforceable constraint
+				// (filtered as irrelevant); nothing more to enforce.
+				res.Verdict = VerdictPrevented
+				return res
+			}
+			phiPrime = bv.AndB(phiPrime, entry.Cond)
+			enforced[label] = true
+			res.Enforced = append(res.Enforced, label)
+		case followed:
+			// Line 11: the input follows the seed's relevant path yet
+			// triggers no overflow.
+			res.Verdict = VerdictPrevented
+			return res
+		default:
+			// The input neither flips an enforceable branch nor follows the
+			// whole seed path — typically it crashed at an *earlier*
+			// allocation site whose size also wrapped, before reaching the
+			// branches ahead. No constraint to add; re-solve for a
+			// different model below (the solver is randomized).
+		}
+
+		// Line 13: solve φ′ ∧ β.
+		m, verdict := e.sol.Solve(bv.AndB(phiPrime, t.Beta))
+		switch verdict {
+		case solver.Unsat:
+			res.Verdict = VerdictPrevented
+			return res
+		case solver.Unknown:
+			res.Verdict = VerdictUnknown
+			return res
+		}
+		input, err := e.gen.Generate(e.app.Format.Seed, m)
+		if err != nil {
+			res.Verdict = VerdictUnknown
+			return res
+		}
+		// Line 14: does the new input trigger the overflow?
+		res.Runs++
+		out := e.execute(t, input, false)
+		if ok, et := triggered(t, out); ok {
+			res.Verdict = VerdictExposed
+			res.Input = input
+			res.ErrorType = et
+			return res
+		}
+		current = input
+	}
+	res.Verdict = VerdictUnknown
+	return res
+}
+
+// dirSet records which directions a run took at one static branch.
+type dirSet struct{ t, f bool }
+
+// firstFlipped compares the seed's and the generated run's behaviour per
+// static relevant branch, in seed execution order. It returns:
+//
+//   - label, flipped=true when there is a first branch at which the
+//     generated input takes a different path than the seed — a branch both
+//     runs execute whose direction *set* differs;
+//   - followed=true when the generated run matches the seed's behaviour at
+//     every relevant branch (Figure 7 line 11's "satisfies φ");
+//   - neither, when the generated run died before reaching part of the seed
+//     path without flipping any executed branch (e.g. it crashed at an
+//     earlier allocation site) — there is no branch to enforce.
+//
+// Comparing direction sets rather than the raw occurrence sequences is what
+// lets goal-directed enforcement skip blocking checks: at a loop-head branch
+// both executions take both directions (the loop runs and then exits), so a
+// different iteration count does not register as a flip, whereas a sanity
+// check that passed on the seed and failed on the generated input does.
+// Enforcing loop-head bands is exactly the mistake that makes the same-path
+// constraint unsatisfiable for 12 of the paper's 14 exposed sites (§5.4);
+// this is the heart of why DIODE's targeted approach works.
+func (e *Engine) firstFlipped(t *Target, out *interp.Outcome, enforced map[string]bool) (label string, flipped, followed bool) {
+	var order []string
+	seedDirs := map[string]dirSet{}
+	for _, br := range t.RawSeedBranches {
+		d, ok := seedDirs[br.Label]
+		if !ok {
+			order = append(order, br.Label)
+		}
+		if br.Taken {
+			d.t = true
+		} else {
+			d.f = true
+		}
+		seedDirs[br.Label] = d
+	}
+	genDirs := map[string]dirSet{}
+	for _, br := range out.Branches {
+		d := genDirs[br.Label]
+		if br.Taken {
+			d.t = true
+		} else {
+			d.f = true
+		}
+		genDirs[br.Label] = d
+	}
+	followed = true
+	for _, label := range order {
+		gd, executed := genDirs[label]
+		if gd != seedDirs[label] {
+			followed = false
+		}
+		if enforced[label] {
+			continue
+		}
+		// Only branches the generated run actually executed can be "taken
+		// differently"; unreached branches mean the run ended early.
+		if executed && gd != seedDirs[label] {
+			return label, true, false
+		}
+	}
+	return "", false, followed
+}
+
+// reachedSite reports whether the run executed the target's allocation site.
+func reachedSite(t *Target, out *interp.Outcome) bool {
+	for _, ev := range out.Allocs {
+		if ev.Site == t.Site {
+			return true
+		}
+	}
+	return false
+}
+
+func pathEntry(p trace.Path, label string) (trace.Entry, bool) {
+	for _, entry := range p {
+		if entry.Label == label {
+			return entry, true
+		}
+	}
+	return trace.Entry{}, false
+}
+
+// SamePathConstraint returns the §5.4 experiment constraint for a target:
+// the target constraint conjoined with every relevant branch constraint on
+// the seed path — "overflow while following exactly the seed's path".
+func SamePathConstraint(t *Target) *bv.Bool {
+	return bv.AndB(t.Beta, t.SeedPath.Conds())
+}
+
+// SamePathSatisfiable decides the §5.4 experiment for a target.
+func (e *Engine) SamePathSatisfiable(t *Target) solver.Verdict {
+	_, v := e.sol.Solve(SamePathConstraint(t))
+	return v
+}
+
+// SuccessRate generates up to n inputs satisfying the constraint and reports
+// how many trigger the overflow at the target site (§5.5/§5.6). It returns
+// the number of triggering inputs and the number of inputs generated (fewer
+// than n when the constraint has fewer distinct solutions, as with the
+// paper's x+2 target expression).
+func (e *Engine) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total int) {
+	models := e.sol.SampleModels(constraint, n)
+	for _, m := range models {
+		input, err := e.gen.Generate(e.app.Format.Seed, m)
+		if err != nil {
+			continue
+		}
+		total++
+		out := e.execute(t, input, false)
+		if ok, _ := triggered(t, out); ok {
+			hits++
+		}
+	}
+	return hits, total
+}
+
+// EnforcedConstraint rebuilds φ′∧β for a completed hunt (the constraint the
+// final input satisfied), for the §5.6 experiment.
+func EnforcedConstraint(res *SiteResult) *bv.Bool {
+	out := res.Target.Beta
+	for _, label := range res.Enforced {
+		if entry, ok := pathEntry(res.Target.SeedPath, label); ok {
+			out = bv.AndB(out, entry.Cond)
+		}
+	}
+	return out
+}

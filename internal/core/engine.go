@@ -1,0 +1,362 @@
+// Package core implements DIODE itself: the pipeline of Figure 1 (target
+// site identification, target constraint extraction, branch constraint
+// extraction, target constraint solution, test input generation, error
+// detection) and the goal-directed conditional branch enforcement algorithm
+// of Figure 7.
+//
+// The engine consumes a benchmark application (guest program + input format
+// + seed), identifies every memory allocation site whose size the input
+// influences, extracts a symbolic target expression per site, derives the
+// target constraint overflow(B), and then searches for an input that
+// triggers the overflow — first from the target constraint alone, then by
+// incrementally enforcing the first flipped relevant conditional branch
+// until the overflow fires or the constraint becomes unsatisfiable.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"diode/internal/apps"
+	"diode/internal/bv"
+	"diode/internal/inputgen"
+	"diode/internal/interp"
+	"diode/internal/solver"
+	"diode/internal/taint"
+	"diode/internal/trace"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Seed seeds all randomness; identical seeds give identical hunts.
+	Seed int64
+	// InitialAttempts is how many distinct target-constraint models are
+	// tried before branch enforcement begins (Figure 7 lines 3–6 try one;
+	// sampling a few more makes the implementation robust to unlucky
+	// draws). Zero means the default (6).
+	InitialAttempts int
+	// MaxEnforce bounds the number of enforcement iterations. Zero means
+	// the default (40).
+	MaxEnforce int
+	// Fuel bounds guest execution steps per run. Zero means the default
+	// (50 million).
+	Fuel int64
+	// SolverMode selects the constraint-solving strategy (ablation hook).
+	SolverMode solver.Mode
+	// DisableCompression skips Figure 8 branch-condition compression
+	// (ablation hook).
+	DisableCompression bool
+	// DisableRelevanceFilter keeps branches that share no input variable
+	// with the target constraint (ablation hook).
+	DisableRelevanceFilter bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitialAttempts == 0 {
+		o.InitialAttempts = 6
+	}
+	if o.MaxEnforce == 0 {
+		o.MaxEnforce = 40
+	}
+	if o.Fuel == 0 {
+		o.Fuel = 50_000_000
+	}
+	return o
+}
+
+// Target is one analyzed target site: the output of stages 1–3 of the
+// pipeline for that site.
+type Target struct {
+	// Site is the allocation-site name.
+	Site string
+	// RelevantBytes are the seed-input byte offsets that influence the
+	// target value (stage 1).
+	RelevantBytes []int
+	// Expr is the symbolic target expression over input fields (stage 2+3,
+	// after Hachoir lifting).
+	Expr *bv.Term
+	// Beta is the target constraint overflow(Expr).
+	Beta *bv.Bool
+	// SeedPath is the compressed, relevance-filtered branch condition
+	// sequence φ the seed followed to the site, over input fields.
+	SeedPath trace.Path
+	// RawSeedBranches is the seed's uncompressed relevant branch record
+	// sequence up to the site (labels + directions), used to locate first
+	// flipped branches by trace comparison.
+	RawSeedBranches []interp.BranchRecord
+	// DynamicBranches is the paper's Y value: the number of dynamic
+	// relevant conditional branch executions on the seed path to the site.
+	DynamicBranches int
+}
+
+// Verdict classifies the outcome of a hunt at one site.
+type Verdict int
+
+// Hunt verdicts.
+const (
+	VerdictExposed   Verdict = iota // an overflow-triggering input was found
+	VerdictUnsat                    // the target constraint alone is unsatisfiable
+	VerdictPrevented                // sanity checks prevent the overflow
+	VerdictUnknown                  // solver budget exhausted before a decision
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictExposed:
+		return "exposed"
+	case VerdictUnsat:
+		return "unsatisfiable"
+	case VerdictPrevented:
+		return "sanity-prevented"
+	}
+	return "unknown"
+}
+
+// Class converts the verdict to the Table 1 classification (Unknown maps to
+// Prevented, with the verdict preserved for honesty).
+func (v Verdict) Class() apps.Class {
+	switch v {
+	case VerdictExposed:
+		return apps.ClassExposed
+	case VerdictUnsat:
+		return apps.ClassUnsat
+	}
+	return apps.ClassPrevented
+}
+
+// SiteResult is the outcome of hunting one target site.
+type SiteResult struct {
+	Target  *Target
+	Verdict Verdict
+	// Input is the overflow-triggering input file (VerdictExposed only).
+	Input []byte
+	// ErrorType describes the observable effect of the overflow, e.g.
+	// "SIGSEGV/InvalidWrite" (VerdictExposed only).
+	ErrorType string
+	// Enforced lists the labels of the conditional branches enforced before
+	// the overflow fired (or before the search concluded).
+	Enforced []string
+	// Discovery is the wall-clock time of the hunt for this site.
+	Discovery time.Duration
+	// Runs counts guest executions performed during the hunt.
+	Runs int
+}
+
+// EnforcedCount returns the paper's X value.
+func (r *SiteResult) EnforcedCount() int { return len(r.Enforced) }
+
+// AppResult is the outcome of analyzing and hunting every site of one
+// application.
+type AppResult struct {
+	App *apps.App
+	// Analysis is the stage 1–3 wall-clock time (performed once per app).
+	Analysis time.Duration
+	Sites    []*SiteResult
+}
+
+// ResultFor returns the site result for the named site.
+func (r *AppResult) ResultFor(site string) (*SiteResult, bool) {
+	for _, s := range r.Sites {
+		if s.Target.Site == site {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Engine runs the DIODE pipeline against one application. Not safe for
+// concurrent use; create one per goroutine.
+type Engine struct {
+	app  *apps.App
+	opts Options
+	sol  *solver.Solver
+	gen  *inputgen.Generator
+}
+
+// New returns an engine for the application.
+func New(app *apps.App, opts Options) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		app:  app,
+		opts: opts,
+		sol: solver.New(solver.Options{
+			Seed: opts.Seed,
+			Mode: opts.SolverMode,
+		}),
+		gen: app.Format.Generator(),
+	}
+}
+
+// App returns the engine's application.
+func (e *Engine) App() *apps.App { return e.app }
+
+// Analyze performs stages 1–3: the taint run that identifies target sites
+// and relevant bytes, then one symbolic run per site (restricted to that
+// site's relevant bytes, §4.2) to extract the target expression and the
+// branch condition sequence.
+func (e *Engine) Analyze() ([]*Target, error) {
+	seed := e.app.Format.Seed
+	taintRun := interp.Run(e.app.Program, seed, interp.Options{
+		TrackTaint: true,
+		Fuel:       e.opts.Fuel,
+	})
+	if taintRun.Kind != interp.OutOK {
+		return nil, fmt.Errorf("core: seed taint run ended %v (%s)", taintRun.Kind, taintRun.AbortMsg)
+	}
+	// First tainted occurrence per site, in execution order.
+	var order []string
+	firstTaint := map[string]*taint.Set{}
+	for _, ev := range taintRun.Allocs {
+		if ev.Taint.Empty() {
+			continue
+		}
+		if _, ok := firstTaint[ev.Site]; !ok {
+			firstTaint[ev.Site] = ev.Taint
+			order = append(order, ev.Site)
+		}
+	}
+
+	var targets []*Target
+	for _, site := range order {
+		t, err := e.analyzeSite(site, firstTaint[site])
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+func (e *Engine) analyzeSite(site string, labels *taint.Set) (*Target, error) {
+	seed := e.app.Format.Seed
+	relevant := labels.Elems()
+	symRun := interp.Run(e.app.Program, seed, interp.Options{
+		TrackSymbolic: true,
+		Fuel:          e.opts.Fuel,
+		SymbolicBytes: func(i int) bool { return labels.Has(i) },
+	})
+	if symRun.Kind != interp.OutOK {
+		return nil, fmt.Errorf("core: symbolic run for %s ended %v", site, symRun.Kind)
+	}
+	var ev *interp.AllocEvent
+	for i := range symRun.Allocs {
+		if symRun.Allocs[i].Site == site && symRun.Allocs[i].Sym != nil {
+			ev = &symRun.Allocs[i]
+			break
+		}
+	}
+	if ev == nil {
+		return nil, fmt.Errorf("core: site %s lost its symbolic size in stage 2", site)
+	}
+
+	fields := e.gen.Fields()
+	expr := fields.LiftTerm(ev.Sym)
+	beta := bv.OverflowCond(expr)
+
+	raw := symRun.Branches[:ev.BranchMark]
+	path := trace.FromBranches(raw)
+	lifted := make(trace.Path, len(path))
+	for i, entry := range path {
+		lifted[i] = trace.Entry{
+			Label: entry.Label,
+			Cond:  fields.LiftBool(entry.Cond),
+			Count: entry.Count,
+		}
+	}
+	if !e.opts.DisableCompression {
+		lifted = trace.Compress(lifted)
+	}
+	if !e.opts.DisableRelevanceFilter {
+		lifted = trace.Relevant(lifted, beta)
+	}
+	return &Target{
+		Site:            site,
+		RelevantBytes:   relevant,
+		Expr:            expr,
+		Beta:            beta,
+		SeedPath:        lifted,
+		RawSeedBranches: raw,
+		DynamicBranches: len(raw),
+	}, nil
+}
+
+// RunAll analyzes the application and hunts every target site.
+func (e *Engine) RunAll() (*AppResult, error) {
+	start := time.Now()
+	targets, err := e.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	res := &AppResult{App: e.app, Analysis: time.Since(start)}
+	for _, t := range targets {
+		res.Sites = append(res.Sites, e.Hunt(t))
+	}
+	return res, nil
+}
+
+// execute runs the guest on an input and returns the outcome. When
+// withBranches is set, the run records the branch trace restricted to the
+// target's relevant bytes (for first-flipped-branch comparison).
+func (e *Engine) execute(t *Target, input []byte, withBranches bool) *interp.Outcome {
+	opts := interp.Options{Fuel: e.opts.Fuel}
+	if withBranches {
+		labels := map[int]bool{}
+		for _, b := range t.RelevantBytes {
+			labels[b] = true
+		}
+		opts.TrackSymbolic = true
+		opts.SymbolicBytes = func(i int) bool { return labels[i] }
+	}
+	return interp.Run(e.app.Program, input, opts)
+}
+
+// triggered reports whether the outcome contains an overflowing allocation
+// at the target site, and derives the observable error type.
+func triggered(t *Target, out *interp.Outcome) (bool, string) {
+	hit := false
+	for _, ev := range out.Allocs {
+		if ev.Site == t.Site && ev.Wrapped {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return false, ""
+	}
+	return true, errorType(t.Site, out)
+}
+
+// errorType renders the paper's Table 2 "Error Type" column from the run's
+// signal and the memcheck findings attributed to the site's block.
+func errorType(site string, out *interp.Outcome) string {
+	var read, write bool
+	for _, me := range out.MemErrs {
+		if me.Site != site {
+			continue
+		}
+		if me.Kind == interp.InvalidRead {
+			read = true
+		} else {
+			write = true
+		}
+	}
+	var access string
+	switch {
+	case read && write:
+		access = "InvalidRead/Write"
+	case read:
+		access = "InvalidRead"
+	case write:
+		access = "InvalidWrite"
+	default:
+		access = "SilentOverflow"
+	}
+	switch out.Kind {
+	case interp.OutSegv:
+		return "SIGSEGV/" + access
+	case interp.OutAbrt:
+		return "SIGABRT/" + access
+	default:
+		return access
+	}
+}

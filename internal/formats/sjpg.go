@@ -1,0 +1,137 @@
+package formats
+
+import (
+	"bytes"
+
+	"diode/internal/field"
+)
+
+// SJPG is the JPEG-analogue marker-segment format processed by SwfPlay and
+// CWebP:
+//
+//	SOI(FF D8) | segments... | EOI(FF D9)
+//
+// where each segment is marker(FF xx) | length(2, BE, counting itself) |
+// payload. The seed carries APP0, DQT, SOF0 (precision, height, width,
+// component count and per-component descriptors), DHT and SOS (followed by
+// entropy data terminated by EOI).
+
+// SJPG marker bytes.
+const (
+	SJPGMarkAPP0 = 0xE0
+	SJPGMarkDQT  = 0xDB
+	SJPGMarkSOF0 = 0xC0
+	SJPGMarkDHT  = 0xC4
+	SJPGMarkSOS  = 0xDA
+)
+
+// SJPG seed layout constants (payload offsets).
+const (
+	SJPGAPP0Data   = 6   // "SJFIF\0" + version(2) + density(2)
+	SJPGDQTData    = 20  // table id(1) + 32 table bytes
+	SJPGSOFData    = 57  // precision(1) height(2 BE) width(2 BE) ncomp(1) + 3*ncomp
+	SJPGDHTData    = 76  // class(1) + counts(4) + 11 symbols
+	SJPGSOSData    = 96  // ncomp(1) + 2*ncomp + spectral(3)
+	SJPGScanData   = 106 // entropy bytes
+	SJPGSeedLength = 140
+)
+
+func sjpgSegment(buf *bytes.Buffer, marker byte, payload []byte) {
+	buf.WriteByte(0xFF)
+	buf.WriteByte(marker)
+	var l [2]byte
+	be16(l[:], 0, uint16(len(payload)+2))
+	buf.Write(l[:])
+	buf.Write(payload)
+}
+
+// SJPG returns the SwfPlay/CWebP input format with its canonical seed.
+func SJPG() *Format {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xD8}) // SOI
+
+	app0 := make([]byte, 10)
+	copy(app0, "SJFIF\x00")
+	app0[6], app0[7] = 1, 2 // version
+	app0[8], app0[9] = 0, 72
+	sjpgSegment(&buf, SJPGMarkAPP0, app0)
+
+	dqt := make([]byte, 33)
+	dqt[0] = 0 // table id
+	for i := 1; i < 33; i++ {
+		dqt[i] = byte(i)
+	}
+	sjpgSegment(&buf, SJPGMarkDQT, dqt)
+
+	sof := make([]byte, 6+3*3)
+	sof[0] = 8        // precision
+	be16(sof, 1, 120) // height
+	be16(sof, 3, 200) // width
+	sof[5] = 3        // component count
+	for c := 0; c < 3; c++ {
+		sof[6+3*c] = byte(c + 1) // id
+		sof[7+3*c] = 0x11        // sampling
+		sof[8+3*c] = 0           // quant table
+	}
+	sjpgSegment(&buf, SJPGMarkSOF0, sof)
+
+	dht := make([]byte, 16)
+	dht[0] = 0 // class/id
+	for i := 1; i < 5; i++ {
+		dht[i] = byte(i) // counts
+	}
+	for i := 5; i < 16; i++ {
+		dht[i] = byte(0x10 + i)
+	}
+	sjpgSegment(&buf, SJPGMarkDHT, dht)
+
+	sos := make([]byte, 10)
+	sos[0] = 3 // components in scan
+	for c := 0; c < 3; c++ {
+		sos[1+2*c] = byte(c + 1)
+		sos[2+2*c] = 0
+	}
+	sos[7], sos[8], sos[9] = 0, 63, 0
+	sjpgSegment(&buf, SJPGMarkSOS, sos)
+
+	scan := make([]byte, 32)
+	for i := range scan {
+		scan[i] = byte(0x20 + 3*i)
+	}
+	buf.Write(scan)
+	buf.Write([]byte{0xFF, 0xD9}) // EOI
+
+	seed := buf.Bytes()
+	if len(seed) != SJPGSeedLength {
+		panic("formats: SJPG seed layout drifted; update the offset constants")
+	}
+
+	fields := field.MustMap([]field.Spec{
+		{Name: "/sof/precision", Offset: SJPGSOFData, Size: 1},
+		{Name: "/sof/height", Offset: SJPGSOFData + 1, Size: 2, Order: field.BigEndian},
+		{Name: "/sof/width", Offset: SJPGSOFData + 3, Size: 2, Order: field.BigEndian},
+		{Name: "/sof/ncomp", Offset: SJPGSOFData + 5, Size: 1},
+		{Name: "/dqt/id", Offset: SJPGDQTData, Size: 1},
+		{Name: "/dht/class", Offset: SJPGDHTData, Size: 1},
+		{Name: "/sos/ncomp", Offset: SJPGSOSData, Size: 1},
+		{Name: "/app0/vmajor", Offset: SJPGAPP0Data + 6, Size: 1},
+	})
+
+	return &Format{
+		Name:     "sjpg",
+		Seed:     seed,
+		Fields:   fields,
+		Fixups:   nil, // marker segments carry no checksums
+		Validate: validateSJPG,
+	}
+}
+
+func validateSJPG(data []byte) error {
+	if len(data) < 4 || data[0] != 0xFF || data[1] != 0xD8 {
+		return structErr("sjpg", "missing SOI")
+	}
+	if data[len(data)-2] != 0xFF || data[len(data)-1] != 0xD9 {
+		return structErr("sjpg", "missing EOI")
+	}
+	return nil
+}

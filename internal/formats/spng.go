@@ -1,0 +1,188 @@
+package formats
+
+import (
+	"bytes"
+
+	"diode/internal/field"
+	"diode/internal/inputgen"
+)
+
+// SPNG is the PNG-analogue format Dillo processes: an 8-byte signature
+// followed by chunks of the form
+//
+//	length(4, BE) | type(4) | data(length) | checksum(4, BE over type+data)
+//
+// The seed carries the chunks IHDR (width/height/bit_depth/...), PLTE
+// (palette with an explicit entry count), tRNS, gAMA, bKGD, tEXt, oFFs,
+// pHYs, sBIT and IDAT — one per Dillo processing stage — and ends with IEND.
+//
+// Byte offsets below are fixed by the seed layout; the field dictionary and
+// the chunk walker in the Dillo guest application both rely on them.
+
+// SPNG seed layout constants (chunk data offsets).
+const (
+	SPNGSigLen = 8
+
+	SPNGIHDRData   = 16 // width(4) height(4) bit_depth(1) color_type(1) comp(1) filter(1) interlace(1)
+	SPNGPLTEData   = 41 // entries(2 BE) + 16*3 palette bytes
+	SPNGTRNSData   = 103
+	SPNGGAMAData   = 117
+	SPNGBKGDData   = 131
+	SPNGTEXTData   = 145
+	SPNGOFFSData   = 167
+	SPNGPHYSData   = 183
+	SPNGSBITData   = 199
+	SPNGIDATData   = 213
+	SPNGSeedLength = 293
+)
+
+var spngSignature = []byte{0x89, 'S', 'P', 'N', 'G', '\r', '\n', 0x1A}
+
+// spngChunk appends one chunk with a correct checksum.
+func spngChunk(buf *bytes.Buffer, typ string, data []byte) {
+	var hdr [4]byte
+	be32(hdr[:], 0, uint32(len(data)))
+	buf.Write(hdr[:])
+	buf.WriteString(typ)
+	buf.Write(data)
+	var ck [4]byte
+	be32(ck[:], 0, sum32(append([]byte(typ), data...)))
+	buf.Write(ck[:])
+}
+
+// SPNG returns the Dillo input format with its canonical seed.
+func SPNG() *Format {
+	var buf bytes.Buffer
+	buf.Write(spngSignature)
+
+	ihdr := make([]byte, 13)
+	be32(ihdr, 0, 280) // width
+	be32(ihdr, 4, 160) // height
+	ihdr[8] = 8        // bit_depth
+	ihdr[9] = 2        // color_type (RGB)
+	ihdr[10] = 0       // compression
+	ihdr[11] = 0       // filter
+	ihdr[12] = 0       // interlace
+	spngChunk(&buf, "IHDR", ihdr)
+
+	plte := make([]byte, 2+16*3)
+	be16(plte, 0, 16) // declared palette entries
+	for i := 0; i < 16*3; i++ {
+		plte[2+i] = byte(i * 5)
+	}
+	spngChunk(&buf, "PLTE", plte)
+
+	trns := make([]byte, 2) // transparency entry count
+	be16(trns, 0, 8)
+	spngChunk(&buf, "tRNS", trns)
+
+	gama := make([]byte, 2) // gamma table size selector
+	be16(gama, 0, 300)
+	spngChunk(&buf, "gAMA", gama)
+
+	bkgd := make([]byte, 2) // background tile count
+	be16(bkgd, 0, 12)
+	spngChunk(&buf, "bKGD", bkgd)
+
+	text := make([]byte, 10) // keyword length (2 BE) + keyword bytes
+	be16(text, 0, 8)
+	copy(text[2:], "Comment!")
+	spngChunk(&buf, "tEXt", text)
+
+	offs := make([]byte, 4) // x offset count (2 BE) + unit(2)
+	be16(offs, 0, 20)
+	be16(offs, 2, 2)
+	spngChunk(&buf, "oFFs", offs)
+
+	phys := make([]byte, 4) // pixels-per-unit (2 BE) + unit(2)
+	be16(phys, 0, 72)
+	be16(phys, 2, 1)
+	spngChunk(&buf, "pHYs", phys)
+
+	sbit := make([]byte, 2) // significant-bit table size
+	be16(sbit, 0, 24)
+	spngChunk(&buf, "sBIT", sbit)
+
+	idat := make([]byte, 64)
+	for i := range idat {
+		idat[i] = byte(37 * i)
+	}
+	spngChunk(&buf, "IDAT", idat)
+
+	spngChunk(&buf, "IEND", nil)
+
+	seed := buf.Bytes()
+	if len(seed) != SPNGSeedLength {
+		panic("formats: SPNG seed layout drifted; update the offset constants")
+	}
+
+	fields := field.MustMap([]field.Spec{
+		{Name: "/ihdr/width", Offset: SPNGIHDRData + 0, Size: 4, Order: field.BigEndian},
+		{Name: "/ihdr/height", Offset: SPNGIHDRData + 4, Size: 4, Order: field.BigEndian},
+		{Name: "/ihdr/bit_depth", Offset: SPNGIHDRData + 8, Size: 1},
+		{Name: "/ihdr/color_type", Offset: SPNGIHDRData + 9, Size: 1},
+		{Name: "/plte/entries", Offset: SPNGPLTEData, Size: 2, Order: field.BigEndian},
+		{Name: "/trns/count", Offset: SPNGTRNSData, Size: 2, Order: field.BigEndian},
+		{Name: "/gama/gamma", Offset: SPNGGAMAData, Size: 2, Order: field.BigEndian},
+		{Name: "/bkgd/tiles", Offset: SPNGBKGDData, Size: 2, Order: field.BigEndian},
+		{Name: "/text/keylen", Offset: SPNGTEXTData, Size: 2, Order: field.BigEndian},
+		{Name: "/offs/count", Offset: SPNGOFFSData, Size: 2, Order: field.BigEndian},
+		{Name: "/offs/unit", Offset: SPNGOFFSData + 2, Size: 2, Order: field.BigEndian},
+		{Name: "/phys/ppu", Offset: SPNGPHYSData, Size: 2, Order: field.BigEndian},
+		{Name: "/phys/unit", Offset: SPNGPHYSData + 2, Size: 2, Order: field.BigEndian},
+		{Name: "/sbit/size", Offset: SPNGSBITData, Size: 2, Order: field.BigEndian},
+	})
+
+	return &Format{
+		Name:     "spng",
+		Seed:     seed,
+		Fields:   fields,
+		Fixups:   []inputgen.Fixup{FixSPNGChecksums},
+		Validate: validateSPNG,
+	}
+}
+
+// FixSPNGChecksums walks the chunk structure and rewrites every chunk's
+// checksum — the Peach "checksum recalculation" role. Chunks whose declared
+// length runs past the file are left alone (the parser rejects them anyway).
+func FixSPNGChecksums(data []byte) {
+	off := SPNGSigLen
+	for off+8 <= len(data) {
+		length := int(rdbe32(data, off))
+		if length < 0 || off+8+length+4 > len(data) {
+			return
+		}
+		ck := sum32(data[off+4 : off+8+length])
+		be32(data, off+8+length, ck)
+		off += 12 + length
+	}
+}
+
+func validateSPNG(data []byte) error {
+	if len(data) < SPNGSigLen || !bytes.Equal(data[:SPNGSigLen], spngSignature) {
+		return structErr("spng", "bad signature")
+	}
+	off := SPNGSigLen
+	sawEnd := false
+	for off+8 <= len(data) {
+		length := int(rdbe32(data, off))
+		if off+8+length+4 > len(data) {
+			return structErr("spng", "chunk at %d runs past EOF", off)
+		}
+		typ := string(data[off+4 : off+8])
+		want := sum32(data[off+4 : off+8+length])
+		got := rdbe32(data, off+8+length)
+		if want != got {
+			return structErr("spng", "chunk %s checksum mismatch: %#x != %#x", typ, got, want)
+		}
+		off += 12 + length
+		if typ == "IEND" {
+			sawEnd = true
+			break
+		}
+	}
+	if !sawEnd {
+		return structErr("spng", "missing IEND")
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package formats
+
+import (
+	"bytes"
+
+	"diode/internal/field"
+	"diode/internal/inputgen"
+)
+
+// SWAV is the RIFF/WAV-analogue format VLC processes:
+//
+//	"RIFF" | riff_size(4, LE) | "WAVE" | chunks...
+//
+// with the little-endian chunks "fmt " (audio format description), "note"
+// (a metadata chunk feeding the message-log path) and "data" (samples).
+// The riff_size frame field is maintained by a fix-up, like Peach does for
+// real RIFF files.
+
+// SWAV seed layout constants.
+const (
+	SWAVFmtSize    = 16 // offset of the fmt chunk's size field (LE 4)
+	SWAVFmtData    = 20 // format(2) channels(2) rate(4) byte_rate(4) align(2) bits(2)
+	SWAVNoteSize   = 40 // offset of the note chunk's size field
+	SWAVNoteData   = 44 // note_len(4 LE) + 28 bytes of text
+	SWAVDataSize   = 80 // offset of the data chunk's size field
+	SWAVDataData   = 84 // frames(4 LE) + samples
+	SWAVSeedLength = 144
+)
+
+// SWAV returns the VLC input format with its canonical seed.
+func SWAV() *Format {
+	var buf bytes.Buffer
+	buf.WriteString("RIFF")
+	buf.Write(make([]byte, 4)) // riff_size, fixed up below
+	buf.WriteString("WAVE")
+
+	// fmt chunk: declared size then 16 bytes of data.
+	buf.WriteString("fmt ")
+	writeLE32(&buf, 16)
+	fmtData := make([]byte, 16)
+	le16(fmtData, 0, 1)      // audio_format = PCM
+	le16(fmtData, 2, 2)      // channels
+	le32(fmtData, 4, 44100)  // sample_rate
+	le32(fmtData, 8, 176400) // byte_rate
+	le16(fmtData, 12, 4)     // block_align
+	le16(fmtData, 14, 16)    // bits_per_sample
+	buf.Write(fmtData)
+
+	// note chunk: declared size then note_len + text.
+	buf.WriteString("note")
+	writeLE32(&buf, 32)
+	noteData := make([]byte, 32)
+	le32(noteData, 0, 20) // note_len
+	copy(noteData[4:], "seed metadata string")
+	buf.Write(noteData)
+
+	// data chunk: declared size then frame count + samples.
+	buf.WriteString("data")
+	writeLE32(&buf, 60)
+	dataData := make([]byte, 60)
+	le32(dataData, 0, 14) // frames
+	for i := 4; i < 60; i++ {
+		dataData[i] = byte(i * 11)
+	}
+	buf.Write(dataData)
+
+	seed := buf.Bytes()
+	if len(seed) != SWAVSeedLength {
+		panic("formats: SWAV seed layout drifted; update the offset constants")
+	}
+	FixSWAVRIFFSize(seed)
+
+	fields := field.MustMap([]field.Spec{
+		{Name: "/fmt/size", Offset: SWAVFmtSize, Size: 4, Order: field.LittleEndian},
+		{Name: "/fmt/channels", Offset: SWAVFmtData + 2, Size: 2, Order: field.LittleEndian},
+		{Name: "/fmt/rate", Offset: SWAVFmtData + 4, Size: 4, Order: field.LittleEndian},
+		{Name: "/fmt/byte_rate", Offset: SWAVFmtData + 8, Size: 4, Order: field.LittleEndian},
+		{Name: "/fmt/align", Offset: SWAVFmtData + 12, Size: 2, Order: field.LittleEndian},
+		{Name: "/fmt/bits", Offset: SWAVFmtData + 14, Size: 2, Order: field.LittleEndian},
+		{Name: "/note/len", Offset: SWAVNoteData, Size: 4, Order: field.LittleEndian},
+		{Name: "/data/frames", Offset: SWAVDataData, Size: 4, Order: field.LittleEndian},
+	})
+
+	return &Format{
+		Name:     "swav",
+		Seed:     seed,
+		Fields:   fields,
+		Fixups:   []inputgen.Fixup{FixSWAVRIFFSize},
+		Validate: validateSWAV,
+	}
+}
+
+func writeLE32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	le32(b[:], 0, v)
+	buf.Write(b[:])
+}
+
+// FixSWAVRIFFSize repairs the RIFF frame size header (total size minus 8).
+func FixSWAVRIFFSize(data []byte) {
+	if len(data) >= 8 {
+		le32(data, 4, uint32(len(data)-8))
+	}
+}
+
+func validateSWAV(data []byte) error {
+	if len(data) < 12 || string(data[:4]) != "RIFF" || string(data[8:12]) != "WAVE" {
+		return structErr("swav", "bad RIFF/WAVE header")
+	}
+	if got, want := rdle32(data, 4), uint32(len(data)-8); got != want {
+		return structErr("swav", "riff_size %d != %d", got, want)
+	}
+	return nil
+}

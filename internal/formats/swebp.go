@@ -1,0 +1,90 @@
+package formats
+
+import (
+	"bytes"
+
+	"diode/internal/field"
+	"diode/internal/inputgen"
+)
+
+// SWEBP is the WebP-analogue RIFF format that CWebP writes and whose decoder
+// path (the "VP8 " key-frame header) it exercises:
+//
+//	"RIFF" | riff_size(4, LE) | "WEBP" | "VP8 " | chunk_size(4, LE) | payload
+//
+// The payload is a key-frame header: frame_tag(3), sync(3), width(2 LE),
+// height(2 LE), quality(1), segments(1), partitions(1), then coefficient
+// data. As in SWAV, the RIFF size is maintained by a fix-up.
+
+// SWEBP seed layout constants.
+const (
+	SWEBPChunkSize  = 16 // offset of the VP8 chunk size field
+	SWEBPFrameData  = 20 // frame_tag(3) sync(3) width(2) height(2) quality(1) segments(1) parts(1)
+	SWEBPCoeffData  = 33 // coefficient bytes
+	SWEBPSeedLength = 81
+)
+
+// SWEBP returns the CWebP auxiliary format with its canonical seed.
+func SWEBP() *Format {
+	var buf bytes.Buffer
+	buf.WriteString("RIFF")
+	buf.Write(make([]byte, 4)) // riff_size, fixed up below
+	buf.WriteString("WEBP")
+	buf.WriteString("VP8 ")
+	writeLE32(&buf, 61)
+
+	frame := make([]byte, 13)
+	frame[0], frame[1], frame[2] = 0x10, 0x00, 0x00 // frame tag
+	frame[3], frame[4], frame[5] = 0x9D, 0x01, 0x2A // sync code
+	le16(frame, 6, 176)                             // width
+	le16(frame, 8, 144)                             // height
+	frame[10] = 40                                  // quality
+	frame[11] = 2                                   // segments
+	frame[12] = 1                                   // partitions
+	buf.Write(frame)
+
+	coeff := make([]byte, 48)
+	for i := range coeff {
+		coeff[i] = byte(7 * i)
+	}
+	buf.Write(coeff)
+
+	seed := buf.Bytes()
+	if len(seed) != SWEBPSeedLength {
+		panic("formats: SWEBP seed layout drifted; update the offset constants")
+	}
+	FixSWEBPRIFFSize(seed)
+
+	fields := field.MustMap([]field.Spec{
+		{Name: "/vp8/width", Offset: SWEBPFrameData + 6, Size: 2, Order: field.LittleEndian},
+		{Name: "/vp8/height", Offset: SWEBPFrameData + 8, Size: 2, Order: field.LittleEndian},
+		{Name: "/vp8/quality", Offset: SWEBPFrameData + 10, Size: 1},
+		{Name: "/vp8/segments", Offset: SWEBPFrameData + 11, Size: 1},
+		{Name: "/vp8/partitions", Offset: SWEBPFrameData + 12, Size: 1},
+	})
+
+	return &Format{
+		Name:     "swebp",
+		Seed:     seed,
+		Fields:   fields,
+		Fixups:   []inputgen.Fixup{FixSWEBPRIFFSize},
+		Validate: validateSWEBP,
+	}
+}
+
+// FixSWEBPRIFFSize repairs the RIFF frame size header.
+func FixSWEBPRIFFSize(data []byte) {
+	if len(data) >= 8 {
+		le32(data, 4, uint32(len(data)-8))
+	}
+}
+
+func validateSWEBP(data []byte) error {
+	if len(data) < 20 || string(data[:4]) != "RIFF" || string(data[8:12]) != "WEBP" {
+		return structErr("swebp", "bad RIFF/WEBP header")
+	}
+	if string(data[12:16]) != "VP8 " {
+		return structErr("swebp", "missing VP8 chunk")
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package formats
+
+import "diode/internal/field"
+
+// SXWD is the XWD-analogue window-dump format ImageMagick processes: a fixed
+// big-endian header followed by a colormap and pixel data. All header fields
+// are 32-bit big-endian, as in real XWD files.
+
+// SXWD header field offsets (all 4-byte big-endian).
+const (
+	SXWDHeaderSize   = 0
+	SXWDVersion      = 4
+	SXWDFormat       = 8
+	SXWDDepth        = 12
+	SXWDWidth        = 16
+	SXWDHeight       = 20
+	SXWDXOffset      = 24
+	SXWDBitsPerPixel = 28
+	SXWDBytesPerLine = 32
+	SXWDCmapEntries  = 36
+	SXWDNColors      = 40
+	SXWDWindowWidth  = 44
+	SXWDWindowHeight = 48
+	SXWDWindowX      = 52
+	SXWDWindowY      = 56
+	SXWDHdrLen       = 60
+	SXWDCmapData     = 60 // ncolors * 8 bytes in the seed
+	SXWDPixelData    = 124
+	SXWDSeedLength   = 188
+)
+
+// SXWD returns the ImageMagick input format with its canonical seed.
+func SXWD() *Format {
+	seed := make([]byte, SXWDSeedLength)
+	be32(seed, SXWDHeaderSize, SXWDHdrLen)
+	be32(seed, SXWDVersion, 7)
+	be32(seed, SXWDFormat, 2) // ZPixmap
+	be32(seed, SXWDDepth, 24)
+	be32(seed, SXWDWidth, 320)
+	be32(seed, SXWDHeight, 200)
+	be32(seed, SXWDXOffset, 4)
+	be32(seed, SXWDBitsPerPixel, 24)
+	be32(seed, SXWDBytesPerLine, 960)
+	be32(seed, SXWDCmapEntries, 8)
+	be32(seed, SXWDNColors, 8)
+	be32(seed, SXWDWindowWidth, 320)
+	be32(seed, SXWDWindowHeight, 200)
+	be32(seed, SXWDWindowX, 10)
+	be32(seed, SXWDWindowY, 12)
+	for i := SXWDCmapData; i < SXWDPixelData; i++ {
+		seed[i] = byte(i * 13)
+	}
+	for i := SXWDPixelData; i < SXWDSeedLength; i++ {
+		seed[i] = byte(i * 29)
+	}
+
+	fields := field.MustMap([]field.Spec{
+		{Name: "/xwd/depth", Offset: SXWDDepth, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/width", Offset: SXWDWidth, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/height", Offset: SXWDHeight, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/xoffset", Offset: SXWDXOffset, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/bits_per_pixel", Offset: SXWDBitsPerPixel, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/bytes_per_line", Offset: SXWDBytesPerLine, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/cmap_entries", Offset: SXWDCmapEntries, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/ncolors", Offset: SXWDNColors, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/window_width", Offset: SXWDWindowWidth, Size: 4, Order: field.BigEndian},
+		{Name: "/xwd/window_height", Offset: SXWDWindowHeight, Size: 4, Order: field.BigEndian},
+	})
+
+	return &Format{
+		Name:     "sxwd",
+		Seed:     seed,
+		Fields:   fields,
+		Fixups:   nil, // fixed header, no checksums
+		Validate: validateSXWD,
+	}
+}
+
+func validateSXWD(data []byte) error {
+	if len(data) < SXWDHdrLen {
+		return structErr("sxwd", "truncated header")
+	}
+	if rdbe32(data, SXWDVersion) != 7 {
+		return structErr("sxwd", "bad version")
+	}
+	return nil
+}

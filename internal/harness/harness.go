@@ -1,0 +1,110 @@
+// Package harness orchestrates the paper's full evaluation: it runs the
+// DIODE pipeline over every benchmark application on a worker pool (the §4
+// work-queue role), optionally runs the §5.4 same-path experiment and the
+// §5.5/§5.6 success-rate experiments, and produces the records the table
+// renderers consume.
+package harness
+
+import (
+	"fmt"
+
+	"diode/internal/apps"
+	"diode/internal/core"
+	"diode/internal/queue"
+	"diode/internal/report"
+)
+
+// Config controls an evaluation sweep.
+type Config struct {
+	// Seed seeds every engine (one per application, offset by index).
+	Seed int64
+	// SampleN is the number of generated inputs per success-rate experiment
+	// (the paper uses 200). Zero disables the experiments.
+	SampleN int
+	// SamePath enables the §5.4 same-path satisfiability experiment.
+	SamePath bool
+	// Workers bounds evaluation parallelism (one application per worker).
+	// Zero means one worker per application.
+	Workers int
+	// Engine carries additional engine options (ablation hooks); Seed is
+	// overridden per application.
+	Engine core.Options
+}
+
+// AppOutcome bundles an application's engine result with its render record.
+type AppOutcome struct {
+	App    *apps.App
+	Result *core.AppResult
+	Record *report.AppRecord
+	Err    error
+}
+
+// EvaluateAll runs the configured evaluation over every benchmark
+// application and returns per-application outcomes in table order.
+func EvaluateAll(cfg Config) []AppOutcome {
+	return Evaluate(cfg, apps.All())
+}
+
+// Evaluate runs the configured evaluation over the given applications.
+func Evaluate(cfg Config, list []*apps.App) []AppOutcome {
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = len(list)
+	}
+	return queue.Map(workers, indexed(list), func(it item) AppOutcome {
+		return evaluateApp(cfg, it.app, cfg.Seed+int64(it.idx))
+	})
+}
+
+type item struct {
+	idx int
+	app *apps.App
+}
+
+func indexed(list []*apps.App) []item {
+	out := make([]item, len(list))
+	for i, a := range list {
+		out[i] = item{idx: i, app: a}
+	}
+	return out
+}
+
+func evaluateApp(cfg Config, app *apps.App, seed int64) AppOutcome {
+	opts := cfg.Engine
+	opts.Seed = seed
+	eng := core.New(app, opts)
+	res, err := eng.RunAll()
+	if err != nil {
+		return AppOutcome{App: app, Err: fmt.Errorf("harness: %s: %w", app.Short, err)}
+	}
+	rec := report.FromResult(res)
+	for _, sr := range res.Sites {
+		srec := rec.SiteFor(sr.Target.Site)
+		if cfg.SamePath {
+			srec.SamePathSat = eng.SamePathSatisfiable(sr.Target).String()
+		}
+		if cfg.SampleN > 0 && sr.Verdict == core.VerdictExposed {
+			hits, total := eng.SuccessRate(sr.Target, sr.Target.Beta, cfg.SampleN)
+			srec.TargetOnly = report.Rate{Hits: hits, Total: total}
+			// The paper only runs the enforced experiment when the
+			// target-alone rate is low (§5.6): skip it when the majority of
+			// target-only inputs already trigger.
+			if sr.EnforcedCount() > 0 && hits*2 < total {
+				h2, t2 := eng.SuccessRate(sr.Target, core.EnforcedConstraint(sr), cfg.SampleN)
+				srec.TargetEnforced = report.Rate{Hits: h2, Total: t2}
+			}
+		}
+	}
+	return AppOutcome{App: app, Result: res, Record: rec}
+}
+
+// Records extracts the render records from a sweep, skipping failures.
+func Records(outcomes []AppOutcome) []*report.AppRecord {
+	var recs []*report.AppRecord
+	for _, o := range outcomes {
+		if o.Err == nil {
+			recs = append(recs, o.Record)
+		}
+	}
+	return recs
+}

@@ -1,0 +1,93 @@
+package inputgen
+
+import (
+	"bytes"
+	"testing"
+
+	"diode/internal/bv"
+	"diode/internal/field"
+)
+
+func testMap(t *testing.T) *field.Map {
+	t.Helper()
+	m, err := field.NewMap([]field.Spec{
+		{Name: "/hdr/a", Offset: 0, Size: 2, Order: field.BigEndian},
+		{Name: "/hdr/b", Offset: 2, Size: 4, Order: field.LittleEndian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGeneratePatchesFields(t *testing.T) {
+	seed := []byte{0, 0, 0, 0, 0, 0, 0xAA, 0xBB}
+	g := New(testMap(t))
+	out, err := g.Generate(seed, bv.Assignment{"/hdr/a": 0x1234, "/hdr/b": 0xDEADBEEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x12, 0x34, 0xEF, 0xBE, 0xAD, 0xDE, 0xAA, 0xBB}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("out = % X, want % X", out, want)
+	}
+	// The seed must not be modified.
+	if !bytes.Equal(seed, []byte{0, 0, 0, 0, 0, 0, 0xAA, 0xBB}) {
+		t.Fatal("seed mutated")
+	}
+}
+
+func TestGenerateUnboundFieldsKeepSeedValues(t *testing.T) {
+	seed := []byte{0x11, 0x22, 1, 2, 3, 4, 0xFF}
+	g := New(testMap(t))
+	out, err := g.Generate(seed, bv.Assignment{"/hdr/a": 0x0909})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[2:6], seed[2:6]) {
+		t.Fatal("unconstrained field changed")
+	}
+}
+
+func TestGenerateRawByteMode(t *testing.T) {
+	seed := []byte{0, 0, 0, 0, 0, 0, 0, 7}
+	g := New(testMap(t))
+	out, err := g.Generate(seed, bv.Assignment{"in[7]": 0x5A})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[7] != 0x5A {
+		t.Fatalf("raw byte = %#x", out[7])
+	}
+	if _, err := g.Generate(seed, bv.Assignment{"in[99]": 1}); err == nil {
+		t.Fatal("out-of-range raw byte accepted")
+	}
+}
+
+func TestFixupsRunAfterPatching(t *testing.T) {
+	seed := make([]byte, 8)
+	var sawPatched bool
+	fix := func(data []byte) {
+		// The fixup must observe the already-patched field.
+		sawPatched = data[0] == 0x12
+		data[7] = 0xC5 // "checksum"
+	}
+	g := New(testMap(t), fix)
+	out, err := g.Generate(seed, bv.Assignment{"/hdr/a": 0x1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawPatched {
+		t.Fatal("fixup ran before field patching")
+	}
+	if out[7] != 0xC5 {
+		t.Fatal("fixup output lost")
+	}
+}
+
+func TestGenerateFieldPastEnd(t *testing.T) {
+	g := New(testMap(t))
+	if _, err := g.Generate([]byte{1, 2, 3}, bv.Assignment{"/hdr/b": 5}); err == nil {
+		t.Fatal("field extending past input accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package lang
+
+// This file provides compact constructor helpers used to author the guest
+// benchmark applications. They build the exported AST structs; nothing here
+// adds semantics.
+
+// U8 returns an 8-bit literal.
+func U8(v uint64) Expr { return Lit{W: 8, V: v & 0xFF} }
+
+// U16 returns a 16-bit literal.
+func U16(v uint64) Expr { return Lit{W: 16, V: v & 0xFFFF} }
+
+// U32 returns a 32-bit literal.
+func U32(v uint64) Expr { return Lit{W: 32, V: v & 0xFFFFFFFF} }
+
+// U64 returns a 64-bit literal.
+func U64(v uint64) Expr { return Lit{W: 64, V: v} }
+
+// V reads a variable.
+func V(name string) Expr { return VarRef{Name: name} }
+
+// Binary operator helpers.
+
+// Add returns a + b.
+func Add(a, b Expr) Expr { return Bin{Op: OpAdd, A: a, B: b} }
+
+// Sub returns a - b.
+func Sub(a, b Expr) Expr { return Bin{Op: OpSub, A: a, B: b} }
+
+// Mul returns a * b.
+func Mul(a, b Expr) Expr { return Bin{Op: OpMul, A: a, B: b} }
+
+// UDiv returns a / b (unsigned).
+func UDiv(a, b Expr) Expr { return Bin{Op: OpUDiv, A: a, B: b} }
+
+// URem returns a % b (unsigned).
+func URem(a, b Expr) Expr { return Bin{Op: OpURem, A: a, B: b} }
+
+// BitAnd returns a & b.
+func BitAnd(a, b Expr) Expr { return Bin{Op: OpAnd, A: a, B: b} }
+
+// BitOr returns a | b.
+func BitOr(a, b Expr) Expr { return Bin{Op: OpOr, A: a, B: b} }
+
+// BitXor returns a ^ b.
+func BitXor(a, b Expr) Expr { return Bin{Op: OpXor, A: a, B: b} }
+
+// Shl returns a << b.
+func Shl(a, b Expr) Expr { return Bin{Op: OpShl, A: a, B: b} }
+
+// LShr returns a >> b (logical).
+func LShr(a, b Expr) Expr { return Bin{Op: OpLShr, A: a, B: b} }
+
+// AShr returns a >> b (arithmetic).
+func AShr(a, b Expr) Expr { return Bin{Op: OpAShr, A: a, B: b} }
+
+// BitNot returns ^a.
+func BitNot(a Expr) Expr { return Un{Neg: false, A: a} }
+
+// Neg returns -a.
+func Neg(a Expr) Expr { return Un{Neg: true, A: a} }
+
+// ZX zero-extends (or truncates) a to width w.
+func ZX(w Width, a Expr) Expr { return Cvt{W: w, A: a} }
+
+// SX sign-extends (or truncates) a to width w.
+func SX(w Width, a Expr) Expr { return Cvt{W: w, Signed: true, A: a} }
+
+// In reads input byte at offset idx.
+func In(idx Expr) Expr { return InByte{Idx: idx} }
+
+// InAt reads input byte at a constant offset.
+func InAt(idx uint64) Expr { return InByte{Idx: U32(idx)} }
+
+// Len is the input length (32-bit).
+func Len() Expr { return InLen{} }
+
+// Load reads ptr[off].
+func Load(ptr, off Expr) Expr { return LoadExpr{Ptr: ptr, Off: off} }
+
+// Call invokes a procedure as an expression.
+func Call(fn string, args ...Expr) Expr { return CallExpr{Fn: fn, Args: args} }
+
+// Comparison helpers.
+
+// Eq returns a == b.
+func Eq(a, b Expr) BoolExpr { return Cmp{Op: CmpEq, A: a, B: b} }
+
+// Ne returns a != b.
+func Ne(a, b Expr) BoolExpr { return Cmp{Op: CmpNe, A: a, B: b} }
+
+// Ult returns a < b (unsigned).
+func Ult(a, b Expr) BoolExpr { return Cmp{Op: CmpUlt, A: a, B: b} }
+
+// Ule returns a <= b (unsigned).
+func Ule(a, b Expr) BoolExpr { return Cmp{Op: CmpUle, A: a, B: b} }
+
+// Ugt returns a > b (unsigned).
+func Ugt(a, b Expr) BoolExpr { return Cmp{Op: CmpUgt, A: a, B: b} }
+
+// Uge returns a >= b (unsigned).
+func Uge(a, b Expr) BoolExpr { return Cmp{Op: CmpUge, A: a, B: b} }
+
+// Slt returns a < b (signed).
+func Slt(a, b Expr) BoolExpr { return Cmp{Op: CmpSlt, A: a, B: b} }
+
+// Sgt returns a > b (signed).
+func Sgt(a, b Expr) BoolExpr { return Cmp{Op: CmpSgt, A: a, B: b} }
+
+// Not negates a boolean expression.
+func Not(a BoolExpr) BoolExpr { return NotE{A: a} }
+
+// And conjoins two boolean expressions (both sides always evaluated).
+func And(a, b BoolExpr) BoolExpr { return AndE{A: a, B: b} }
+
+// Or disjoins two boolean expressions (both sides always evaluated).
+func Or(a, b BoolExpr) BoolExpr { return OrE{A: a, B: b} }
+
+// Statement helpers.
+
+// Let assigns an expression to a variable.
+func Let(name string, e Expr) Stmt { return Assign{Var: name, E: e} }
+
+// AllocAt allocates size cells into variable name at the named site.
+func AllocAt(name, site string, size Expr) Stmt {
+	return Alloc{Var: name, Site: site, Size: size}
+}
+
+// Put stores val at ptr[off].
+func Put(ptr, off, val Expr) Stmt { return Store{Ptr: ptr, Off: off, Val: val} }
+
+// IfThen returns an if with no else branch.
+func IfThen(label string, cond BoolExpr, then ...Stmt) Stmt {
+	return If{Label: label, Cond: cond, Then: then}
+}
+
+// IfElse returns an if with both branches.
+func IfElse(label string, cond BoolExpr, then Block, els Block) Stmt {
+	return If{Label: label, Cond: cond, Then: then, Else: els}
+}
+
+// Loop returns a while loop.
+func Loop(label string, cond BoolExpr, body ...Stmt) Stmt {
+	return While{Label: label, Cond: cond, Body: body}
+}
+
+// Do evaluates an expression for effect.
+func Do(e Expr) Stmt { return ExprStmt{E: e} }
+
+// Ret returns a value from the current procedure.
+func Ret(e Expr) Stmt { return Return{E: e} }
+
+// RetVoid returns without a value.
+func RetVoid() Stmt { return Return{} }
+
+// Abort rejects the input with a message (png_error analogue).
+func Abort(msg string) Stmt { return AbortStmt{Msg: msg} }
+
+// Warn emits a warning and continues (png_warning analogue).
+func Warn(msg string) Stmt { return WarnStmt{Msg: msg} }
+
+// Fn builds a Func.
+func Fn(name string, params []string, body ...Stmt) *Func {
+	return &Func{Name: name, Params: params, Body: body}
+}

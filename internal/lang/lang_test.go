@@ -1,0 +1,93 @@
+package lang
+
+import "testing"
+
+func TestFinalizeRequiresMain(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("helper", nil, RetVoid()))
+	if err := p.Finalize(); err == nil {
+		t.Fatal("program without main finalized")
+	}
+}
+
+func TestFinalizeAssignsLabels(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		IfThen("", Eq(U32(1), U32(1)), Let("a", U32(1))),
+		Loop("", Ult(V("a"), U32(3)), Let("a", Add(V("a"), U32(1)))),
+	))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	main := p.Funcs["main"]
+	ifStmt := main.Body[0].(If)
+	loopStmt := main.Body[1].(While)
+	if ifStmt.Label == "" || loopStmt.Label == "" {
+		t.Fatal("labels not assigned")
+	}
+	if ifStmt.Label == loopStmt.Label {
+		t.Fatal("labels not unique")
+	}
+}
+
+func TestFinalizeRejectsDuplicateSites(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		AllocAt("a", "s@1", U32(4)),
+		AllocAt("b", "s@1", U32(4)),
+	))
+	if err := p.Finalize(); err == nil {
+		t.Fatal("duplicate allocation site accepted")
+	}
+}
+
+func TestFinalizeRejectsUnknownCall(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil, Do(Call("nope"))))
+	if err := p.Finalize(); err == nil {
+		t.Fatal("call to undefined function accepted")
+	}
+}
+
+func TestFinalizeRejectsArityMismatch(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("f", []string{"a", "b"}, RetVoid()))
+	p.AddFunc(Fn("main", nil, Do(Call("f", U32(1)))))
+	if err := p.Finalize(); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestFinalizeRejectsMissingSiteName(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil, Alloc{Var: "a", Size: U32(4)}))
+	if err := p.Finalize(); err == nil {
+		t.Fatal("alloc without site name accepted")
+	}
+}
+
+func TestSitesListing(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		AllocAt("a", "z@2", U32(4)),
+		AllocAt("b", "a@1", U32(4)),
+	))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	sites := p.Sites()
+	if len(sites) != 2 || sites[0] != "a@1" || sites[1] != "z@2" {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil, AllocAt("a", "s@1", U32(4))))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("second finalize: %v", err)
+	}
+}

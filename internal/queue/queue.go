@@ -1,0 +1,47 @@
+// Package queue is the evaluation harness's work queue — the in-process
+// counterpart of the distributed work-queue system §4 of the paper describes
+// for running per-site experiments. Jobs run on a bounded worker pool and
+// results keep their input order, so table rows come out deterministic.
+package queue
+
+import "sync"
+
+// Map runs f over every item on at most workers goroutines and returns the
+// results in input order. workers < 1 means one worker.
+func Map[T, R any](workers int, items []T, f func(T) R) []R {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Each runs every job on at most workers goroutines and waits for all.
+func Each(workers int, jobs []func()) {
+	Map(workers, jobs, func(j func()) struct{} {
+		j()
+		return struct{}{}
+	})
+}

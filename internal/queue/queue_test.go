@@ -1,0 +1,48 @@
+package queue
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got := Map(8, items, func(x int) int { return x * x })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapRunsEverything(t *testing.T) {
+	var n atomic.Int64
+	Each(4, []func(){
+		func() { n.Add(1) },
+		func() { n.Add(10) },
+		func() { n.Add(100) },
+	})
+	if n.Load() != 111 {
+		t.Fatalf("sum = %d", n.Load())
+	}
+}
+
+func TestMapEmptyAndSingleWorker(t *testing.T) {
+	if got := Map(4, nil, func(x int) int { return x }); len(got) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+	got := Map(0, []int{1, 2, 3}, func(x int) int { return x + 1 })
+	if got[0] != 2 || got[2] != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMapMoreWorkersThanItems(t *testing.T) {
+	got := Map(64, []int{5}, func(x int) int { return x * 2 })
+	if len(got) != 1 || got[0] != 10 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package report renders the evaluation tables — the paper's Table 1
+// (target site classification) and Table 2 (per-overflow summary plus the
+// §5.5/§5.6 success-rate columns) — with the paper's numbers printed next to
+// the measured ones, and keeps a JSON results database (the paper's §4
+// "database of relevant experimental results").
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"diode/internal/apps"
+	"diode/internal/core"
+)
+
+// Rate is one success-rate measurement: Hits triggering inputs out of Total
+// generated.
+type Rate struct {
+	Hits  int
+	Total int
+}
+
+func (r Rate) String() string {
+	if r.Total == 0 {
+		return "N/A"
+	}
+	return fmt.Sprintf("%d/%d", r.Hits, r.Total)
+}
+
+// SiteRecord is the persisted, render-ready result for one target site.
+type SiteRecord struct {
+	App       string
+	Site      string
+	Verdict   string
+	Class     string
+	ErrorType string
+	Enforced  int
+	// RelevantDynamic is the measured Y value (dynamic relevant branches on
+	// the seed path to the site).
+	RelevantDynamic int
+	DiscoveryMS     int64
+	// TargetOnly and TargetEnforced are the measured §5.5/§5.6 rates
+	// (Total == 0 when the experiment was not run).
+	TargetOnly     Rate
+	TargetEnforced Rate
+	// SamePathSat records the §5.4 verdict ("sat", "unsat" or "" if not run).
+	SamePathSat string
+}
+
+// AppRecord is the persisted result for one application.
+type AppRecord struct {
+	App        string
+	AnalysisMS int64
+	Sites      []SiteRecord
+}
+
+// FromResult converts an engine result into a persistable record.
+// Experiment fields (success rates, same-path) start empty and are filled by
+// the harness when those experiments run.
+func FromResult(res *core.AppResult) *AppRecord {
+	rec := &AppRecord{
+		App:        res.App.Short,
+		AnalysisMS: res.Analysis.Milliseconds(),
+	}
+	for _, sr := range res.Sites {
+		rec.Sites = append(rec.Sites, SiteRecord{
+			App:             res.App.Short,
+			Site:            sr.Target.Site,
+			Verdict:         sr.Verdict.String(),
+			Class:           sr.Verdict.Class().String(),
+			ErrorType:       sr.ErrorType,
+			Enforced:        sr.EnforcedCount(),
+			RelevantDynamic: sr.Target.DynamicBranches,
+			DiscoveryMS:     sr.Discovery.Milliseconds(),
+		})
+	}
+	return rec
+}
+
+// SiteFor returns a pointer to the record for the named site.
+func (r *AppRecord) SiteFor(site string) *SiteRecord {
+	for i := range r.Sites {
+		if r.Sites[i].Site == site {
+			return &r.Sites[i]
+		}
+	}
+	return nil
+}
+
+// MarshalJSON round-trips via the standard encoder; records are plain data.
+func Save(recs []*AppRecord) ([]byte, error) {
+	return json.MarshalIndent(recs, "", "  ")
+}
+
+// Load parses a results database produced by Save.
+func Load(data []byte) ([]*AppRecord, error) {
+	var recs []*AppRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("report: corrupt results database: %w", err)
+	}
+	return recs, nil
+}
+
+// classCounts tallies a record's sites per classification.
+func classCounts(rec *AppRecord) (exposed, unsat, prevented int) {
+	for _, s := range rec.Sites {
+		switch s.Class {
+		case apps.ClassExposed.String():
+			exposed++
+		case apps.ClassUnsat.String():
+			unsat++
+		default:
+			prevented++
+		}
+	}
+	return
+}
+
+// Table1 renders the target-site classification table with measured and
+// paper values side by side.
+func Table1(appList []*apps.App, recs []*AppRecord) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Target Site Classification (measured | paper)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Application\tTotal Sites\tExposes Overflow\tConstraint Unsat\tChecks Prevent")
+	totals := [8]int{}
+	for _, app := range appList {
+		rec := findRecord(recs, app.Short)
+		if rec == nil {
+			continue
+		}
+		e, u, p := classCounts(rec)
+		var pe, pu, pp int
+		for _, ps := range app.Paper {
+			switch ps.Class {
+			case apps.ClassExposed:
+				pe++
+			case apps.ClassUnsat:
+				pu++
+			default:
+				pp++
+			}
+		}
+		fmt.Fprintf(w, "%s\t%d | %d\t%d | %d\t%d | %d\t%d | %d\n",
+			app.Name, len(rec.Sites), len(app.Paper), e, pe, u, pu, p, pp)
+		for i, v := range []int{len(rec.Sites), len(app.Paper), e, pe, u, pu, p, pp} {
+			totals[i] += v
+		}
+	}
+	fmt.Fprintf(w, "Total\t%d | %d\t%d | %d\t%d | %d\t%d | %d\n",
+		totals[0], totals[1], totals[2], totals[3], totals[4], totals[5], totals[6], totals[7])
+	w.Flush()
+	return b.String()
+}
+
+// Table2 renders the per-overflow summary (exposed sites only) with paper
+// values alongside.
+func Table2(appList []*apps.App, recs []*AppRecord) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Evaluation Summary (measured | paper)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Application\tTarget\tCVE\tError Type (measured)\tTime (A) D\tEnforced X/Y\tTarget Rate\t+Enforced Rate")
+	for _, app := range appList {
+		rec := findRecord(recs, app.Short)
+		if rec == nil {
+			continue
+		}
+		for _, ps := range app.Paper {
+			if ps.Class != apps.ClassExposed {
+				continue
+			}
+			sr := rec.SiteFor(ps.Site)
+			if sr == nil || sr.Class != apps.ClassExposed.String() {
+				fmt.Fprintf(w, "%s\t%s\t%s\tNOT EXPOSED\t\t\t\t\n", app.Name, ps.Site, ps.CVE)
+				continue
+			}
+			paperEnf := fmt.Sprintf("%d/%d", ps.EnforcedX, ps.EnforcedY)
+			measEnf := fmt.Sprintf("%d/%d", sr.Enforced, sr.RelevantDynamic)
+			paperTR := fmt.Sprintf("%d/%d", ps.TargetRate, ps.TargetRateOf)
+			paperER := "N/A"
+			if ps.EnforcedRate >= 0 {
+				paperER = fmt.Sprintf("%d/200", ps.EnforcedRate)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t(%s) %s\t%s | %s\t%s | %s\t%s | %s\n",
+				app.Name, ps.Site, ps.CVE, sr.ErrorType,
+				durMS(rec.AnalysisMS), durMS(sr.DiscoveryMS),
+				measEnf, paperEnf,
+				sr.TargetOnly, paperTR,
+				sr.TargetEnforced, paperER)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+func durMS(ms int64) string {
+	return time.Duration(ms * int64(time.Millisecond)).String()
+}
+
+func findRecord(recs []*AppRecord, short string) *AppRecord {
+	for _, r := range recs {
+		if r.App == short {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"diode/internal/apps"
+)
+
+func sampleRecords() []*AppRecord {
+	var recs []*AppRecord
+	for _, app := range apps.All() {
+		rec := &AppRecord{App: app.Short, AnalysisMS: 10}
+		for _, ps := range app.Paper {
+			rec.Sites = append(rec.Sites, SiteRecord{
+				App:       app.Short,
+				Site:      ps.Site,
+				Class:     ps.Class.String(),
+				Verdict:   ps.Class.String(),
+				ErrorType: ps.ErrorType,
+				Enforced:  ps.EnforcedX,
+			})
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func TestTable1RendersTotals(t *testing.T) {
+	out := Table1(apps.All(), sampleRecords())
+	for _, want := range []string{
+		"Dillo 2.1", "VLC 0.8.6h", "ImageMagick 6.5.2",
+		"Total", "40 | 40", "14 | 14", "17 | 17", "9 | 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2RendersExposedRows(t *testing.T) {
+	out := Table2(apps.All(), sampleRecords())
+	for _, want := range []string{
+		"dillo:png.c@203", "CVE-2009-2294", "CVE-2008-2430", "vlc:block.c@54",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	if strings.Contains(out, "dillo:png.c@118") {
+		t.Error("Table 2 must only list exposed sites")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	recs[0].Sites[0].TargetOnly = Rate{Hits: 190, Total: 200}
+	data, err := Save(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	if got[0].Sites[0].TargetOnly != (Rate{Hits: 190, Total: 200}) {
+		t.Fatalf("rate lost in round trip: %+v", got[0].Sites[0].TargetOnly)
+	}
+	if _, err := Load([]byte("not json")); err == nil {
+		t.Fatal("corrupt database accepted")
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if (Rate{}).String() != "N/A" {
+		t.Error("zero rate should render N/A")
+	}
+	if (Rate{Hits: 3, Total: 7}).String() != "3/7" {
+		t.Error("rate render")
+	}
+}

@@ -1,0 +1,528 @@
+package sat
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Result is the outcome of a Solve call.
+type Result int
+
+// Solve outcomes.
+const (
+	Unknown Result = iota // conflict budget exhausted
+	Sat                   // a model was found
+	Unsat                 // the formula is unsatisfiable
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+// Options configure a Solver.
+type Options struct {
+	// Seed seeds the solver's internal randomness (decision polarity and
+	// occasional random decisions). Solves are deterministic per seed.
+	Seed int64
+	// RandomPolarity is the probability that a decision variable is assigned
+	// a random phase instead of its saved phase. Non-zero values make
+	// repeated solves of the same formula return diverse models.
+	RandomPolarity float64
+	// RandomDecisionFreq is the probability that a decision picks a random
+	// unassigned variable instead of the highest-activity one.
+	RandomDecisionFreq float64
+	// MaxConflicts bounds the total number of conflicts before Solve gives
+	// up and returns Unknown. Zero means no bound.
+	MaxConflicts int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	opts    Options
+	rng     *rand.Rand
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal; clauses in which that literal is watched
+
+	assigns []lbool   // per var
+	level   []int32   // per var
+	reason  []*clause // per var
+	phase   []bool    // saved polarity per var
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity  []float64
+	varInc    float64
+	order     *varHeap
+	claInc    float64
+	seen      []bool
+	unsatRoot bool // a top-level conflict was derived
+
+	// statistics
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	maxLearnts   float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+const (
+	varDecay   = 0.95
+	claDecay   = 0.999
+	lubyBase   = 100.0
+	learntGrow = 1.1
+	learntFrac = 0.35
+	rescaleAt  = 1e100
+	rescaleBy  = 1e-100
+)
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	s := &Solver{
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		varInc: 1.0,
+		claInc: 1.0,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		return v.not()
+	}
+	return v
+}
+
+// AddClause adds a clause over the given literals. It returns false if the
+// solver is already in an unsatisfiable state at the root level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsatRoot {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Normalize: sort, dedup, drop root-false literals, detect tautology and
+	// root-true literals.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if prev != LitUndef && l == prev.Neg() {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at root
+		case lFalse:
+			prev = l
+			continue // drop falsified literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsatRoot = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsatRoot = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Neg(), c)
+	s.removeWatch(c.lits[1].Neg(), c)
+}
+
+func (s *Solver) removeWatch(l Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Sign())
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p was just assigned true, so ¬p became false
+		s.qhead++
+		s.Propagations++
+		falsified := p.Neg()
+		// watches[p] holds the clauses in which ¬p is a watched literal
+		// (attach registers each watched literal l under watches[¬l]).
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			// Fast path: the blocker literal is already true.
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the falsified literal is lits[1].
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for j := 2; j < len(c.lits); j++ {
+				if s.value(c.lits[j]) != lFalse {
+					c.lits[1], c.lits[j] = c.lits[j], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watch moved; drop from this list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				confl = c
+				// Copy remaining watchers back and stop.
+				for i++; i < len(ws); i++ {
+					kept = append(kept, ws[i])
+				}
+				s.qhead = len(s.trail)
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis and returns the learnt clause
+// (first literal is the asserting literal) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
+	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
+	counter := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+	decLevel := int32(len(s.trailLim))
+
+	for {
+		start := 0
+		if p != LitUndef {
+			start = 1 // skip the propagated literal itself in reason clauses
+		}
+		for j := start; j < len(confl.lits); j++ {
+			q := confl.lits[j]
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= decLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail backwards to the next marked literal.
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = false
+		counter--
+		index--
+		if counter == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Backtrack level: highest level among the other literals.
+	bt := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = s.level[learnt[1].Var()]
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, bt
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > rescaleAt {
+		for i := range s.activity {
+			s.activity[i] *= rescaleBy
+		}
+		s.varInc *= rescaleBy
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > rescaleAt {
+		for _, lc := range s.learnts {
+			lc.activity *= rescaleBy
+		}
+		s.claInc *= rescaleBy
+	}
+}
+
+func (s *Solver) cancelUntil(lvl int32) {
+	if int32(len(s.trailLim)) <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) decide() bool {
+	var v Var = -1
+	if s.opts.RandomDecisionFreq > 0 && s.rng.Float64() < s.opts.RandomDecisionFreq {
+		// Random decision: pick an arbitrary unassigned variable.
+		if n := s.NumVars(); n > 0 {
+			cand := Var(s.rng.Intn(n))
+			if s.assigns[cand] == lUndef {
+				v = cand
+			}
+		}
+	}
+	for v < 0 {
+		if s.order.empty() {
+			return false
+		}
+		cand := s.order.removeMax()
+		if s.assigns[cand] == lUndef {
+			v = cand
+		}
+	}
+	pol := s.phase[v]
+	if s.opts.RandomPolarity > 0 && s.rng.Float64() < s.opts.RandomPolarity {
+		pol = s.rng.Intn(2) == 0
+	}
+	s.Decisions++
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+	s.uncheckedEnqueue(MkLit(v, !pol), nil)
+	return true
+}
+
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity < s.learnts[j].activity
+	})
+	kept := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		locked := s.reason[c.lits[0].Var()] == c && s.value(c.lits[0]) == lTrue
+		if i < limit && len(c.lits) > 2 && !locked {
+			s.detach(c)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) float64 {
+	x := i - 1 // 0-based position
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return float64(int64(1) << uint(seq))
+}
+
+// Solve determines satisfiability of the clauses added so far.
+func (s *Solver) Solve() Result {
+	if s.unsatRoot {
+		return Unsat
+	}
+	if c := s.propagate(); c != nil {
+		s.unsatRoot = true
+		return Unsat
+	}
+	s.maxLearnts = float64(len(s.clauses)) * learntFrac
+	if s.maxLearnts < 1000 {
+		s.maxLearnts = 1000
+	}
+	var restarts int64
+	budget := int64(lubyBase * luby(restarts+1))
+	conflictsThisRestart := int64(0)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflictsThisRestart++
+			if len(s.trailLim) == 0 {
+				s.unsatRoot = true
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc /= varDecay
+			s.claInc /= claDecay
+			if s.opts.MaxConflicts > 0 && s.Conflicts >= s.opts.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+		if len(s.trail) == len(s.assigns) {
+			return Sat // full assignment, consistent
+		}
+		if conflictsThisRestart >= budget {
+			restarts++
+			conflictsThisRestart = 0
+			budget = int64(lubyBase * luby(restarts+1))
+			s.cancelUntil(0)
+			continue
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+			s.maxLearnts *= learntGrow
+		}
+		if !s.decide() {
+			return Sat // no unassigned vars left
+		}
+	}
+}
+
+// CancelToRoot undoes all decisions, returning the solver to decision level
+// zero so that further clauses can be added (incremental solving). The model
+// of a prior Solve becomes invalid.
+func (s *Solver) CancelToRoot() {
+	s.cancelUntil(0)
+}
+
+// ModelValue returns the value of v in the model found by the last
+// successful Solve. Unassigned variables (possible only before solving)
+// report false.
+func (s *Solver) ModelValue(v Var) bool {
+	return s.assigns[v] == lTrue
+}
+
+// Model returns the full model as a slice indexed by variable.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.assigns))
+	for i := range m {
+		m[i] = s.assigns[i] == lTrue
+	}
+	return m
+}

@@ -1,0 +1,326 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New(Options{})
+	a := s.NewVar()
+	if !s.AddClause(PosLit(a)) {
+		t.Fatal("unit clause rejected")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve = %v, want sat", got)
+	}
+	if !s.ModelValue(a) {
+		t.Fatal("model does not satisfy unit clause")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := New(Options{})
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if s.AddClause(NegLit(a)) {
+		t.Fatal("contradictory unit accepted")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("solve = %v, want unsat", got)
+	}
+}
+
+func TestAllFourClausesUnsat(t *testing.T) {
+	s := New(Options{})
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a), PosLit(b))
+	s.AddClause(PosLit(a), NegLit(b))
+	s.AddClause(NegLit(a), NegLit(b))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("solve = %v, want unsat", got)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New(Options{})
+	a, b := s.NewVar(), s.NewVar()
+	// Tautologous clause must be ignored, duplicates deduplicated.
+	s.AddClause(PosLit(a), NegLit(a))
+	s.AddClause(PosLit(b), PosLit(b), PosLit(b))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve = %v, want sat", got)
+	}
+	if !s.ModelValue(b) {
+		t.Fatal("b must be true")
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes, unsatisfiable.
+func pigeonhole(t *testing.T, pigeons, holes int) Result {
+	t.Helper()
+	s := New(Options{})
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	// Every pigeon is in some hole.
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	return s.Solve()
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	if got := pigeonhole(t, 5, 4); got != Unsat {
+		t.Fatalf("PHP(5,4) = %v, want unsat", got)
+	}
+	if got := pigeonhole(t, 7, 6); got != Unsat {
+		t.Fatalf("PHP(7,6) = %v, want unsat", got)
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	s := New(Options{})
+	const pigeons, holes = 4, 4
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("PHP(4,4) = %v, want sat", got)
+	}
+}
+
+// bruteForce decides satisfiability of a small CNF by exhaustive search.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseSat := false
+			for _, l := range cl {
+				bit := m>>uint(l.Var())&1 == 1
+				if bit != l.Sign() {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func modelSatisfies(model []bool, cnf [][]Lit) bool {
+	for _, cl := range cnf {
+		ok := false
+		for _, l := range cl {
+			if model[l.Var()] != l.Sign() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRandomCNFAgainstBruteForce cross-checks the CDCL solver against
+// exhaustive search on hundreds of random small instances, both near and at
+// the sat/unsat phase-transition density.
+func TestRandomCNFAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 3 + rng.Intn(10)
+		nClauses := 2 + rng.Intn(6*nVars)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New(Options{Seed: int64(trial)})
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		rootOK := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				rootOK = false
+				break
+			}
+		}
+		var got Result
+		if !rootOK {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		want := bruteForce(nVars, cnf)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v bruteforce_sat=%v (%d vars, %d clauses)",
+				trial, got, want, nVars, nClauses)
+		}
+		if got == Sat && !modelSatisfies(s.Model(), cnf) {
+			t.Fatalf("trial %d: model does not satisfy formula", trial)
+		}
+	}
+}
+
+// TestRandomPolarityDiversity checks that randomized polarity yields more
+// than one distinct model across seeds for an under-constrained formula.
+func TestRandomPolarityDiversity(t *testing.T) {
+	distinct := make(map[[8]bool]bool)
+	for seed := int64(0); seed < 16; seed++ {
+		s := New(Options{Seed: seed, RandomPolarity: 0.5})
+		vars := make([]Var, 8)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		// One weak constraint: at least one variable true.
+		lits := make([]Lit, len(vars))
+		for i, v := range vars {
+			lits[i] = PosLit(v)
+		}
+		s.AddClause(lits...)
+		if s.Solve() != Sat {
+			t.Fatal("expected sat")
+		}
+		var key [8]bool
+		for i, v := range vars {
+			key[i] = s.ModelValue(v)
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("expected diverse models across seeds, got %d distinct", len(distinct))
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	s := New(Options{MaxConflicts: 1})
+	// PHP(6,5): needs far more than one conflict.
+	pigeons, holes := 6, 5
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("solve with 1-conflict budget = %v, want unknown", got)
+	}
+}
+
+func TestIncrementalBlocking(t *testing.T) {
+	s := New(Options{})
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	seen := make(map[[2]bool]bool)
+	for i := 0; i < 4; i++ {
+		res := s.Solve()
+		if res != Sat {
+			break
+		}
+		m := [2]bool{s.ModelValue(a), s.ModelValue(b)}
+		if seen[m] {
+			t.Fatalf("model %v repeated despite blocking", m)
+		}
+		seen[m] = true
+		s.CancelToRoot()
+		var block []Lit
+		for v, val := range map[Var]bool{a: m[0], b: m[1]} {
+			block = append(block, MkLit(v, val))
+		}
+		s.AddClause(block...)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("expected exactly 3 models of (a∨b), got %d", len(seen))
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []float64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestLitEncoding(t *testing.T) {
+	v := Var(7)
+	p := PosLit(v)
+	n := NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatal("Var roundtrip failed")
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatal("Sign incorrect")
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Fatal("Neg incorrect")
+	}
+	if MkLit(v, false) != p || MkLit(v, true) != n {
+		t.Fatal("MkLit incorrect")
+	}
+}

@@ -1,0 +1,314 @@
+// Package solver is the constraint-solving facade DIODE calls where the paper
+// calls Z3 (§4.3): given a bitvector formula over input fields it produces a
+// satisfying assignment, a proof of unsatisfiability, or (under a conflict
+// budget) "unknown".
+//
+// The solver is hybrid. It first tries randomized concrete search — sample
+// assignments and evaluate the formula directly — which is very fast when the
+// solution set is dense (typical for raw overflow constraints: most large
+// field values overflow a multiplication). When concrete search fails it
+// falls back to the complete bit-blasting decision procedure, which is what
+// settles unsatisfiable target constraints (17 of the paper's 40 sites) and
+// finds the needle-in-a-haystack solutions that enforcement constraints
+// produce.
+//
+// SampleModels implements the §5.5/§5.6 experiments: up to k *distinct*
+// models of a constraint, obtained by blocking each found model and
+// re-solving with randomized decision polarity.
+package solver
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"diode/internal/bitblast"
+	"diode/internal/bv"
+	"diode/internal/sat"
+)
+
+// Verdict is the outcome of a Solve call.
+type Verdict int
+
+// Solve outcomes.
+const (
+	Unknown Verdict = iota
+	Sat
+	Unsat
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Mode selects the solving strategy (the ablation in DESIGN.md §"Design
+// choices" compares these).
+type Mode int
+
+// Solving strategies.
+const (
+	ModeHybrid       Mode = iota // concrete sampling first, then bit-blasting
+	ModeSATOnly                  // always bit-blast
+	ModeConcreteOnly             // only randomized concrete search (incomplete)
+)
+
+// Options configure a Solver.
+type Options struct {
+	// Seed seeds all randomness. Identical inputs and seeds give identical
+	// results.
+	Seed int64
+	// ConcreteTries is the number of random assignments the concrete phase
+	// evaluates before falling back to bit-blasting. Zero means the default
+	// (4096).
+	ConcreteTries int
+	// MaxConflicts bounds the CDCL search per solve. Zero means the default
+	// (500000).
+	MaxConflicts int64
+	// Mode selects the strategy; the zero value is ModeHybrid.
+	Mode Mode
+}
+
+// Stats counts solver work across calls.
+type Stats struct {
+	ConcreteHits int // solves settled by concrete search
+	SATSolves    int // solves that reached the CDCL solver
+	UnsatResults int
+	UnknownOut   int
+}
+
+// Solver solves bitvector formulas. It is not safe for concurrent use; create
+// one per goroutine.
+type Solver struct {
+	opts  Options
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New returns a Solver with the given options.
+func New(opts Options) *Solver {
+	if opts.ConcreteTries == 0 {
+		opts.ConcreteTries = 4096
+	}
+	if opts.MaxConflicts == 0 {
+		opts.MaxConflicts = 500000
+	}
+	return &Solver{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Stats returns cumulative counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Solve returns a model of f, or Unsat/Unknown.
+func (s *Solver) Solve(f *bv.Bool) (bv.Assignment, Verdict) {
+	if f.Kind == bv.BConst {
+		if f.BVal {
+			return bv.Assignment{}, Sat
+		}
+		return nil, Unsat
+	}
+	vars := bv.BoolVars(f)
+	if s.opts.Mode != ModeSATOnly {
+		if m := s.concreteSearch(f, vars, s.opts.ConcreteTries); m != nil {
+			s.stats.ConcreteHits++
+			return m, Sat
+		}
+		if s.opts.Mode == ModeConcreteOnly {
+			s.stats.UnknownOut++
+			return nil, Unknown
+		}
+	}
+	return s.satSolve(f, nil)
+}
+
+// concreteSearch samples random assignments, mixing uniform values with
+// boundary values (0, 1, all-ones, single bits) that are likely to matter for
+// overflow and comparison constraints.
+func (s *Solver) concreteSearch(f *bv.Bool, vars bv.VarSet, tries int) bv.Assignment {
+	names := vars.Names()
+	if len(names) == 0 {
+		return nil
+	}
+	m := make(bv.Assignment, len(names))
+	for i := 0; i < tries; i++ {
+		for _, n := range names {
+			w := vars[n].W
+			m[n] = s.randomValue(w)
+		}
+		ok, err := m.EvalBool(f)
+		if err != nil {
+			return nil
+		}
+		if ok {
+			out := make(bv.Assignment, len(m))
+			for k, v := range m {
+				out[k] = v
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+func (s *Solver) randomValue(w uint8) uint64 {
+	mask := bv.Mask(w)
+	switch s.rng.Intn(8) {
+	case 0:
+		// Boundary values.
+		switch s.rng.Intn(4) {
+		case 0:
+			return 0
+		case 1:
+			return 1
+		case 2:
+			return mask
+		default:
+			return mask - 1
+		}
+	case 1:
+		// A single set bit.
+		return (uint64(1) << uint(s.rng.Intn(int(w)))) & mask
+	case 2:
+		// Small value.
+		return uint64(s.rng.Intn(256)) & mask
+	default:
+		return s.rng.Uint64() & mask
+	}
+}
+
+// satSolve bit-blasts f (plus optional blocking clauses from prior models)
+// and runs the CDCL solver.
+func (s *Solver) satSolve(f *bv.Bool, blocked []bv.Assignment) (bv.Assignment, Verdict) {
+	s.stats.SATSolves++
+	engine := sat.New(sat.Options{
+		Seed:           s.rng.Int63(),
+		RandomPolarity: 0.02,
+		MaxConflicts:   s.opts.MaxConflicts,
+	})
+	bl := bitblast.New(engine)
+	bl.Assert(f)
+	vars := bv.BoolVars(f)
+	for _, m := range blocked {
+		s.blockModel(engine, bl, vars, m)
+	}
+	switch engine.Solve() {
+	case sat.Sat:
+		return bl.Model(), Sat
+	case sat.Unsat:
+		s.stats.UnsatResults++
+		return nil, Unsat
+	default:
+		s.stats.UnknownOut++
+		return nil, Unknown
+	}
+}
+
+func (s *Solver) blockModel(engine *sat.Solver, bl *bitblast.Blaster, vars bv.VarSet, m bv.Assignment) {
+	var clause []sat.Lit
+	for _, name := range vars.Names() {
+		v, ok := m[name]
+		if !ok {
+			continue
+		}
+		bits := bl.Bits(vars[name])
+		for i, l := range bits {
+			if v>>uint(i)&1 == 1 {
+				clause = append(clause, l.Neg())
+			} else {
+				clause = append(clause, l)
+			}
+		}
+	}
+	if len(clause) > 0 {
+		engine.AddClause(clause...)
+	}
+}
+
+// SampleModels returns up to k distinct models of f. It is the machinery for
+// the paper's "generate 200 inputs that satisfy the constraint" experiments.
+// When the constraint has fewer than k solutions over its variables, every
+// solution is returned (e.g. the paper's x+2 overflow with exactly two
+// solutions, §5.5).
+func (s *Solver) SampleModels(f *bv.Bool, k int) []bv.Assignment {
+	if f.Kind == bv.BConst {
+		if f.BVal {
+			return []bv.Assignment{{}}
+		}
+		return nil
+	}
+	vars := bv.BoolVars(f)
+	seen := make(map[string]bool)
+	var models []bv.Assignment
+
+	add := func(m bv.Assignment) bool {
+		key := assignmentKey(m, vars)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		models = append(models, m)
+		return true
+	}
+
+	// Phase 1: concrete sampling. Cheap, and for check-free constraints it
+	// finds k dense solutions almost immediately.
+	if s.opts.Mode != ModeSATOnly {
+		budget := s.opts.ConcreteTries * 4
+		for i := 0; i < budget && len(models) < k; i++ {
+			if m := s.concreteSearch(f, vars, 1); m != nil {
+				add(m)
+			}
+		}
+	}
+	if len(models) >= k || s.opts.Mode == ModeConcreteOnly {
+		return models
+	}
+
+	// Phase 2: complete enumeration with blocking clauses, one incremental
+	// SAT solver, randomized polarity for diversity.
+	engine := sat.New(sat.Options{
+		Seed:           s.rng.Int63(),
+		RandomPolarity: 0.2,
+		MaxConflicts:   s.opts.MaxConflicts,
+	})
+	bl := bitblast.New(engine)
+	bl.Assert(f)
+	for _, m := range models {
+		s.blockModel(engine, bl, vars, m)
+	}
+	for len(models) < k {
+		res := engine.Solve()
+		if res != sat.Sat {
+			break
+		}
+		m := bl.Model()
+		engine.CancelToRoot()
+		if !add(m) {
+			break // defensive: blocking should prevent repeats
+		}
+		s.blockModel(engine, bl, vars, m)
+	}
+	return models
+}
+
+func assignmentKey(m bv.Assignment, vars bv.VarSet) string {
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(m[n], 16))
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAndSingle(t *testing.T) {
+	var nilSet *Set
+	if !nilSet.Empty() {
+		t.Fatal("nil set must be empty")
+	}
+	s := Single(70)
+	if s.Empty() || !s.Has(70) || s.Has(69) || s.Len() != 1 {
+		t.Fatalf("Single(70) misbehaves: %v", s.Elems())
+	}
+	if nilSet.Has(0) || nilSet.Len() != 0 || nilSet.Elems() != nil {
+		t.Fatal("nil set accessors")
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	a := Single(1).Union(Single(65))
+	if a.Len() != 2 || !a.Has(1) || !a.Has(65) {
+		t.Fatalf("union = %v", a.Elems())
+	}
+	var nilSet *Set
+	if got := nilSet.Union(a); got != a {
+		t.Fatal("union with empty should reuse operand")
+	}
+	if got := a.Union(nil); got != a {
+		t.Fatal("union with empty should reuse operand")
+	}
+	// Subset union reuses the superset.
+	if got := a.Union(Single(1)); !got.Equal(a) {
+		t.Fatalf("subset union = %v", got.Elems())
+	}
+}
+
+func TestUnionImmutability(t *testing.T) {
+	a := Single(3)
+	b := Single(200)
+	u := a.Union(b)
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("operands mutated")
+	}
+	if u.Len() != 2 {
+		t.Fatal("union wrong")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Single(5).Union(Single(100))
+	b := Single(100).Union(Single(300))
+	c := Single(7)
+	if !a.Intersects(b) || b.Intersects(c) || a.Intersects(nil) {
+		t.Fatal("intersects misbehaves")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Single(5).Union(Single(64))
+	b := Single(64).Union(Single(5))
+	if !a.Equal(b) {
+		t.Fatal("order-independent equality failed")
+	}
+	var nilSet *Set
+	if !nilSet.Equal(nil) {
+		t.Fatal("nil == nil")
+	}
+	if a.Equal(Single(5)) {
+		t.Fatal("different sets equal")
+	}
+}
+
+// Property: union membership is the or of operand memberships.
+func TestUnionProperty(t *testing.T) {
+	f := func(xs, ys []uint8, probe uint8) bool {
+		var a, b *Set
+		for _, x := range xs {
+			a = a.Union(Single(int(x)))
+		}
+		for _, y := range ys {
+			b = b.Union(Single(int(y)))
+		}
+		u := a.Union(b)
+		return u.Has(int(probe)) == (a.Has(int(probe)) || b.Has(int(probe)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Elems is sorted, duplicate-free and consistent with Has.
+func TestElemsProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		var s *Set
+		for _, x := range xs {
+			s = s.Union(Single(int(x % 1024)))
+		}
+		elems := s.Elems()
+		for i, e := range elems {
+			if !s.Has(e) {
+				return false
+			}
+			if i > 0 && elems[i-1] >= e {
+				return false
+			}
+		}
+		return s.Len() == len(elems)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
