@@ -2,7 +2,9 @@ package diode
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"diode/internal/apps"
 	"diode/internal/core"
@@ -271,4 +273,42 @@ func TestBenchHarnessSmoke(t *testing.T) {
 		t.Fatal("empty Table 1")
 	}
 	fmt.Println(t1)
+}
+
+// BenchmarkRunAllParallel measures the scheduler's wall-clock speedup: the
+// full five-application sweep hunted sequentially (one worker, sequential
+// site hunts) versus fully fanned out (apps × sites concurrent). Per-site
+// seed derivation guarantees both schedules produce identical verdicts, so
+// the speedup metric compares equal work.
+func BenchmarkRunAllParallel(b *testing.B) {
+	// Floor the pool at 2 so the concurrent scheduler path runs even on a
+	// single-core machine (where the speedup metric will sit near 1).
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+
+		t0 := time.Now()
+		seqOut := harness.EvaluateAll(harness.Config{Seed: seed, Workers: 1})
+		seq := time.Since(t0)
+
+		t0 = time.Now()
+		parOut := harness.EvaluateAll(harness.Config{Seed: seed, Parallelism: workers})
+		par := time.Since(t0)
+
+		for j := range seqOut {
+			if seqOut[j].Err != nil || parOut[j].Err != nil {
+				b.Fatal(seqOut[j].Err, parOut[j].Err)
+			}
+			for k, sr := range seqOut[j].Result.Sites {
+				if pr := parOut[j].Result.Sites[k]; sr.Verdict != pr.Verdict {
+					b.Fatalf("%s: parallel verdict %v != sequential %v", sr.Target.Site, pr.Verdict, sr.Verdict)
+				}
+			}
+		}
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+		b.ReportMetric(float64(workers), "workers")
+	}
 }

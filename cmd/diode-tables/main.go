@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	diode-tables [-table all|1|2|samepath] [-n 200] [-seed 1] [-json out.json]
+//	diode-tables [-table all|1|2|samepath] [-n 200] [-seed 1] [-parallel N] [-json out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"diode"
 	"diode/internal/harness"
@@ -22,10 +23,11 @@ func main() {
 	table := flag.String("table", "all", "which table to produce: all, 1, 2, samepath")
 	n := flag.Int("n", 200, "inputs per success-rate experiment (0 disables; paper uses 200)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent site hunts per application (1 = sequential; rows are identical)")
 	jsonOut := flag.String("json", "", "also write the results database to this file")
 	flag.Parse()
 
-	cfg := harness.Config{Seed: *seed}
+	cfg := harness.Config{Seed: *seed, Parallelism: *parallel}
 	switch *table {
 	case "1":
 		// Classification only: no sampling experiments needed.

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	diode -app dillo [-seed 1] [-expr] [-v]
+//	diode -app dillo [-seed 1] [-parallel N] [-expr] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"diode"
@@ -20,8 +21,9 @@ import (
 func main() {
 	appName := flag.String("app", "dillo", "application: dillo, vlc, swfplay, cwebp, imagemagick")
 	seed := flag.Int64("seed", 1, "random seed for the hunt")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent site hunts (1 = sequential; verdicts are identical)")
 	showExpr := flag.Bool("expr", false, "print the symbolic target expression per site")
-	verbose := flag.Bool("v", false, "print relevant input bytes and path statistics")
+	verbose := flag.Bool("v", false, "print relevant input bytes, path statistics and solver counters")
 	flag.Parse()
 
 	app, err := diode.Application(*appName)
@@ -29,8 +31,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	engine := diode.NewEngine(app, diode.Options{Seed: *seed})
-	result, err := engine.RunAll()
+	sched := diode.NewScheduler(app, diode.Options{Seed: *seed, Parallelism: *parallel})
+	result, err := sched.RunAll()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analysis failed:", err)
 		os.Exit(1)
@@ -70,4 +72,9 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("%d overflows exposed out of %d sites\n", exposed, len(result.Sites))
+	if *verbose {
+		st := sched.SolverStats()
+		fmt.Printf("solver: %d concrete hits, %d SAT solves, %d unsat, %d unknown (aggregated over %d-way hunts)\n",
+			st.ConcreteHits, st.SATSolves, st.UnsatResults, st.UnknownOut, sched.Parallelism())
+	}
 }

@@ -16,23 +16,33 @@
 // substitute), the concrete+symbolic interpreter for the paper's core
 // language (the Valgrind substitute), the field-dictionary and
 // input-reconstruction layers (the Hachoir/Peach substitutes), and the five
-// re-authored benchmark applications. See DESIGN.md for the inventory and
-// EXPERIMENTS.md for the paper-vs-measured evaluation.
+// re-authored benchmark applications. See DESIGN.md for the package
+// inventory and the Analyzer/Hunter/Scheduler layer diagram.
+//
+// The pipeline itself is three layers: an Analyzer (stages 1–3, once per
+// application), per-site Hunters (the Figure 7 enforcement loop, each with a
+// private solver), and a Scheduler that fans site hunts across a bounded
+// worker pool. Per-site seed derivation makes parallel and sequential runs
+// produce identical verdicts.
 //
 // Quick start:
 //
 //	app, _ := diode.Application("dillo")
-//	engine := diode.NewEngine(app, diode.Options{Seed: 1})
-//	result, _ := engine.RunAll()
+//	sched := diode.NewScheduler(app, diode.Options{Seed: 1, Parallelism: runtime.GOMAXPROCS(0)})
+//	result, _ := sched.RunAll()
 //	for _, site := range result.Sites {
 //	    fmt.Println(site.Target.Site, site.Verdict)
 //	}
+//
+// The pre-scheduler Engine API (NewEngine + RunAll) remains available as a
+// thin compatibility wrapper with identical results.
 package diode
 
 import (
 	"diode/internal/apps"
 	"diode/internal/core"
 	"diode/internal/report"
+	"diode/internal/solver"
 )
 
 // App is a benchmark application: a guest program, its input format with a
@@ -52,11 +62,27 @@ const (
 	ClassPrevented = apps.ClassPrevented
 )
 
-// Options configure an Engine. The zero value uses sensible defaults; set
-// Seed for reproducible hunts.
+// Options configure the pipeline. The zero value uses sensible defaults; set
+// Seed for reproducible hunts and Parallelism for concurrent site hunts.
 type Options = core.Options
 
-// Engine runs the DIODE pipeline against one application.
+// Analyzer runs stages 1–3 once per application, producing immutable
+// Targets.
+type Analyzer = core.Analyzer
+
+// Hunter runs the Figure 7 enforcement loop for one site with a private
+// solver and input generator.
+type Hunter = core.Hunter
+
+// Scheduler fans per-site hunts across a bounded worker pool with
+// deterministic per-site seeding.
+type Scheduler = core.Scheduler
+
+// SolverStats is a snapshot of solver work counters, aggregated by the
+// Scheduler across hunter-local solvers.
+type SolverStats = solver.Stats
+
+// Engine is the pre-scheduler façade, kept as a compatibility wrapper.
 type Engine = core.Engine
 
 // Target is an analyzed target site: relevant input bytes, symbolic target
@@ -96,7 +122,23 @@ func Applications() []*App { return apps.All() }
 // "swfplay", "cwebp", "imagemagick").
 func Application(short string) (*App, error) { return apps.ByName(short) }
 
-// NewEngine returns a DIODE engine for the application.
+// NewAnalyzer returns a stage 1–3 analyzer for the application.
+func NewAnalyzer(app *App, opts Options) *Analyzer { return core.NewAnalyzer(app, opts) }
+
+// NewHunter returns a single-site hunter; opts.Seed seeds its private
+// solver directly (use Options.ForSite for the scheduler's derivation).
+func NewHunter(app *App, opts Options) *Hunter { return core.NewHunter(app, opts) }
+
+// NewScheduler returns a scheduler that analyzes the application once and
+// hunts its sites on a worker pool bounded by opts.Parallelism.
+func NewScheduler(app *App, opts Options) *Scheduler { return core.NewScheduler(app, opts) }
+
+// SiteSeed derives the deterministic per-site hunt seed from the run seed
+// and the site name.
+func SiteSeed(seed int64, site string) int64 { return core.SiteSeed(seed, site) }
+
+// NewEngine returns a DIODE engine for the application (compatibility
+// wrapper over NewScheduler; identical results).
 func NewEngine(app *App, opts Options) *Engine { return core.New(app, opts) }
 
 // Record converts an engine result into a persistable record for the table

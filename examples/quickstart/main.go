@@ -18,12 +18,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine := diode.NewEngine(app, diode.Options{Seed: 1})
+	opts := diode.Options{Seed: 1}
 
 	// Stages 1–3: taint analysis finds the target sites and relevant input
 	// bytes; symbolic re-execution extracts the target expression and the
-	// branch conditions of every sanity check on the path.
-	targets, err := engine.Analyze()
+	// branch conditions of every sanity check on the path. The Analyzer runs
+	// once per application; its Targets are immutable.
+	targets, err := diode.NewAnalyzer(app, opts).Analyze()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,8 +51,10 @@ func main() {
 	fmt.Printf("  target expression (note the endianness swizzle over\n"+
 		"  HachField(32,'/ihdr/width') etc., as in §2):\n    %s\n\n", expr)
 
-	// Goal-directed conditional branch enforcement (Figure 7).
-	result := engine.Hunt(png203)
+	// Goal-directed conditional branch enforcement (Figure 7). A Hunter owns
+	// its private solver; seeding it with ForSite reproduces exactly the hunt
+	// a Scheduler would run for this site.
+	result := diode.NewHunter(app, opts.ForSite(png203.Site)).Hunt(png203)
 	fmt.Printf("verdict: %v\n", result.Verdict)
 	if result.Verdict != diode.VerdictExposed {
 		return

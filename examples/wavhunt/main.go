@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"diode"
 )
@@ -17,8 +18,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine := diode.NewEngine(app, diode.Options{Seed: 7})
-	result, err := engine.RunAll()
+	opts := diode.Options{Seed: 7, Parallelism: runtime.GOMAXPROCS(0)}
+	sched := diode.NewScheduler(app, opts)
+	result, err := sched.RunAll()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,13 +44,13 @@ func main() {
 	// The CVE-2008-2430 story: count the distinct solutions of the target
 	// constraint. x+2 over a 32-bit field overflows for exactly two values.
 	var wav *diode.Target
-	targets, _ := engine.Analyze()
+	targets, _ := diode.NewAnalyzer(app, opts).Analyze()
 	for _, t := range targets {
 		if t.Site == "vlc:wav.c@147" {
 			wav = t
 		}
 	}
-	hits, total := engine.SuccessRate(wav, wav.Beta, 200)
+	hits, total := diode.NewHunter(app, opts.ForSite(wav.Site)).SuccessRate(wav, wav.Beta, 200)
 	fmt.Printf("\nwav.c@147 target-constraint sampling: %d/%d inputs trigger "+
 		"(the constraint has only two solutions; paper reports 2/2)\n", hits, total)
 }

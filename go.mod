@@ -1,0 +1,3 @@
+module diode
+
+go 1.22

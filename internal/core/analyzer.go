@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"diode/internal/apps"
+	"diode/internal/bv"
+	"diode/internal/interp"
+	"diode/internal/taint"
+	"diode/internal/trace"
+)
+
+// Analyzer performs stages 1–3 of the pipeline for one application: the
+// taint run that identifies target sites and relevant bytes, then one
+// symbolic run per site (restricted to that site's relevant bytes, §4.2) to
+// extract the target expression and the branch condition sequence.
+//
+// Analysis runs once per application; the Targets it produces are immutable
+// and safe to share across concurrent Hunters.
+type Analyzer struct {
+	app  *apps.App
+	opts Options
+}
+
+// NewAnalyzer returns an analyzer for the application.
+func NewAnalyzer(app *apps.App, opts Options) *Analyzer {
+	return &Analyzer{app: app, opts: opts.withDefaults()}
+}
+
+// App returns the analyzer's application.
+func (a *Analyzer) App() *apps.App { return a.app }
+
+// Analyze identifies every tainted allocation site and extracts a Target per
+// site, in seed execution order.
+func (a *Analyzer) Analyze() ([]*Target, error) {
+	seed := a.app.Format.Seed
+	taintRun := interp.Run(a.app.Program, seed, interp.Options{
+		TrackTaint: true,
+		Fuel:       a.opts.Fuel,
+	})
+	if taintRun.Kind != interp.OutOK {
+		return nil, fmt.Errorf("core: seed taint run ended %v (%s)", taintRun.Kind, taintRun.AbortMsg)
+	}
+	// First tainted occurrence per site, in execution order.
+	var order []string
+	firstTaint := map[string]*taint.Set{}
+	for _, ev := range taintRun.Allocs {
+		if ev.Taint.Empty() {
+			continue
+		}
+		if _, ok := firstTaint[ev.Site]; !ok {
+			firstTaint[ev.Site] = ev.Taint
+			order = append(order, ev.Site)
+		}
+	}
+
+	var targets []*Target
+	for _, site := range order {
+		t, err := a.analyzeSite(site, firstTaint[site])
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+func (a *Analyzer) analyzeSite(site string, labels *taint.Set) (*Target, error) {
+	seed := a.app.Format.Seed
+	relevant := labels.Elems()
+	symRun := interp.Run(a.app.Program, seed, interp.Options{
+		TrackSymbolic: true,
+		Fuel:          a.opts.Fuel,
+		SymbolicBytes: func(i int) bool { return labels.Has(i) },
+	})
+	if symRun.Kind != interp.OutOK {
+		return nil, fmt.Errorf("core: symbolic run for %s ended %v", site, symRun.Kind)
+	}
+	var ev *interp.AllocEvent
+	for i := range symRun.Allocs {
+		if symRun.Allocs[i].Site == site && symRun.Allocs[i].Sym != nil {
+			ev = &symRun.Allocs[i]
+			break
+		}
+	}
+	if ev == nil {
+		return nil, fmt.Errorf("core: site %s lost its symbolic size in stage 2", site)
+	}
+
+	fields := a.app.Format.Fields
+	expr := fields.LiftTerm(ev.Sym)
+	beta := bv.OverflowCond(expr)
+
+	raw := symRun.Branches[:ev.BranchMark]
+	path := trace.FromBranches(raw)
+	lifted := make(trace.Path, len(path))
+	for i, entry := range path {
+		lifted[i] = trace.Entry{
+			Label: entry.Label,
+			Cond:  fields.LiftBool(entry.Cond),
+			Count: entry.Count,
+		}
+	}
+	if !a.opts.DisableCompression {
+		lifted = trace.Compress(lifted)
+	}
+	if !a.opts.DisableRelevanceFilter {
+		lifted = trace.Relevant(lifted, beta)
+	}
+	return &Target{
+		Site:            site,
+		RelevantBytes:   relevant,
+		Expr:            expr,
+		Beta:            beta,
+		SeedPath:        lifted,
+		RawSeedBranches: raw,
+		DynamicBranches: len(raw),
+	}, nil
+}

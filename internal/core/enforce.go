@@ -29,13 +29,13 @@ import (
 // constraints on the new input would mis-handle fields the input generator
 // reconstructs, such as checksums, whose branch conditions mention stale
 // stored values; the concrete re-execution sees the repaired file.)
-func (e *Engine) Hunt(t *Target) *SiteResult {
+func (h *Hunter) Hunt(t *Target) *SiteResult {
 	start := time.Now()
 	res := &SiteResult{Target: t}
 	defer func() { res.Discovery = time.Since(start) }()
 
 	// Lines 3–6: the target constraint alone.
-	initial := e.sol.SampleModels(t.Beta, e.opts.InitialAttempts)
+	initial := h.sol.SampleModels(t.Beta, h.opts.InitialAttempts)
 	if len(initial) == 0 {
 		// β itself is unsatisfiable (or the budget ran out).
 		res.Verdict = VerdictUnsat
@@ -43,12 +43,12 @@ func (e *Engine) Hunt(t *Target) *SiteResult {
 	}
 	var lastInput []byte
 	for _, m := range initial {
-		input, err := e.gen.Generate(e.app.Format.Seed, m)
+		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
 			continue
 		}
 		res.Runs++
-		out := e.execute(t, input, false)
+		out := h.execute(t, input, false)
 		if ok, et := triggered(t, out); ok {
 			res.Verdict = VerdictExposed
 			res.Input = input
@@ -66,11 +66,11 @@ func (e *Engine) Hunt(t *Target) *SiteResult {
 	phiPrime := bv.True()
 	enforced := map[string]bool{}
 	current := lastInput
-	for iter := 0; iter < e.opts.MaxEnforce; iter++ {
+	for iter := 0; iter < h.opts.MaxEnforce; iter++ {
 		// Instrumented run of the current input for trace comparison.
 		res.Runs++
-		curOut := e.execute(t, current, true)
-		label, flipped, followed := e.firstFlipped(t, curOut, enforced)
+		curOut := h.execute(t, current, true)
+		label, flipped, followed := h.firstFlipped(t, curOut, enforced)
 		// Line 11's break requires the input to have actually executed the
 		// target site via the seed path; a run that matched every branch but
 		// crashed at an intermediate allocation never evaluated the target
@@ -102,7 +102,7 @@ func (e *Engine) Hunt(t *Target) *SiteResult {
 		}
 
 		// Line 13: solve φ′ ∧ β.
-		m, verdict := e.sol.Solve(bv.AndB(phiPrime, t.Beta))
+		m, verdict := h.sol.Solve(bv.AndB(phiPrime, t.Beta))
 		switch verdict {
 		case solver.Unsat:
 			res.Verdict = VerdictPrevented
@@ -111,14 +111,14 @@ func (e *Engine) Hunt(t *Target) *SiteResult {
 			res.Verdict = VerdictUnknown
 			return res
 		}
-		input, err := e.gen.Generate(e.app.Format.Seed, m)
+		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
 			res.Verdict = VerdictUnknown
 			return res
 		}
 		// Line 14: does the new input trigger the overflow?
 		res.Runs++
-		out := e.execute(t, input, false)
+		out := h.execute(t, input, false)
 		if ok, et := triggered(t, out); ok {
 			res.Verdict = VerdictExposed
 			res.Input = input
@@ -154,7 +154,7 @@ type dirSet struct{ t, f bool }
 // Enforcing loop-head bands is exactly the mistake that makes the same-path
 // constraint unsatisfiable for 12 of the paper's 14 exposed sites (§5.4);
 // this is the heart of why DIODE's targeted approach works.
-func (e *Engine) firstFlipped(t *Target, out *interp.Outcome, enforced map[string]bool) (label string, flipped, followed bool) {
+func (h *Hunter) firstFlipped(t *Target, out *interp.Outcome, enforced map[string]bool) (label string, flipped, followed bool) {
 	var order []string
 	seedDirs := map[string]dirSet{}
 	for _, br := range t.RawSeedBranches {
@@ -224,8 +224,8 @@ func SamePathConstraint(t *Target) *bv.Bool {
 }
 
 // SamePathSatisfiable decides the §5.4 experiment for a target.
-func (e *Engine) SamePathSatisfiable(t *Target) solver.Verdict {
-	_, v := e.sol.Solve(SamePathConstraint(t))
+func (h *Hunter) SamePathSatisfiable(t *Target) solver.Verdict {
+	_, v := h.sol.Solve(SamePathConstraint(t))
 	return v
 }
 
@@ -234,15 +234,15 @@ func (e *Engine) SamePathSatisfiable(t *Target) solver.Verdict {
 // the number of triggering inputs and the number of inputs generated (fewer
 // than n when the constraint has fewer distinct solutions, as with the
 // paper's x+2 target expression).
-func (e *Engine) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total int) {
-	models := e.sol.SampleModels(constraint, n)
+func (h *Hunter) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total int) {
+	models := h.sol.SampleModels(constraint, n)
 	for _, m := range models {
-		input, err := e.gen.Generate(e.app.Format.Seed, m)
+		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
 			continue
 		}
 		total++
-		out := e.execute(t, input, false)
+		out := h.execute(t, input, false)
 		if ok, _ := triggered(t, out); ok {
 			hits++
 		}

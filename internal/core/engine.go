@@ -4,32 +4,41 @@
 // detection) and the goal-directed conditional branch enforcement algorithm
 // of Figure 7.
 //
-// The engine consumes a benchmark application (guest program + input format
-// + seed), identifies every memory allocation site whose size the input
-// influences, extracts a symbolic target expression per site, derives the
-// target constraint overflow(B), and then searches for an input that
-// triggers the overflow — first from the target constraint alone, then by
-// incrementally enforcing the first flipped relevant conditional branch
-// until the overflow fires or the constraint becomes unsatisfiable.
+// The pipeline is split into three layers:
+//
+//   - the Analyzer runs stages 1–3 once per application and produces
+//     immutable Targets (a target expression, the target constraint
+//     overflow(B), and the seed's relevant branch condition sequence);
+//   - a Hunter runs the Figure 7 enforcement loop for one site, owning a
+//     private solver and input generator so hunts are isolated;
+//   - the Scheduler fans per-site hunts across a bounded worker pool with
+//     deterministic per-site seed derivation (SiteSeed), so parallel and
+//     sequential runs produce identical verdicts.
+//
+// Engine is the original single-struct façade, kept as a thin compatibility
+// wrapper over the three layers.
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"diode/internal/apps"
 	"diode/internal/bv"
-	"diode/internal/inputgen"
 	"diode/internal/interp"
 	"diode/internal/solver"
-	"diode/internal/taint"
 	"diode/internal/trace"
 )
 
-// Options configure an Engine.
+// Options configure the pipeline (Analyzer, Hunter and Scheduler alike).
 type Options struct {
-	// Seed seeds all randomness; identical seeds give identical hunts.
+	// Seed seeds all randomness; identical seeds give identical hunts. Each
+	// site's hunt draws from a private solver seeded with
+	// SiteSeed(Seed, site), so results do not depend on hunt order.
 	Seed int64
+	// Parallelism bounds the number of concurrent site hunts a Scheduler
+	// runs. Zero or one means sequential; use runtime.GOMAXPROCS(0) to
+	// saturate the machine. Verdicts are identical at any setting.
+	Parallelism int
 	// InitialAttempts is how many distinct target-constraint models are
 	// tried before branch enforcement begins (Figure 7 lines 3–6 try one;
 	// sampling a few more makes the implementation robust to unlucky
@@ -64,8 +73,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// parallelism resolves the worker-pool bound.
+func (o Options) parallelism() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// ForSite returns a copy of o whose Seed is the deterministic per-site hunt
+// seed. The Scheduler seeds every Hunter this way.
+func (o Options) ForSite(site string) Options {
+	o.Seed = SiteSeed(o.Seed, site)
+	return o
+}
+
 // Target is one analyzed target site: the output of stages 1–3 of the
-// pipeline for that site.
+// pipeline for that site. Targets are immutable once produced by the
+// Analyzer and safe to share across concurrent Hunters.
 type Target struct {
 	// Site is the allocation-site name.
 	Site string
@@ -164,199 +189,51 @@ func (r *AppResult) ResultFor(site string) (*SiteResult, bool) {
 	return nil, false
 }
 
-// Engine runs the DIODE pipeline against one application. Not safe for
-// concurrent use; create one per goroutine.
+// Engine is the original single-struct DIODE façade, kept as a thin
+// compatibility wrapper over the Analyzer/Hunter/Scheduler layers. New code
+// should use those directly; Engine simply delegates, so its results are
+// identical to a Scheduler's at the same Options.
 type Engine struct {
-	app  *apps.App
-	opts Options
-	sol  *solver.Solver
-	gen  *inputgen.Generator
+	app   *apps.App
+	opts  Options
+	sched *Scheduler
 }
 
 // New returns an engine for the application.
 func New(app *apps.App, opts Options) *Engine {
 	opts = opts.withDefaults()
-	return &Engine{
-		app:  app,
-		opts: opts,
-		sol: solver.New(solver.Options{
-			Seed: opts.Seed,
-			Mode: opts.SolverMode,
-		}),
-		gen: app.Format.Generator(),
-	}
+	return &Engine{app: app, opts: opts, sched: NewScheduler(app, opts)}
 }
 
 // App returns the engine's application.
 func (e *Engine) App() *apps.App { return e.app }
 
-// Analyze performs stages 1–3: the taint run that identifies target sites
-// and relevant bytes, then one symbolic run per site (restricted to that
-// site's relevant bytes, §4.2) to extract the target expression and the
-// branch condition sequence.
+// Analyze performs stages 1–3 via the Analyzer.
 func (e *Engine) Analyze() ([]*Target, error) {
-	seed := e.app.Format.Seed
-	taintRun := interp.Run(e.app.Program, seed, interp.Options{
-		TrackTaint: true,
-		Fuel:       e.opts.Fuel,
-	})
-	if taintRun.Kind != interp.OutOK {
-		return nil, fmt.Errorf("core: seed taint run ended %v (%s)", taintRun.Kind, taintRun.AbortMsg)
-	}
-	// First tainted occurrence per site, in execution order.
-	var order []string
-	firstTaint := map[string]*taint.Set{}
-	for _, ev := range taintRun.Allocs {
-		if ev.Taint.Empty() {
-			continue
-		}
-		if _, ok := firstTaint[ev.Site]; !ok {
-			firstTaint[ev.Site] = ev.Taint
-			order = append(order, ev.Site)
-		}
-	}
-
-	var targets []*Target
-	for _, site := range order {
-		t, err := e.analyzeSite(site, firstTaint[site])
-		if err != nil {
-			return nil, err
-		}
-		targets = append(targets, t)
-	}
-	return targets, nil
+	return NewAnalyzer(e.app, e.opts).Analyze()
 }
 
-func (e *Engine) analyzeSite(site string, labels *taint.Set) (*Target, error) {
-	seed := e.app.Format.Seed
-	relevant := labels.Elems()
-	symRun := interp.Run(e.app.Program, seed, interp.Options{
-		TrackSymbolic: true,
-		Fuel:          e.opts.Fuel,
-		SymbolicBytes: func(i int) bool { return labels.Has(i) },
-	})
-	if symRun.Kind != interp.OutOK {
-		return nil, fmt.Errorf("core: symbolic run for %s ended %v", site, symRun.Kind)
-	}
-	var ev *interp.AllocEvent
-	for i := range symRun.Allocs {
-		if symRun.Allocs[i].Site == site && symRun.Allocs[i].Sym != nil {
-			ev = &symRun.Allocs[i]
-			break
-		}
-	}
-	if ev == nil {
-		return nil, fmt.Errorf("core: site %s lost its symbolic size in stage 2", site)
-	}
-
-	fields := e.gen.Fields()
-	expr := fields.LiftTerm(ev.Sym)
-	beta := bv.OverflowCond(expr)
-
-	raw := symRun.Branches[:ev.BranchMark]
-	path := trace.FromBranches(raw)
-	lifted := make(trace.Path, len(path))
-	for i, entry := range path {
-		lifted[i] = trace.Entry{
-			Label: entry.Label,
-			Cond:  fields.LiftBool(entry.Cond),
-			Count: entry.Count,
-		}
-	}
-	if !e.opts.DisableCompression {
-		lifted = trace.Compress(lifted)
-	}
-	if !e.opts.DisableRelevanceFilter {
-		lifted = trace.Relevant(lifted, beta)
-	}
-	return &Target{
-		Site:            site,
-		RelevantBytes:   relevant,
-		Expr:            expr,
-		Beta:            beta,
-		SeedPath:        lifted,
-		RawSeedBranches: raw,
-		DynamicBranches: len(raw),
-	}, nil
+// Hunt runs the Figure 7 enforcement loop for one target on a freshly
+// seeded Hunter (seed derived from Options.Seed and the site name).
+func (e *Engine) Hunt(t *Target) *SiteResult {
+	return NewHunter(e.app, e.opts.ForSite(t.Site)).Hunt(t)
 }
 
-// RunAll analyzes the application and hunts every target site.
-func (e *Engine) RunAll() (*AppResult, error) {
-	start := time.Now()
-	targets, err := e.Analyze()
-	if err != nil {
-		return nil, err
-	}
-	res := &AppResult{App: e.app, Analysis: time.Since(start)}
-	for _, t := range targets {
-		res.Sites = append(res.Sites, e.Hunt(t))
-	}
-	return res, nil
+// RunAll analyzes the application and hunts every target site via the
+// Scheduler (sequential unless Options.Parallelism is set).
+func (e *Engine) RunAll() (*AppResult, error) { return e.sched.RunAll() }
+
+// SamePathSatisfiable decides the §5.4 experiment for a target.
+func (e *Engine) SamePathSatisfiable(t *Target) solver.Verdict {
+	return NewHunter(e.app, e.opts.ForSite(t.Site)).SamePathSatisfiable(t)
 }
 
-// execute runs the guest on an input and returns the outcome. When
-// withBranches is set, the run records the branch trace restricted to the
-// target's relevant bytes (for first-flipped-branch comparison).
-func (e *Engine) execute(t *Target, input []byte, withBranches bool) *interp.Outcome {
-	opts := interp.Options{Fuel: e.opts.Fuel}
-	if withBranches {
-		labels := map[int]bool{}
-		for _, b := range t.RelevantBytes {
-			labels[b] = true
-		}
-		opts.TrackSymbolic = true
-		opts.SymbolicBytes = func(i int) bool { return labels[i] }
-	}
-	return interp.Run(e.app.Program, input, opts)
+// SuccessRate generates up to n inputs satisfying the constraint and reports
+// how many trigger the overflow at the target site (§5.5/§5.6).
+func (e *Engine) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total int) {
+	return NewHunter(e.app, e.opts.ForSite(t.Site)).SuccessRate(t, constraint, n)
 }
 
-// triggered reports whether the outcome contains an overflowing allocation
-// at the target site, and derives the observable error type.
-func triggered(t *Target, out *interp.Outcome) (bool, string) {
-	hit := false
-	for _, ev := range out.Allocs {
-		if ev.Site == t.Site && ev.Wrapped {
-			hit = true
-			break
-		}
-	}
-	if !hit {
-		return false, ""
-	}
-	return true, errorType(t.Site, out)
-}
-
-// errorType renders the paper's Table 2 "Error Type" column from the run's
-// signal and the memcheck findings attributed to the site's block.
-func errorType(site string, out *interp.Outcome) string {
-	var read, write bool
-	for _, me := range out.MemErrs {
-		if me.Site != site {
-			continue
-		}
-		if me.Kind == interp.InvalidRead {
-			read = true
-		} else {
-			write = true
-		}
-	}
-	var access string
-	switch {
-	case read && write:
-		access = "InvalidRead/Write"
-	case read:
-		access = "InvalidRead"
-	case write:
-		access = "InvalidWrite"
-	default:
-		access = "SilentOverflow"
-	}
-	switch out.Kind {
-	case interp.OutSegv:
-		return "SIGSEGV/" + access
-	case interp.OutAbrt:
-		return "SIGABRT/" + access
-	default:
-		return access
-	}
-}
+// SolverStats returns the solver work counters aggregated across the hunts
+// RunAll has performed.
+func (e *Engine) SolverStats() solver.Stats { return e.sched.SolverStats() }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"diode/internal/apps"
+	"diode/internal/inputgen"
+	"diode/internal/interp"
+	"diode/internal/solver"
+)
+
+// Hunter runs the goal-directed conditional branch enforcement loop of
+// Figure 7 against the target sites of one application. Each Hunter owns a
+// private solver and input generator, so hunts are fully isolated from one
+// another: the Scheduler creates one Hunter per site with a seed derived
+// from the run seed and the site name, which is what makes parallel and
+// sequential schedules produce identical verdicts.
+type Hunter struct {
+	app  *apps.App
+	opts Options
+	sol  *solver.Solver
+	gen  *inputgen.Generator
+}
+
+// NewHunter returns a hunter for the application. opts.Seed seeds the
+// hunter's private solver directly; use Options.ForSite to derive the
+// deterministic per-site seed the Scheduler uses.
+func NewHunter(app *apps.App, opts Options) *Hunter {
+	opts = opts.withDefaults()
+	return &Hunter{
+		app:  app,
+		opts: opts,
+		sol: solver.New(solver.Options{
+			Seed: opts.Seed,
+			Mode: opts.SolverMode,
+		}),
+		gen: app.Format.Generator(),
+	}
+}
+
+// App returns the hunter's application.
+func (h *Hunter) App() *apps.App { return h.app }
+
+// SolverStats snapshots the hunter-local solver's work counters; the
+// Scheduler aggregates these across hunters.
+func (h *Hunter) SolverStats() solver.Stats { return h.sol.Snapshot() }
+
+// execute runs the guest on an input and returns the outcome. When
+// withBranches is set, the run records the branch trace restricted to the
+// target's relevant bytes (for first-flipped-branch comparison).
+func (h *Hunter) execute(t *Target, input []byte, withBranches bool) *interp.Outcome {
+	opts := interp.Options{Fuel: h.opts.Fuel}
+	if withBranches {
+		labels := map[int]bool{}
+		for _, b := range t.RelevantBytes {
+			labels[b] = true
+		}
+		opts.TrackSymbolic = true
+		opts.SymbolicBytes = func(i int) bool { return labels[i] }
+	}
+	return interp.Run(h.app.Program, input, opts)
+}
+
+// triggered reports whether the outcome contains an overflowing allocation
+// at the target site, and derives the observable error type.
+func triggered(t *Target, out *interp.Outcome) (bool, string) {
+	hit := false
+	for _, ev := range out.Allocs {
+		if ev.Site == t.Site && ev.Wrapped {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return false, ""
+	}
+	return true, errorType(t.Site, out)
+}
+
+// errorType renders the paper's Table 2 "Error Type" column from the run's
+// signal and the memcheck findings attributed to the site's block.
+func errorType(site string, out *interp.Outcome) string {
+	var read, write bool
+	for _, me := range out.MemErrs {
+		if me.Site != site {
+			continue
+		}
+		if me.Kind == interp.InvalidRead {
+			read = true
+		} else {
+			write = true
+		}
+	}
+	var access string
+	switch {
+	case read && write:
+		access = "InvalidRead/Write"
+	case read:
+		access = "InvalidRead"
+	case write:
+		access = "InvalidWrite"
+	default:
+		access = "SilentOverflow"
+	}
+	switch out.Kind {
+	case interp.OutSegv:
+		return "SIGSEGV/" + access
+	case interp.OutAbrt:
+		return "SIGABRT/" + access
+	default:
+		return access
+	}
+}

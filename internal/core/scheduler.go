@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+
+	"diode/internal/apps"
+	"diode/internal/queue"
+	"diode/internal/solver"
+)
+
+// SiteSeed derives the deterministic per-site hunt seed from the run seed
+// and the site name. Because every Hunter is seeded this way regardless of
+// which worker picks the site up — or in what order — a parallel schedule
+// produces byte-identical verdicts to a sequential one.
+func SiteSeed(seed int64, site string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(site))
+	return int64(h.Sum64())
+}
+
+// Scheduler runs the full pipeline for one application: analysis once (the
+// Analyzer), then one isolated Hunter per target site, fanned out across a
+// bounded worker pool. Site results come back in analysis order, so tables
+// and reports are stable at any parallelism.
+//
+// A Scheduler is safe for concurrent use by multiple goroutines, though each
+// RunAll already saturates its own worker pool.
+type Scheduler struct {
+	app   *apps.App
+	opts  Options
+	stats solver.Collector
+}
+
+// NewScheduler returns a scheduler for the application. opts.Parallelism
+// bounds the number of concurrent site hunts (zero means sequential).
+func NewScheduler(app *apps.App, opts Options) *Scheduler {
+	return &Scheduler{app: app, opts: opts.withDefaults()}
+}
+
+// App returns the scheduler's application.
+func (s *Scheduler) App() *apps.App { return s.app }
+
+// Parallelism returns the resolved worker-pool bound.
+func (s *Scheduler) Parallelism() int { return s.opts.parallelism() }
+
+// RunAll analyzes the application and hunts every target site on the worker
+// pool.
+func (s *Scheduler) RunAll() (*AppResult, error) {
+	start := time.Now()
+	targets, err := NewAnalyzer(s.app, s.opts).Analyze()
+	if err != nil {
+		return nil, err
+	}
+	res := &AppResult{App: s.app, Analysis: time.Since(start)}
+	res.Sites = s.HuntAll(targets)
+	return res, nil
+}
+
+// HuntAll hunts every target concurrently (bounded by Parallelism), each on
+// a freshly seeded Hunter, and returns results in target order.
+func (s *Scheduler) HuntAll(targets []*Target) []*SiteResult {
+	return queue.Map(s.opts.parallelism(), targets, func(t *Target) *SiteResult {
+		h := NewHunter(s.app, s.opts.ForSite(t.Site))
+		sr := h.Hunt(t)
+		s.stats.Add(h.SolverStats())
+		return sr
+	})
+}
+
+// SolverStats returns the solver work counters aggregated across every
+// hunter-local solver this scheduler has run.
+func (s *Scheduler) SolverStats() solver.Stats { return s.stats.Snapshot() }

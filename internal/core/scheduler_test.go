@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"diode/internal/apps"
+)
+
+// TestSiteSeedDerivation checks the per-site seed is a pure function of
+// (run seed, site) and separates both dimensions.
+func TestSiteSeedDerivation(t *testing.T) {
+	if SiteSeed(1, "a") != SiteSeed(1, "a") {
+		t.Fatal("SiteSeed not deterministic")
+	}
+	if SiteSeed(1, "a") == SiteSeed(2, "a") {
+		t.Error("SiteSeed ignores the run seed")
+	}
+	if SiteSeed(1, "a") == SiteSeed(1, "b") {
+		t.Error("SiteSeed ignores the site name")
+	}
+	if ForSite := (Options{Seed: 9}).ForSite("x"); ForSite.Seed != SiteSeed(9, "x") {
+		t.Error("Options.ForSite does not derive via SiteSeed")
+	}
+}
+
+// TestSchedulerDeterminism is the acceptance test for the parallel
+// scheduler: with identical Options.Seed, a parallel schedule must produce
+// byte-identical per-site verdicts, enforced-branch lists and triggering
+// inputs to a sequential one, for every site of multiple applications.
+func TestSchedulerDeterminism(t *testing.T) {
+	for _, short := range []string{"vlc", "dillo", "swfplay"} {
+		app, err := apps.ByName(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewScheduler(app, Options{Seed: 11}).RunAll()
+		if err != nil {
+			t.Fatalf("%s sequential: %v", short, err)
+		}
+		par, err := NewScheduler(app, Options{Seed: 11, Parallelism: runtime.GOMAXPROCS(0)}).RunAll()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", short, err)
+		}
+		if len(seq.Sites) != len(par.Sites) {
+			t.Fatalf("%s: %d sites sequential vs %d parallel", short, len(seq.Sites), len(par.Sites))
+		}
+		for i, ss := range seq.Sites {
+			ps := par.Sites[i]
+			if ss.Target.Site != ps.Target.Site {
+				t.Errorf("%s site %d: order diverged: %s vs %s", short, i, ss.Target.Site, ps.Target.Site)
+				continue
+			}
+			if ss.Verdict != ps.Verdict {
+				t.Errorf("%s %s: verdict %v sequential vs %v parallel", short, ss.Target.Site, ss.Verdict, ps.Verdict)
+			}
+			if !reflect.DeepEqual(ss.Enforced, ps.Enforced) {
+				t.Errorf("%s %s: enforced %v vs %v", short, ss.Target.Site, ss.Enforced, ps.Enforced)
+			}
+			if !bytes.Equal(ss.Input, ps.Input) {
+				t.Errorf("%s %s: triggering inputs differ", short, ss.Target.Site)
+			}
+			if ss.ErrorType != ps.ErrorType {
+				t.Errorf("%s %s: error type %q vs %q", short, ss.Target.Site, ss.ErrorType, ps.ErrorType)
+			}
+			if ss.Runs != ps.Runs {
+				t.Errorf("%s %s: %d runs vs %d", short, ss.Target.Site, ss.Runs, ps.Runs)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesScheduler pins the compatibility contract: the Engine
+// wrapper must yield the same verdicts as the Scheduler it delegates to.
+func TestEngineMatchesScheduler(t *testing.T) {
+	app, err := apps.ByName("cwebp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(app, Options{Seed: 3}).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewScheduler(app, Options{Seed: 3, Parallelism: 4}).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, es := range eng.Sites {
+		ss := sch.Sites[i]
+		if es.Target.Site != ss.Target.Site || es.Verdict != ss.Verdict ||
+			!reflect.DeepEqual(es.Enforced, ss.Enforced) || !bytes.Equal(es.Input, ss.Input) {
+			t.Errorf("site %s: engine and scheduler disagree", es.Target.Site)
+		}
+	}
+}
+
+// TestSchedulerAggregatesStats checks hunter-local solver counters fold into
+// the scheduler's aggregate.
+func TestSchedulerAggregatesStats(t *testing.T) {
+	app, err := apps.ByName("vlc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(app, Options{Seed: 2, Parallelism: 4})
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.SolverStats()
+	if st.ConcreteHits+st.SATSolves == 0 {
+		t.Errorf("no solver work aggregated: %+v", st)
+	}
+}

@@ -26,8 +26,13 @@ type Config struct {
 	// Workers bounds evaluation parallelism (one application per worker).
 	// Zero means one worker per application.
 	Workers int
-	// Engine carries additional engine options (ablation hooks); Seed is
-	// overridden per application.
+	// Parallelism bounds concurrent site hunts *within* each application
+	// (the scheduler's worker pool), so a sweep runs apps × sites
+	// concurrently. Zero means sequential hunts; verdicts are identical at
+	// any setting thanks to per-site seed derivation.
+	Parallelism int
+	// Engine carries additional engine options (ablation hooks); Seed and
+	// Parallelism are overridden per application.
 	Engine core.Options
 }
 
@@ -72,29 +77,40 @@ func indexed(list []*apps.App) []item {
 func evaluateApp(cfg Config, app *apps.App, seed int64) AppOutcome {
 	opts := cfg.Engine
 	opts.Seed = seed
-	eng := core.New(app, opts)
-	res, err := eng.RunAll()
+	opts.Parallelism = cfg.Parallelism
+	sched := core.NewScheduler(app, opts)
+	res, err := sched.RunAll()
 	if err != nil {
 		return AppOutcome{App: app, Err: fmt.Errorf("harness: %s: %w", app.Short, err)}
 	}
 	rec := report.FromResult(res)
+	experiments := make([]func(), 0, len(res.Sites))
 	for _, sr := range res.Sites {
-		srec := rec.SiteFor(sr.Target.Site)
-		if cfg.SamePath {
-			srec.SamePathSat = eng.SamePathSatisfiable(sr.Target).String()
+		sr, srec := sr, rec.SiteFor(sr.Target.Site)
+		if !cfg.SamePath && (cfg.SampleN == 0 || sr.Verdict != core.VerdictExposed) {
+			continue
 		}
-		if cfg.SampleN > 0 && sr.Verdict == core.VerdictExposed {
-			hits, total := eng.SuccessRate(sr.Target, sr.Target.Beta, cfg.SampleN)
-			srec.TargetOnly = report.Rate{Hits: hits, Total: total}
-			// The paper only runs the enforced experiment when the
-			// target-alone rate is low (§5.6): skip it when the majority of
-			// target-only inputs already trigger.
-			if sr.EnforcedCount() > 0 && hits*2 < total {
-				h2, t2 := eng.SuccessRate(sr.Target, core.EnforcedConstraint(sr), cfg.SampleN)
-				srec.TargetEnforced = report.Rate{Hits: h2, Total: t2}
+		experiments = append(experiments, func() {
+			// Experiments run on a hunter seeded like the site's hunt, so
+			// rates are reproducible and independent of experiment order.
+			hunter := core.NewHunter(app, opts.ForSite(sr.Target.Site))
+			if cfg.SamePath {
+				srec.SamePathSat = hunter.SamePathSatisfiable(sr.Target).String()
 			}
-		}
+			if cfg.SampleN > 0 && sr.Verdict == core.VerdictExposed {
+				hits, total := hunter.SuccessRate(sr.Target, sr.Target.Beta, cfg.SampleN)
+				srec.TargetOnly = report.Rate{Hits: hits, Total: total}
+				// The paper only runs the enforced experiment when the
+				// target-alone rate is low (§5.6): skip it when the majority of
+				// target-only inputs already trigger.
+				if sr.EnforcedCount() > 0 && hits*2 < total {
+					h2, t2 := hunter.SuccessRate(sr.Target, core.EnforcedConstraint(sr), cfg.SampleN)
+					srec.TargetEnforced = report.Rate{Hits: h2, Total: t2}
+				}
+			}
+		})
 	}
+	queue.Each(max(cfg.Parallelism, 1), experiments)
 	return AppOutcome{App: app, Result: res, Record: rec}
 }
 

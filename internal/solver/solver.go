@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"diode/internal/bitblast"
 	"diode/internal/bv"
@@ -75,20 +76,16 @@ type Options struct {
 	Mode Mode
 }
 
-// Stats counts solver work across calls.
-type Stats struct {
-	ConcreteHits int // solves settled by concrete search
-	SATSolves    int // solves that reached the CDCL solver
-	UnsatResults int
-	UnknownOut   int
-}
-
-// Solver solves bitvector formulas. It is not safe for concurrent use; create
-// one per goroutine.
+// Solver solves bitvector formulas. It is safe for concurrent use: the work
+// counters are atomic and the random source is serialized behind a mutex.
+// Concurrent callers still share one random stream, so for reproducible runs
+// create one Solver per goroutine (as the core Hunter does) and give each a
+// derived seed.
 type Solver struct {
 	opts  Options
+	mu    sync.Mutex // guards rng
 	rng   *rand.Rand
-	stats Stats
+	stats Collector
 }
 
 // New returns a Solver with the given options.
@@ -102,8 +99,32 @@ func New(opts Options) *Solver {
 	return &Solver{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
 }
 
-// Stats returns cumulative counters.
-func (s *Solver) Stats() Stats { return s.stats }
+// Snapshot returns a point-in-time copy of the cumulative work counters.
+func (s *Solver) Snapshot() Stats { return s.stats.Snapshot() }
+
+// Stats returns cumulative counters. Deprecated alias for Snapshot, kept for
+// callers of the pre-scheduler API.
+func (s *Solver) Stats() Stats { return s.Snapshot() }
+
+// randIntn, randUint64 and randInt63 serialize access to the shared random
+// stream so concurrent Solve calls are race-free.
+func (s *Solver) randIntn(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Intn(n)
+}
+
+func (s *Solver) randUint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Uint64()
+}
+
+func (s *Solver) randInt63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Int63()
+}
 
 // Solve returns a model of f, or Unsat/Unknown.
 func (s *Solver) Solve(f *bv.Bool) (bv.Assignment, Verdict) {
@@ -116,11 +137,11 @@ func (s *Solver) Solve(f *bv.Bool) (bv.Assignment, Verdict) {
 	vars := bv.BoolVars(f)
 	if s.opts.Mode != ModeSATOnly {
 		if m := s.concreteSearch(f, vars, s.opts.ConcreteTries); m != nil {
-			s.stats.ConcreteHits++
+			s.stats.concreteHits.Add(1)
 			return m, Sat
 		}
 		if s.opts.Mode == ModeConcreteOnly {
-			s.stats.UnknownOut++
+			s.stats.unknownOut.Add(1)
 			return nil, Unknown
 		}
 	}
@@ -158,10 +179,10 @@ func (s *Solver) concreteSearch(f *bv.Bool, vars bv.VarSet, tries int) bv.Assign
 
 func (s *Solver) randomValue(w uint8) uint64 {
 	mask := bv.Mask(w)
-	switch s.rng.Intn(8) {
+	switch s.randIntn(8) {
 	case 0:
 		// Boundary values.
-		switch s.rng.Intn(4) {
+		switch s.randIntn(4) {
 		case 0:
 			return 0
 		case 1:
@@ -173,21 +194,21 @@ func (s *Solver) randomValue(w uint8) uint64 {
 		}
 	case 1:
 		// A single set bit.
-		return (uint64(1) << uint(s.rng.Intn(int(w)))) & mask
+		return (uint64(1) << uint(s.randIntn(int(w)))) & mask
 	case 2:
 		// Small value.
-		return uint64(s.rng.Intn(256)) & mask
+		return uint64(s.randIntn(256)) & mask
 	default:
-		return s.rng.Uint64() & mask
+		return s.randUint64() & mask
 	}
 }
 
 // satSolve bit-blasts f (plus optional blocking clauses from prior models)
 // and runs the CDCL solver.
 func (s *Solver) satSolve(f *bv.Bool, blocked []bv.Assignment) (bv.Assignment, Verdict) {
-	s.stats.SATSolves++
+	s.stats.satSolves.Add(1)
 	engine := sat.New(sat.Options{
-		Seed:           s.rng.Int63(),
+		Seed:           s.randInt63(),
 		RandomPolarity: 0.02,
 		MaxConflicts:   s.opts.MaxConflicts,
 	})
@@ -201,10 +222,10 @@ func (s *Solver) satSolve(f *bv.Bool, blocked []bv.Assignment) (bv.Assignment, V
 	case sat.Sat:
 		return bl.Model(), Sat
 	case sat.Unsat:
-		s.stats.UnsatResults++
+		s.stats.unsatResults.Add(1)
 		return nil, Unsat
 	default:
-		s.stats.UnknownOut++
+		s.stats.unknownOut.Add(1)
 		return nil, Unknown
 	}
 }
@@ -273,7 +294,7 @@ func (s *Solver) SampleModels(f *bv.Bool, k int) []bv.Assignment {
 	// Phase 2: complete enumeration with blocking clauses, one incremental
 	// SAT solver, randomized polarity for diversity.
 	engine := sat.New(sat.Options{
-		Seed:           s.rng.Int63(),
+		Seed:           s.randInt63(),
 		RandomPolarity: 0.2,
 		MaxConflicts:   s.opts.MaxConflicts,
 	})

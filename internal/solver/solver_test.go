@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"sync"
 	"testing"
 
 	"diode/internal/bv"
@@ -183,5 +184,71 @@ func TestStatsTracking(t *testing.T) {
 	}
 	if st.UnsatResults < 1 {
 		t.Errorf("expected at least one unsat, got %+v", st)
+	}
+}
+
+// TestConcurrentSolve hammers one Solver from many goroutines; run under
+// -race it proves the shared random stream and the work counters are safe
+// for concurrent solvers.
+func TestConcurrentSolve(t *testing.T) {
+	s := New(Options{Seed: 7, ConcreteTries: 64})
+	x := bv.Var(32, "cc_x")
+	sat := bv.Ugt(x, bv.Const(32, 1000))                   // dense: concrete hit
+	unsat := bv.Eq(x, bv.Add(x, bv.Const(32, 1)))          // settled by CDCL
+	narrow := bv.AndB(bv.Ugt(x, bv.Const(32, 0xfffffff0)), // sparse: falls back
+		bv.Ult(x, bv.Const(32, 0xfffffff4)))
+
+	const workers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if m, v := s.Solve(sat); v != Sat || m["cc_x"] <= 1000 {
+					t.Errorf("worker %d: sat constraint: %v %v", w, v, m)
+				}
+				if _, v := s.Solve(unsat); v != Unsat {
+					t.Errorf("worker %d: unsat constraint not proven", w)
+				}
+				if m, v := s.Solve(narrow); v != Sat {
+					t.Errorf("worker %d: narrow constraint: %v %v", w, v, m)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Snapshot()
+	if st.UnsatResults != workers*rounds {
+		t.Errorf("UnsatResults = %d, want %d", st.UnsatResults, workers*rounds)
+	}
+	if hits := st.ConcreteHits; hits < workers*rounds {
+		t.Errorf("ConcreteHits = %d, want >= %d", hits, workers*rounds)
+	}
+}
+
+// TestCollectorAggregation folds snapshots from several hunter-local solvers
+// into one Collector, concurrently, the way the scheduler does.
+func TestCollectorAggregation(t *testing.T) {
+	var agg Collector
+	x := bv.Var(16, "ag_x")
+	f := bv.Ugt(x, bv.Const(16, 10))
+	var wg sync.WaitGroup
+	const n = 6
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := New(Options{Seed: int64(i)})
+			s.Solve(f)
+			agg.Add(s.Snapshot())
+		}(i)
+	}
+	wg.Wait()
+	got := agg.Snapshot()
+	if got.ConcreteHits+got.SATSolves < n {
+		t.Errorf("aggregate lost work: %+v", got)
 	}
 }

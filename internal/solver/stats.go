@@ -1,0 +1,49 @@
+package solver
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of solver work counters. It is a plain
+// value: read it with Solver.Snapshot (or Collector.Snapshot) and combine
+// snapshots with Add.
+type Stats struct {
+	ConcreteHits int // solves settled by concrete search
+	SATSolves    int // solves that reached the CDCL solver
+	UnsatResults int
+	UnknownOut   int
+}
+
+// Add accumulates another snapshot into s.
+func (s *Stats) Add(o Stats) {
+	s.ConcreteHits += o.ConcreteHits
+	s.SATSolves += o.SATSolves
+	s.UnsatResults += o.UnsatResults
+	s.UnknownOut += o.UnknownOut
+}
+
+// Collector accumulates solver work counters atomically. It is safe for
+// concurrent use: each Solver counts into its own Collector, and an
+// aggregator (the scheduler) folds hunter-local snapshots into a shared one.
+type Collector struct {
+	concreteHits atomic.Int64
+	satSolves    atomic.Int64
+	unsatResults atomic.Int64
+	unknownOut   atomic.Int64
+}
+
+// Add folds a snapshot into the collector.
+func (c *Collector) Add(s Stats) {
+	c.concreteHits.Add(int64(s.ConcreteHits))
+	c.satSolves.Add(int64(s.SATSolves))
+	c.unsatResults.Add(int64(s.UnsatResults))
+	c.unknownOut.Add(int64(s.UnknownOut))
+}
+
+// Snapshot returns the current counter values.
+func (c *Collector) Snapshot() Stats {
+	return Stats{
+		ConcreteHits: int(c.concreteHits.Load()),
+		SATSolves:    int(c.satSolves.Load()),
+		UnsatResults: int(c.unsatResults.Load()),
+		UnknownOut:   int(c.unknownOut.Load()),
+	}
+}
