@@ -275,6 +275,68 @@ func TestBenchHarnessSmoke(t *testing.T) {
 	fmt.Println(t1)
 }
 
+// BenchmarkHuntIncremental measures what the incremental solving sessions
+// buy: the same hunts run once with one-shot solving (every enforcement
+// iteration rebuilds φ′∧β on a fresh CDCL engine and blaster) and once with
+// sessions (one persistent engine per hunt, only the newly conjoined branch
+// constraint lowered, learned clauses retained). Dillo is the
+// enforcement-heavy application — png.c@203 alone conjoins several sanity
+// checks whose sparse solutions push every iteration into the CDCL phase —
+// so it is where the session machinery works hardest. Verdicts are checked
+// equal between the two paths before the speedup is reported.
+func BenchmarkHuntIncremental(b *testing.B) {
+	app, err := apps.ByName("dillo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		mode solver.Mode
+	}{
+		// sat-only isolates the solver path the sessions optimize: every
+		// solve bit-blasts and runs CDCL, so the win is the re-lowering and
+		// re-learning the one-shot path repeats. hybrid is the end-to-end
+		// default, where concrete search and guest execution dilute it.
+		{"sat-only", solver.ModeSATOnly},
+		{"hybrid", solver.ModeHybrid},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seed := int64(i + 1)
+
+				t0 := time.Now()
+				oneShot, err := core.New(app, core.Options{
+					Seed: seed, SolverMode: m.mode, OneShotSolver: true,
+				}).RunAll()
+				if err != nil {
+					b.Fatal(err)
+				}
+				oneShotTime := time.Since(t0)
+
+				t0 = time.Now()
+				eng := core.New(app, core.Options{Seed: seed, SolverMode: m.mode})
+				incremental, err := eng.RunAll()
+				if err != nil {
+					b.Fatal(err)
+				}
+				incrementalTime := time.Since(t0)
+
+				for j, sr := range oneShot.Sites {
+					if ir := incremental.Sites[j]; sr.Verdict != ir.Verdict {
+						b.Fatalf("%s: session verdict %v != one-shot %v",
+							sr.Target.Site, ir.Verdict, sr.Verdict)
+					}
+				}
+				st := eng.SolverStats()
+				b.ReportMetric(oneShotTime.Seconds()/incrementalTime.Seconds(), "speedup")
+				b.ReportMetric(float64(st.ClausesReused), "clauses-reused")
+				b.ReportMetric(float64(st.ModelCacheHits), "model-cache-hits")
+			}
+		})
+	}
+}
+
 // BenchmarkRunAllParallel measures the scheduler's wall-clock speedup: the
 // full five-application sweep hunted sequentially (one worker, sequential
 // site hunts) versus fully fanned out (apps × sites concurrent). Per-site

@@ -76,5 +76,7 @@ func main() {
 		st := sched.SolverStats()
 		fmt.Printf("solver: %d concrete hits, %d SAT solves, %d unsat, %d unknown (aggregated over %d-way hunts)\n",
 			st.ConcreteHits, st.SATSolves, st.UnsatResults, st.UnknownOut, sched.Parallelism())
+		fmt.Printf("incremental: %d model-cache hits, %d assumption solves, %d learned clauses reused\n",
+			st.ModelCacheHits, st.AssumptionSolves, st.ClausesReused)
 	}
 }

@@ -15,11 +15,18 @@ import (
 	"diode/internal/sat"
 )
 
-// Blaster incrementally encodes formulas into a sat.Solver.
+// Blaster incrementally encodes formulas into a sat.Solver. It is stateful
+// by design: every lowered term, formula and gate is cached under its
+// canonical intern key (bv.Term.ID / bv.Bool.ID), so a Blaster that lives
+// across many Assert/solve rounds — the incremental-session workload —
+// lowers each shared subterm exactly once, no matter how many asserted
+// formulas mention it. Assert itself is idempotent: re-asserting a formula
+// that is already part of the encoding adds no clauses.
 type Blaster struct {
 	s        *sat.Solver
-	termBits map[*bv.Term][]sat.Lit // LSB first
-	boolLit  map[*bv.Bool]sat.Lit
+	termBits map[uint64][]sat.Lit // term intern id → bits, LSB first
+	boolLit  map[uint64]sat.Lit   // formula intern id → literal
+	asserted map[uint64]bool      // formula intern ids already asserted
 	varBits  map[string][]sat.Lit
 	varTerm  map[string]*bv.Term
 	t, f     sat.Lit // literals fixed to true / false
@@ -40,8 +47,9 @@ const (
 func New(s *sat.Solver) *Blaster {
 	b := &Blaster{
 		s:        s,
-		termBits: make(map[*bv.Term][]sat.Lit),
-		boolLit:  make(map[*bv.Bool]sat.Lit),
+		termBits: make(map[uint64][]sat.Lit),
+		boolLit:  make(map[uint64]sat.Lit),
+		asserted: make(map[uint64]bool),
 		varBits:  make(map[string][]sat.Lit),
 		varTerm:  make(map[string]*bv.Term),
 		gates:    make(map[gateKey]sat.Lit),
@@ -53,19 +61,27 @@ func New(s *sat.Solver) *Blaster {
 	return b
 }
 
-// Assert adds the constraint that formula holds.
-func (b *Blaster) Assert(formula *bv.Bool) {
+// Assert adds the constraint that formula holds. It reports whether the
+// formula was new: asserting a formula a second time is a no-op (the
+// constraint is already in force), so callers that grow a conjunction
+// incrementally pay only for the conjuncts they have not asserted before.
+func (b *Blaster) Assert(formula *bv.Bool) bool {
+	if b.asserted[formula.ID()] {
+		return false
+	}
+	b.asserted[formula.ID()] = true
 	l := b.Lit(formula)
 	b.s.AddClause(l)
+	return true
 }
 
 // Lit returns a literal equivalent to the formula.
 func (b *Blaster) Lit(formula *bv.Bool) sat.Lit {
-	if l, ok := b.boolLit[formula]; ok {
+	if l, ok := b.boolLit[formula.ID()]; ok {
 		return l
 	}
 	l := b.litUncached(formula)
-	b.boolLit[formula] = l
+	b.boolLit[formula.ID()] = l
 	return l
 }
 
@@ -98,14 +114,14 @@ func (b *Blaster) litUncached(formula *bv.Bool) sat.Lit {
 
 // Bits returns the literal vector (LSB first) encoding t.
 func (b *Blaster) Bits(t *bv.Term) []sat.Lit {
-	if bits, ok := b.termBits[t]; ok {
+	if bits, ok := b.termBits[t.ID()]; ok {
 		return bits
 	}
 	bits := b.bitsUncached(t)
 	if len(bits) != int(t.W) {
 		panic("bitblast: width mismatch in encoding")
 	}
-	b.termBits[t] = bits
+	b.termBits[t.ID()] = bits
 	return bits
 }
 
@@ -522,7 +538,7 @@ func (b *Blaster) shifter(xt, yt *bv.Term, kind shiftKind) []sat.Lit {
 
 // Value reads the model value of t after a successful solve.
 func (b *Blaster) Value(t *bv.Term) uint64 {
-	bits, ok := b.termBits[t]
+	bits, ok := b.termBits[t.ID()]
 	if !ok {
 		panic("bitblast: term was not encoded")
 	}

@@ -275,3 +275,35 @@ func TestValueAfterSolve(t *testing.T) {
 		t.Fatalf("x = %d, want 7", got)
 	}
 }
+
+// TestAssertIdempotent checks the incremental-session contract: re-asserting
+// an already-asserted formula (or a conjunction over already-encoded
+// subterms) adds no variables and no clauses.
+func TestAssertIdempotent(t *testing.T) {
+	engine := sat.New(sat.Options{})
+	bl := New(engine)
+	x := bv.Var(32, "ai_x")
+	y := bv.Var(32, "ai_y")
+	beta := bv.OverflowCond(bv.Mul(x, y))
+	if !bl.Assert(beta) {
+		t.Fatal("first Assert reported not-new")
+	}
+	vars, clauses := engine.NumVars(), engine.NumClauses()
+	if bl.Assert(beta) {
+		t.Fatal("second Assert reported new")
+	}
+	if engine.NumVars() != vars || engine.NumClauses() != clauses {
+		t.Fatalf("re-assert grew the encoding: %d→%d vars, %d→%d clauses",
+			vars, engine.NumVars(), clauses, engine.NumClauses())
+	}
+	// A new constraint over the same shared subterm must reuse its bits: only
+	// the comparison circuit is new, far fewer gates than the multiplier.
+	grown := engine.NumVars()
+	bl.Assert(bv.Ult(bv.Mul(x, y), bv.Const(32, 1000)))
+	if added := engine.NumVars() - grown; added > 200 {
+		t.Fatalf("shared multiplier re-encoded: %d new vars", added)
+	}
+	if engine.Solve() != sat.Sat {
+		t.Fatal("expected sat")
+	}
+}

@@ -58,6 +58,8 @@ type Term struct {
 	Hi   uint8  // KExtract: high bit index (inclusive)
 	Lo   uint8  // KExtract: low bit index (inclusive)
 	Cond *Bool  // KITE: condition
+
+	id uint64 // canonical intern id, assigned once under the intern lock
 }
 
 // BoolKind identifies the operator at the root of a Bool.
@@ -82,6 +84,8 @@ type Bool struct {
 	BVal bool  // BConst
 	X, Y *Term // comparison operands
 	A, B *Bool // boolean operands
+
+	id uint64 // canonical intern id, assigned once under the intern lock
 }
 
 // interning tables. Children are interned before parents, so identity of
@@ -105,10 +109,12 @@ type boolKey struct {
 
 var (
 	internMu  sync.Mutex
-	termTab   = make(map[termKey]*Term)
-	boolTab   = make(map[boolKey]*Bool)
-	trueBool  = &Bool{Kind: BConst, BVal: true}
-	falseBool = &Bool{Kind: BConst, BVal: false}
+	termTab          = make(map[termKey]*Term)
+	boolTab          = make(map[boolKey]*Bool)
+	nextTerm  uint64 = 1 // 0 is reserved so a zero id never aliases a term
+	nextBool  uint64 = 3 // 1 and 2 belong to the boolean constants
+	trueBool         = &Bool{Kind: BConst, BVal: true, id: 1}
+	falseBool        = &Bool{Kind: BConst, BVal: false, id: 2}
 )
 
 func intern(t Term) *Term {
@@ -120,6 +126,8 @@ func intern(t Term) *Term {
 	}
 	p := new(Term)
 	*p = t
+	p.id = nextTerm
+	nextTerm++
 	termTab[k] = p
 	return p
 }
@@ -139,6 +147,8 @@ func internBool(b Bool) *Bool {
 	}
 	p := new(Bool)
 	*p = b
+	p.id = nextBool
+	nextBool++
 	boolTab[k] = p
 	return p
 }

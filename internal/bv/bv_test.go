@@ -416,3 +416,50 @@ func TestITE(t *testing.T) {
 		t.Error("ite with constant condition should fold")
 	}
 }
+
+func TestInternIDs(t *testing.T) {
+	x := Var(16, "id_x")
+	y := Var(16, "id_y")
+	if x.ID() == 0 || y.ID() == 0 {
+		t.Fatal("interned terms must have non-zero ids")
+	}
+	if x.ID() == y.ID() {
+		t.Fatal("distinct terms share an id")
+	}
+	if Add(x, y).ID() != Add(x, y).ID() {
+		t.Fatal("structurally identical terms must share an id")
+	}
+	a := Ult(x, y)
+	b := Ult(x, y)
+	if a.ID() != b.ID() || a.ID() == 0 {
+		t.Fatalf("bool ids: %d vs %d", a.ID(), b.ID())
+	}
+	if True().ID() == False().ID() {
+		t.Fatal("boolean constants share an id")
+	}
+	if a.ID() == True().ID() || a.ID() == False().ID() {
+		t.Fatal("formula id collides with a constant")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	x := Var(8, "cj_x")
+	a := Ult(x, Const(8, 10))
+	b := Ugt(x, Const(8, 2))
+	c := Eq(x, Const(8, 5))
+	got := Conjuncts(AndB(AndB(a, b), c))
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+		t.Fatalf("Conjuncts = %v", got)
+	}
+	if got := Conjuncts(a); len(got) != 1 || got[0] != a {
+		t.Fatalf("single conjunct: %v", got)
+	}
+	if got := Conjuncts(True()); len(got) != 0 {
+		t.Fatalf("true must have no conjuncts, got %v", got)
+	}
+	// OrB is a leaf from the conjunction's point of view.
+	or := OrB(a, b)
+	if got := Conjuncts(AndB(or, c)); len(got) != 2 || got[0] != or {
+		t.Fatalf("disjunction split: %v", got)
+	}
+}

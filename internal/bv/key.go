@@ -1,0 +1,42 @@
+package bv
+
+// Canonical term keys. Because terms and formulas are hash-consed, the
+// pointer of an interned node already identifies its structure; the intern
+// ids below turn that identity into a compact comparable key that downstream
+// caches (the bit-blaster's per-term CNF cache, the solver session's
+// conjunct ledger) can use without retaining the node itself and without
+// recomputing structural hashes.
+
+// ID returns the canonical intern id of t: two terms have the same id iff
+// they are structurally identical. Ids are unique within a process; a Term
+// constructed outside the package constructors (which the package forbids)
+// reports 0.
+func (t *Term) ID() uint64 { return t.id }
+
+// ID returns the canonical intern id of b; the analogue of Term.ID for
+// formulas. The constants true and false have ids 1 and 2.
+func (b *Bool) ID() uint64 { return b.id }
+
+// Conjuncts flattens nested conjunctions into the list of leaf conjuncts in
+// left-to-right order: Conjuncts(a ∧ (b ∧ c)) = [a, b, c]. Non-conjunction
+// formulas yield themselves, and the constant true yields nothing — so a
+// formula grown with AndB decomposes into exactly the constraints that were
+// conjoined, which is what lets an incremental solving session assert only
+// the newly added conjunct of a monotonically growing conjunction.
+func Conjuncts(b *Bool) []*Bool {
+	if b.Kind == BConst && b.BVal {
+		return nil
+	}
+	var out []*Bool
+	var walk func(*Bool)
+	walk = func(f *Bool) {
+		if f.Kind == BAnd {
+			walk(f.A)
+			walk(f.B)
+			return
+		}
+		out = append(out, f)
+	}
+	walk(b)
+	return out
+}

@@ -107,7 +107,7 @@ func (a *Analyzer) analyzeSite(site string, labels *taint.Set) (*Target, error) 
 	if !a.opts.DisableRelevanceFilter {
 		lifted = trace.Relevant(lifted, beta)
 	}
-	return &Target{
+	t := &Target{
 		Site:            site,
 		RelevantBytes:   relevant,
 		Expr:            expr,
@@ -115,5 +115,7 @@ func (a *Analyzer) analyzeSite(site string, labels *taint.Set) (*Target, error) 
 		SeedPath:        lifted,
 		RawSeedBranches: raw,
 		DynamicBranches: len(raw),
-	}, nil
+	}
+	t.finalize()
+	return t, nil
 }

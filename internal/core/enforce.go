@@ -6,7 +6,6 @@ import (
 	"diode/internal/bv"
 	"diode/internal/interp"
 	"diode/internal/solver"
-	"diode/internal/trace"
 )
 
 // Hunt runs the goal-directed conditional branch enforcement algorithm of
@@ -34,8 +33,15 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 	res := &SiteResult{Target: t}
 	defer func() { res.Discovery = time.Since(start) }()
 
+	// One incremental solving session serves the whole hunt: the loop below
+	// only ever *grows* the conjunction (φ′∧β gains one branch constraint
+	// per enforcement iteration), so each Assert lowers just the new
+	// conjunct and the CDCL engine keeps everything it learned refuting
+	// earlier iterations.
+	sess := h.sol.NewSession(t.Beta)
+
 	// Lines 3–6: the target constraint alone.
-	initial := h.sol.SampleModels(t.Beta, h.opts.InitialAttempts)
+	initial := sess.SampleModels(h.opts.InitialAttempts)
 	if len(initial) == 0 {
 		// β itself is unsatisfiable (or the budget ran out).
 		res.Verdict = VerdictUnsat
@@ -63,7 +69,6 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 	}
 
 	// Lines 9–16: goal-directed branch enforcement.
-	phiPrime := bv.True()
 	enforced := map[string]bool{}
 	current := lastInput
 	for iter := 0; iter < h.opts.MaxEnforce; iter++ {
@@ -78,14 +83,14 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 		followed = followed && reachedSite(t, curOut)
 		switch {
 		case flipped:
-			entry, ok := pathEntry(t.SeedPath, label)
+			entry, ok := t.PathEntry(label)
 			if !ok {
 				// The diverging branch has no enforceable constraint
 				// (filtered as irrelevant); nothing more to enforce.
 				res.Verdict = VerdictPrevented
 				return res
 			}
-			phiPrime = bv.AndB(phiPrime, entry.Cond)
+			sess.Assert(entry.Cond)
 			enforced[label] = true
 			res.Enforced = append(res.Enforced, label)
 		case followed:
@@ -98,11 +103,13 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 			// whole seed path — typically it crashed at an *earlier*
 			// allocation site whose size also wrapped, before reaching the
 			// branches ahead. No constraint to add; re-solve for a
-			// different model below (the solver is randomized).
+			// different model below (the session skips its model cache and
+			// raises decision-polarity randomness when the conjunction is
+			// unchanged, so a repeat solve explores fresh models).
 		}
 
-		// Line 13: solve φ′ ∧ β.
-		m, verdict := h.sol.Solve(bv.AndB(phiPrime, t.Beta))
+		// Line 13: solve φ′ ∧ β on the session.
+		m, verdict := sess.Solve()
 		switch verdict {
 		case solver.Unsat:
 			res.Verdict = VerdictPrevented
@@ -155,20 +162,10 @@ type dirSet struct{ t, f bool }
 // constraint unsatisfiable for 12 of the paper's 14 exposed sites (§5.4);
 // this is the heart of why DIODE's targeted approach works.
 func (h *Hunter) firstFlipped(t *Target, out *interp.Outcome, enforced map[string]bool) (label string, flipped, followed bool) {
-	var order []string
-	seedDirs := map[string]dirSet{}
-	for _, br := range t.RawSeedBranches {
-		d, ok := seedDirs[br.Label]
-		if !ok {
-			order = append(order, br.Label)
-		}
-		if br.Taken {
-			d.t = true
-		} else {
-			d.f = true
-		}
-		seedDirs[br.Label] = d
-	}
+	// The seed's per-branch direction sets are a pure function of the
+	// Target; the Analyzer precomputes them (Target.finalize) so only the
+	// generated run's trace is folded here, once per iteration.
+	order, seedDirs := t.seedBranchView()
 	genDirs := map[string]dirSet{}
 	for _, br := range out.Branches {
 		d := genDirs[br.Label]
@@ -207,15 +204,6 @@ func reachedSite(t *Target, out *interp.Outcome) bool {
 	return false
 }
 
-func pathEntry(p trace.Path, label string) (trace.Entry, bool) {
-	for _, entry := range p {
-		if entry.Label == label {
-			return entry, true
-		}
-	}
-	return trace.Entry{}, false
-}
-
 // SamePathConstraint returns the §5.4 experiment constraint for a target:
 // the target constraint conjoined with every relevant branch constraint on
 // the seed path — "overflow while following exactly the seed's path".
@@ -223,9 +211,12 @@ func SamePathConstraint(t *Target) *bv.Bool {
 	return bv.AndB(t.Beta, t.SeedPath.Conds())
 }
 
-// SamePathSatisfiable decides the §5.4 experiment for a target.
+// SamePathSatisfiable decides the §5.4 experiment for a target: a session
+// opened on β with the full seed path asserted at once.
 func (h *Hunter) SamePathSatisfiable(t *Target) solver.Verdict {
-	_, v := h.sol.Solve(SamePathConstraint(t))
+	sess := h.sol.NewSession(t.Beta)
+	sess.Assert(t.SeedPath.Conds())
+	_, v := sess.Solve()
 	return v
 }
 
@@ -235,7 +226,7 @@ func (h *Hunter) SamePathSatisfiable(t *Target) solver.Verdict {
 // than n when the constraint has fewer distinct solutions, as with the
 // paper's x+2 target expression).
 func (h *Hunter) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total int) {
-	models := h.sol.SampleModels(constraint, n)
+	models := h.sol.NewSession(constraint).SampleModels(n)
 	for _, m := range models {
 		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
@@ -255,7 +246,7 @@ func (h *Hunter) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total
 func EnforcedConstraint(res *SiteResult) *bv.Bool {
 	out := res.Target.Beta
 	for _, label := range res.Enforced {
-		if entry, ok := pathEntry(res.Target.SeedPath, label); ok {
+		if entry, ok := res.Target.PathEntry(label); ok {
 			out = bv.AndB(out, entry.Cond)
 		}
 	}

@@ -52,6 +52,11 @@ type Options struct {
 	Fuel int64
 	// SolverMode selects the constraint-solving strategy (ablation hook).
 	SolverMode solver.Mode
+	// OneShotSolver disables incremental solving sessions: every solve in
+	// the enforcement loop then rebuilds φ′∧β on a fresh engine, the
+	// pre-session behavior (benchmark/ablation hook — see
+	// BenchmarkHuntIncremental).
+	OneShotSolver bool
 	// DisableCompression skips Figure 8 branch-condition compression
 	// (ablation hook).
 	DisableCompression bool
@@ -112,6 +117,73 @@ type Target struct {
 	// DynamicBranches is the paper's Y value: the number of dynamic
 	// relevant conditional branch executions on the seed path to the site.
 	DynamicBranches int
+
+	// Derived lookup structures, computed once by the Analyzer (finalize)
+	// so the per-iteration hot paths of the enforcement loop do not rebuild
+	// them. Hand-built Targets may leave them nil; the accessors fall back
+	// to recomputing on the fly.
+	branchOrder []string          // relevant branch labels in first-occurrence seed order
+	seedDirs    map[string]dirSet // per-label directions the seed run took
+	pathIndex   map[string]int    // label → index into SeedPath
+}
+
+// finalize computes the derived lookup structures. The Analyzer calls it
+// once per Target, before the Target is shared with concurrent Hunters.
+func (t *Target) finalize() {
+	t.branchOrder, t.seedDirs = seedBranchDirs(t.RawSeedBranches)
+	t.pathIndex = make(map[string]int, len(t.SeedPath))
+	for i, e := range t.SeedPath {
+		if _, ok := t.pathIndex[e.Label]; !ok {
+			t.pathIndex[e.Label] = i
+		}
+	}
+}
+
+// seedBranchDirs folds raw branch records into first-occurrence label order
+// and the per-label direction set.
+func seedBranchDirs(recs []interp.BranchRecord) ([]string, map[string]dirSet) {
+	var order []string
+	dirs := make(map[string]dirSet, len(recs))
+	for _, br := range recs {
+		d, ok := dirs[br.Label]
+		if !ok {
+			order = append(order, br.Label)
+		}
+		if br.Taken {
+			d.t = true
+		} else {
+			d.f = true
+		}
+		dirs[br.Label] = d
+	}
+	return order, dirs
+}
+
+// seedBranchView returns the precomputed order and direction sets, deriving
+// them on the fly for Targets that never went through the Analyzer.
+func (t *Target) seedBranchView() ([]string, map[string]dirSet) {
+	if t.seedDirs != nil {
+		return t.branchOrder, t.seedDirs
+	}
+	return seedBranchDirs(t.RawSeedBranches)
+}
+
+// PathEntry returns the seed-path entry for a branch label. It replaces the
+// linear scans Hunt and EnforcedConstraint used to perform per iteration.
+func (t *Target) PathEntry(label string) (trace.Entry, bool) {
+	if t.pathIndex != nil {
+		i, ok := t.pathIndex[label]
+		if !ok {
+			return trace.Entry{}, false
+		}
+		return t.SeedPath[i], true
+	}
+	for _, e := range t.SeedPath {
+		if e.Label == label {
+			return e, true
+		}
+	}
+	return trace.Entry{}, false
 }
 
 // Verdict classifies the outcome of a hunt at one site.

@@ -29,8 +29,9 @@ func NewHunter(app *apps.App, opts Options) *Hunter {
 		app:  app,
 		opts: opts,
 		sol: solver.New(solver.Options{
-			Seed: opts.Seed,
-			Mode: opts.SolverMode,
+			Seed:    opts.Seed,
+			Mode:    opts.SolverMode,
+			OneShot: opts.OneShotSolver,
 		}),
 		gen: app.Format.Generator(),
 	}

@@ -123,6 +123,20 @@ func (s *Solver) NewVar() Var {
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
 
+// NumClauses returns the number of problem clauses currently attached
+// (excluding learned clauses and root-level units).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learned clauses currently retained. On a
+// persistent instance this is the knowledge carried over into the next
+// Solve/SolveUnderAssumptions call.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// SetRandomPolarity adjusts the random-polarity probability for subsequent
+// solve calls. Incremental sessions flip this between model *finding* (low,
+// favor saved phases) and model *sampling* (high, favor diversity).
+func (s *Solver) SetRandomPolarity(p float64) { s.opts.RandomPolarity = p }
+
 func (s *Solver) value(l Lit) lbool {
 	v := s.assigns[l.Var()]
 	if v == lUndef {
@@ -136,12 +150,16 @@ func (s *Solver) value(l Lit) lbool {
 
 // AddClause adds a clause over the given literals. It returns false if the
 // solver is already in an unsatisfiable state at the root level.
+//
+// AddClause may be called after a previous Solve (incremental solving): the
+// solver first backtracks to decision level zero, which invalidates the model
+// of that Solve. Learned clauses and saved phases are retained.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.unsatRoot {
 		return false
 	}
 	if len(s.trailLim) != 0 {
-		panic("sat: AddClause above decision level 0")
+		s.cancelUntil(0)
 	}
 	// Normalize: sort, dedup, drop root-false literals, detect tautology and
 	// root-true literals.
@@ -439,11 +457,34 @@ func luby(i int64) float64 {
 	return float64(int64(1) << uint(seq))
 }
 
-// Solve determines satisfiability of the clauses added so far.
+// Solve determines satisfiability of the clauses added so far. It is the
+// degenerate (no-assumption) case of SolveUnderAssumptions and may be called
+// repeatedly on one instance, interleaved with AddClause, to solve
+// incrementally: learned clauses and saved phases carry over between calls.
 func (s *Solver) Solve() Result {
+	return s.SolveUnderAssumptions(nil)
+}
+
+// SolveUnderAssumptions determines satisfiability of the clauses added so
+// far under the given assumption literals. Assumptions are enqueued as the
+// first decisions (one per decision level, MiniSat style), so a returned
+// model satisfies every assumption, and Unsat means "unsatisfiable under
+// these assumptions" — the solver itself stays usable and a later call with
+// different (or no) assumptions can still return Sat.
+//
+// The conflict budget (Options.MaxConflicts) applies per call, not per
+// instance: every call gets a fresh budget, which is what makes one
+// persistent instance serve a whole enforcement loop.
+//
+// Clauses learned during an assumption solve are implied by the clause
+// database alone (assumption literals appear *in* learned clauses rather
+// than being resolved away), so retaining them across calls is sound even as
+// assumption sets change.
+func (s *Solver) SolveUnderAssumptions(assumps []Lit) Result {
 	if s.unsatRoot {
 		return Unsat
 	}
+	s.cancelUntil(0) // invalidate any previous model; start from the root
 	if c := s.propagate(); c != nil {
 		s.unsatRoot = true
 		return Unsat
@@ -455,6 +496,7 @@ func (s *Solver) Solve() Result {
 	var restarts int64
 	budget := int64(lubyBase * luby(restarts+1))
 	conflictsThisRestart := int64(0)
+	startConflicts := s.Conflicts
 
 	for {
 		confl := s.propagate()
@@ -478,9 +520,29 @@ func (s *Solver) Solve() Result {
 			}
 			s.varInc /= varDecay
 			s.claInc /= claDecay
-			if s.opts.MaxConflicts > 0 && s.Conflicts >= s.opts.MaxConflicts {
+			if s.opts.MaxConflicts > 0 && s.Conflicts-startConflicts >= s.opts.MaxConflicts {
 				s.cancelUntil(0)
 				return Unknown
+			}
+			continue
+		}
+		// Establish the assumption levels before anything can declare Sat:
+		// a full consistent assignment that falsifies an assumption is an
+		// Unsat-under-assumptions answer, not a model.
+		if len(s.trailLim) < len(assumps) {
+			p := assumps[len(s.trailLim)]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied; open a dummy level so indices line up.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			case lFalse:
+				// The clause database (plus earlier assumptions) forces ¬p:
+				// unsat under these assumptions, but not at the root.
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				s.uncheckedEnqueue(p, nil)
 			}
 			continue
 		}

@@ -298,6 +298,131 @@ func TestIncrementalBlocking(t *testing.T) {
 	}
 }
 
+// TestIncrementalAddAfterSolve exercises the persistent-instance API:
+// AddClause after a Solve must backtrack internally and further solves must
+// account for the new clauses.
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := New(Options{})
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(PosLit(c), NegLit(c)) // keep c mentioned
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve = %v, want sat", got)
+	}
+	// No CancelToRoot: AddClause must handle the leftover decision levels.
+	if !s.AddClause(NegLit(a)) {
+		t.Fatal("¬a rejected")
+	}
+	if !s.AddClause(NegLit(b), PosLit(c)) {
+		t.Fatal("(¬b ∨ c) rejected")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("incremental solve = %v, want sat", got)
+	}
+	if s.ModelValue(a) || !s.ModelValue(b) || !s.ModelValue(c) {
+		t.Fatalf("model (a,b,c) = (%v,%v,%v), want (false,true,true)",
+			s.ModelValue(a), s.ModelValue(b), s.ModelValue(c))
+	}
+	if s.AddClause(NegLit(c)) {
+		t.Fatal("¬c must conflict at the root")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("final solve = %v, want unsat", got)
+	}
+}
+
+// TestSolveUnderAssumptionsMatchesUnits cross-checks assumption solving
+// against the unit-clause encoding on random instances: for every CNF F and
+// assumption set A, SolveUnderAssumptions(A) on a persistent instance must
+// agree with a fresh solver deciding F ∧ A. Several assumption rounds run on
+// the same instance, so retained learned clauses and saved phases are
+// exercised, and a final plain Solve checks the instance was not poisoned by
+// assumption failures.
+func TestSolveUnderAssumptionsMatchesUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(5*nVars)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New(Options{Seed: int64(trial)})
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		rootOK := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				rootOK = false
+				break
+			}
+		}
+		for round := 0; round < 4; round++ {
+			assumps := make([]Lit, rng.Intn(4))
+			for i := range assumps {
+				assumps[i] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			}
+			var got Result
+			if !rootOK {
+				got = Unsat
+			} else {
+				got = s.SolveUnderAssumptions(assumps)
+			}
+			ref := New(Options{Seed: int64(trial*10 + round)})
+			for i := 0; i < nVars; i++ {
+				ref.NewVar()
+			}
+			refOK := true
+			for _, cl := range cnf {
+				if !ref.AddClause(cl...) {
+					refOK = false
+					break
+				}
+			}
+			for _, a := range assumps {
+				if refOK && !ref.AddClause(a) {
+					refOK = false
+				}
+			}
+			want := Unsat
+			if refOK {
+				want = ref.Solve()
+			}
+			if got != want {
+				t.Fatalf("trial %d round %d: assumptions %v: got %v, unit encoding says %v",
+					trial, round, assumps, got, want)
+			}
+			if got == Sat {
+				if !modelSatisfies(s.Model(), cnf) {
+					t.Fatalf("trial %d round %d: model violates formula", trial, round)
+				}
+				for _, a := range assumps {
+					if s.ModelValue(a.Var()) == a.Sign() {
+						t.Fatalf("trial %d round %d: model violates assumption %v", trial, round, a)
+					}
+				}
+			}
+		}
+		// The instance must still answer the unconditional query correctly.
+		var got Result
+		if !rootOK {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		if want := bruteForce(nVars, cnf); (got == Sat) != want {
+			t.Fatalf("trial %d: plain solve after assumption rounds = %v, brute force sat=%v",
+				trial, got, want)
+		}
+	}
+}
+
 func TestLuby(t *testing.T) {
 	want := []float64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
 	for i, w := range want {

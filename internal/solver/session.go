@@ -1,0 +1,311 @@
+package solver
+
+import (
+	"diode/internal/bitblast"
+	"diode/internal/bv"
+	"diode/internal/sat"
+)
+
+// Session is an incremental solving session over a monotonically growing
+// conjunction — the exact workload shape of the Figure 7 enforcement loop,
+// which conjoins one more flipped-branch constraint into φ′ each iteration
+// and re-solves φ′∧β. A Session owns one persistent CDCL engine and one
+// hash-consed blaster, so across the loop:
+//
+//   - each conjunct is bit-blasted exactly once, and shared subterms (the
+//     target expression B appears in every iteration's conjunction) are
+//     encoded exactly once in total;
+//   - clauses learned while refuting earlier iterations' search space are
+//     retained, as are saved variable phases;
+//   - models found earlier in the session are re-checked against the
+//     extended conjunction before any fresh search runs — a model that
+//     still satisfies the grown formula is returned directly. A cached
+//     model is only eligible after the conjunction has grown past the
+//     point where it was last returned, so a loop that re-solves an
+//     unchanged formula to get a *different* model (Hunt's crashed-early
+//     case) is never fed the same answer twice.
+//
+// Determinism: a Session draws all randomness (concrete sampling, the
+// engine seed) from its parent Solver's seeded stream in a data-determined
+// order, so session verdicts and models are a pure function of the parent's
+// seed and the Assert/Solve/SampleModels call sequence. The sampling phase
+// blocks found models through guard literals activated via
+// SolveUnderAssumptions rather than permanent clauses, so sampling never
+// narrows what later Solve calls may return.
+//
+// A Session is not safe for concurrent use; create one per goroutine (the
+// core Hunter opens one per hunt).
+type Session struct {
+	sol  *Solver
+	cur  *bv.Bool        // conjunction of everything asserted so far
+	conj []*bv.Bool      // deduped conjuncts in assertion order
+	ids  map[uint64]bool // intern ids of conj entries
+	vars bv.VarSet       // union of the conjuncts' free variables
+
+	engine      *sat.Solver
+	bl          *bitblast.Blaster
+	encoded     int // conj[:encoded] have been asserted into bl
+	cdclCalls   int
+	solvedGen   int // 1 + conjunction length at the last CDCL Solve (0 = never)
+	learntsSeen int // high-water learnt count already folded into ClausesReused
+
+	cache []cachedModel
+}
+
+// cachedModel is a model previously returned by this session, tagged with
+// the conjunction length at the time it was last returned. It becomes a
+// candidate answer again only once the conjunction has grown beyond that
+// point.
+type cachedModel struct {
+	m   bv.Assignment
+	gen int
+}
+
+// Random decision polarities for the persistent engine, by purpose. Saved
+// phases make a persistent engine strongly prefer re-deriving its previous
+// model, which is what we want when the conjunction just grew (warm start)
+// but exactly wrong when a caller re-solves an *unchanged* conjunction to
+// get a different model (Hunt's crashed-early case) — there the retry rate
+// matches the sampling rate so saved phases cannot pin the search.
+const (
+	polarityFind   = 0.02 // first solve of a given conjunction state
+	polarityRetry  = 0.2  // re-solve of an unchanged conjunction
+	polaritySample = 0.2  // model enumeration
+)
+
+// NewSession opens an incremental session whose initial constraint is beta
+// (the target constraint in a hunt). Further constraints are conjoined with
+// Assert. The CDCL engine is created lazily on the first solve that needs
+// it, drawing its seed from the parent solver's stream at that point.
+func (s *Solver) NewSession(beta *bv.Bool) *Session {
+	ss := &Session{
+		sol:  s,
+		cur:  bv.True(),
+		ids:  make(map[uint64]bool),
+		vars: make(bv.VarSet),
+	}
+	ss.Assert(beta)
+	return ss
+}
+
+// Assert conjoins cond into the session's constraint. The formula is split
+// into leaf conjuncts (bv.Conjuncts), and only conjuncts the session has not
+// seen before are recorded — so re-asserting φ′∧β after one more branch
+// constraint was conjoined costs exactly one new conjunct. Nothing is
+// bit-blasted yet; encoding happens on the first solve that reaches the
+// CDCL phase.
+func (ss *Session) Assert(cond *bv.Bool) {
+	for _, c := range bv.Conjuncts(cond) {
+		if c.Kind == bv.BConst {
+			if !c.BVal {
+				ss.cur = bv.False()
+			}
+			continue
+		}
+		if ss.ids[c.ID()] {
+			continue
+		}
+		ss.ids[c.ID()] = true
+		ss.conj = append(ss.conj, c)
+		ss.cur = bv.AndB(ss.cur, c)
+		for name, v := range bv.BoolVars(c) {
+			ss.vars[name] = v
+		}
+	}
+}
+
+// Constraint returns the conjunction of everything asserted so far.
+func (ss *Session) Constraint() *bv.Bool { return ss.cur }
+
+// Solve returns a model of the current conjunction, or Unsat/Unknown.
+// Unsat is definitive for every later state of the session too (the
+// conjunction only grows), and the session keeps answering Unsat cheaply.
+func (ss *Session) Solve() (bv.Assignment, Verdict) {
+	f := ss.cur
+	if f.Kind == bv.BConst {
+		if f.BVal {
+			return bv.Assignment{}, Sat
+		}
+		return nil, Unsat
+	}
+	s := ss.sol
+	if !s.opts.OneShot {
+		for i := range ss.cache {
+			cm := &ss.cache[i]
+			if cm.gen >= len(ss.conj) {
+				continue
+			}
+			if ok, err := cm.m.EvalBool(f); err == nil && ok {
+				cm.gen = len(ss.conj)
+				ss.solvedGen = len(ss.conj) + 1
+				s.stats.modelCacheHits.Add(1)
+				return cm.m, Sat
+			}
+		}
+	}
+	if s.opts.Mode != ModeSATOnly {
+		if m := s.concreteSearch(f, ss.vars, s.opts.ConcreteTries); m != nil {
+			s.stats.concreteHits.Add(1)
+			ss.remember(m)
+			return m, Sat
+		}
+		if s.opts.Mode == ModeConcreteOnly {
+			s.stats.unknownOut.Add(1)
+			return nil, Unknown
+		}
+	}
+	if s.opts.OneShot {
+		return s.satSolve(f, nil)
+	}
+	polarity := polarityFind
+	if ss.solvedGen == len(ss.conj)+1 {
+		polarity = polarityRetry // unchanged conjunction: the caller wants a different model
+	}
+	ss.ensureEngine(polarity)
+	switch ss.cdcl(nil) {
+	case sat.Sat:
+		m := ss.bl.Model()
+		ss.remember(m)
+		return m, Sat
+	case sat.Unsat:
+		s.stats.unsatResults.Add(1)
+		return nil, Unsat
+	default:
+		s.stats.unknownOut.Add(1)
+		return nil, Unknown
+	}
+}
+
+// SampleModels returns up to k distinct models of the current conjunction
+// (Solver.SampleModels semantics, on the session's persistent engine). The
+// blocking clauses that force distinctness are guarded by fresh literals and
+// activated through assumptions, so they evaporate after the call: a later
+// Solve on the grown conjunction may still return any model, including ones
+// sampled here — which is exactly what the model cache then exploits.
+func (ss *Session) SampleModels(k int) []bv.Assignment {
+	f := ss.cur
+	if f.Kind == bv.BConst {
+		if f.BVal {
+			return []bv.Assignment{{}}
+		}
+		return nil
+	}
+	s := ss.sol
+	if s.opts.OneShot {
+		return s.sampleOneShot(f, k)
+	}
+
+	ms := newModelSet(ss.vars)
+	s.concretePhase(f, ms, k)
+	if len(ms.models) < k && s.opts.Mode != ModeConcreteOnly {
+		// Phase 2: complete enumeration on the persistent engine, high
+		// random polarity for diversity, guard-literal blocking.
+		ss.ensureEngine(polaritySample)
+		ss.assertPending()
+		var guards []sat.Lit
+		for _, m := range ms.models {
+			guards = append(guards, ss.guardBlock(m))
+		}
+		for len(ms.models) < k {
+			if ss.cdcl(guards) != sat.Sat {
+				break
+			}
+			m := ss.bl.Model()
+			if !ms.add(m) {
+				break // defensive: blocking should prevent repeats
+			}
+			guards = append(guards, ss.guardBlock(m))
+		}
+	}
+	for _, m := range ms.models {
+		ss.remember(m)
+	}
+	return ms.models
+}
+
+// remember records a model the session has returned, tagged with the current
+// conjunction length so it becomes a cache candidate only after the
+// conjunction grows. It also marks the current conjunction state as solved,
+// so the next solve of the *unchanged* conjunction — from any path: CDCL,
+// concrete hit or sampling — runs at retry polarity instead of being pinned
+// to this model by saved phases.
+func (ss *Session) remember(m bv.Assignment) {
+	ss.solvedGen = len(ss.conj) + 1
+	ss.cache = append(ss.cache, cachedModel{m: m, gen: len(ss.conj)})
+}
+
+// ensureEngine creates the persistent engine and blaster on first use and
+// sets the decision polarity for the upcoming call (low for model finding,
+// high for diverse sampling).
+func (ss *Session) ensureEngine(polarity float64) {
+	if ss.engine == nil {
+		ss.engine = sat.New(sat.Options{
+			Seed:           ss.sol.randInt63(),
+			RandomPolarity: polarity,
+			MaxConflicts:   ss.sol.opts.MaxConflicts,
+		})
+		ss.bl = bitblast.New(ss.engine)
+		return
+	}
+	ss.engine.SetRandomPolarity(polarity)
+}
+
+// assertPending bit-blasts the conjuncts added since the last CDCL call.
+// Everything previously encoded — including every shared subterm — is
+// reused from the blaster's caches.
+func (ss *Session) assertPending() {
+	for _, c := range ss.conj[ss.encoded:] {
+		ss.bl.Assert(c)
+	}
+	ss.encoded = len(ss.conj)
+}
+
+// cdcl runs one call on the persistent engine, updating work counters.
+// ClausesReused counts each retained learned clause once: on every call
+// after the first, the growth of the learnt database since the last count is
+// the set of clauses that will be carried into this and later calls.
+func (ss *Session) cdcl(assumps []sat.Lit) sat.Result {
+	s := ss.sol
+	s.stats.satSolves.Add(1)
+	if len(assumps) > 0 {
+		s.stats.assumptionSolves.Add(1)
+	}
+	if ss.cdclCalls > 0 {
+		// Identity-less approximation: growth of the retained-learnt count
+		// since the last call. The unconditional reset keeps the baseline
+		// honest after reduceDB prunes below it — the error is bounded to
+		// the one call where pruning happened, instead of going permanently
+		// stale against an unreachable high-water mark.
+		n := ss.engine.NumLearnts()
+		if n > ss.learntsSeen {
+			s.stats.clausesReused.Add(int64(n - ss.learntsSeen))
+		}
+		ss.learntsSeen = n
+	}
+	ss.cdclCalls++
+	ss.assertPending()
+	return ss.engine.SolveUnderAssumptions(assumps)
+}
+
+// guardBlock adds a blocking clause for m guarded by a fresh literal g:
+// (¬g ∨ ¬m). Solving under the assumption g forbids m; without the
+// assumption the clause is vacuously satisfiable and constrains nothing.
+func (ss *Session) guardBlock(m bv.Assignment) sat.Lit {
+	g := sat.PosLit(ss.engine.NewVar())
+	clause := []sat.Lit{g.Neg()}
+	for _, name := range ss.vars.Names() {
+		v, ok := m[name]
+		if !ok {
+			continue
+		}
+		for i, l := range ss.bl.Bits(ss.vars[name]) {
+			if v>>uint(i)&1 == 1 {
+				clause = append(clause, l.Neg())
+			} else {
+				clause = append(clause, l)
+			}
+		}
+	}
+	ss.engine.AddClause(clause...)
+	return g
+}

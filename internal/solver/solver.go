@@ -15,6 +15,13 @@
 // SampleModels implements the §5.5/§5.6 experiments: up to k *distinct*
 // models of a constraint, obtained by blocking each found model and
 // re-solving with randomized decision polarity.
+//
+// The unit of solving is the Session: an incremental context over a
+// monotonically growing conjunction, holding one persistent CDCL engine and
+// one hash-consed blaster so that the Figure 7 enforcement loop re-encodes
+// only the newly conjoined branch constraint each iteration and keeps all
+// learned clauses. The stateless Solve and SampleModels remain as the
+// simple API and delegate to a throwaway Session.
 package solver
 
 import (
@@ -74,6 +81,11 @@ type Options struct {
 	MaxConflicts int64
 	// Mode selects the strategy; the zero value is ModeHybrid.
 	Mode Mode
+	// OneShot disables incremental session state: every Session.Solve and
+	// Session.SampleModels then rebuilds the full conjunction on a fresh
+	// CDCL engine and blaster, the pre-session behavior. Kept as a
+	// benchmark/ablation hook (BenchmarkHuntIncremental compares the two).
+	OneShot bool
 }
 
 // Solver solves bitvector formulas. It is safe for concurrent use: the work
@@ -102,10 +114,6 @@ func New(opts Options) *Solver {
 // Snapshot returns a point-in-time copy of the cumulative work counters.
 func (s *Solver) Snapshot() Stats { return s.stats.Snapshot() }
 
-// Stats returns cumulative counters. Deprecated alias for Snapshot, kept for
-// callers of the pre-scheduler API.
-func (s *Solver) Stats() Stats { return s.Snapshot() }
-
 // randIntn, randUint64 and randInt63 serialize access to the shared random
 // stream so concurrent Solve calls are race-free.
 func (s *Solver) randIntn(n int) int {
@@ -126,26 +134,12 @@ func (s *Solver) randInt63() int64 {
 	return s.rng.Int63()
 }
 
-// Solve returns a model of f, or Unsat/Unknown.
+// Solve returns a model of f, or Unsat/Unknown. It is the stateless entry
+// point: each call runs on a throwaway Session. Callers that solve a growing
+// conjunction repeatedly (the Figure 7 enforcement loop) should hold a
+// Session instead and use Assert + Solve.
 func (s *Solver) Solve(f *bv.Bool) (bv.Assignment, Verdict) {
-	if f.Kind == bv.BConst {
-		if f.BVal {
-			return bv.Assignment{}, Sat
-		}
-		return nil, Unsat
-	}
-	vars := bv.BoolVars(f)
-	if s.opts.Mode != ModeSATOnly {
-		if m := s.concreteSearch(f, vars, s.opts.ConcreteTries); m != nil {
-			s.stats.concreteHits.Add(1)
-			return m, Sat
-		}
-		if s.opts.Mode == ModeConcreteOnly {
-			s.stats.unknownOut.Add(1)
-			return nil, Unknown
-		}
-	}
-	return s.satSolve(f, nil)
+	return s.NewSession(f).Solve()
 }
 
 // concreteSearch samples random assignments, mixing uniform values with
@@ -209,7 +203,7 @@ func (s *Solver) satSolve(f *bv.Bool, blocked []bv.Assignment) (bv.Assignment, V
 	s.stats.satSolves.Add(1)
 	engine := sat.New(sat.Options{
 		Seed:           s.randInt63(),
-		RandomPolarity: 0.02,
+		RandomPolarity: polarityFind,
 		MaxConflicts:   s.opts.MaxConflicts,
 	})
 	bl := bitblast.New(engine)
@@ -255,67 +249,84 @@ func (s *Solver) blockModel(engine *sat.Solver, bl *bitblast.Blaster, vars bv.Va
 // the paper's "generate 200 inputs that satisfy the constraint" experiments.
 // When the constraint has fewer than k solutions over its variables, every
 // solution is returned (e.g. the paper's x+2 overflow with exactly two
-// solutions, §5.5).
+// solutions, §5.5). Like Solve, it is the stateless entry point over a
+// throwaway Session.
 func (s *Solver) SampleModels(f *bv.Bool, k int) []bv.Assignment {
-	if f.Kind == bv.BConst {
-		if f.BVal {
-			return []bv.Assignment{{}}
-		}
-		return nil
-	}
-	vars := bv.BoolVars(f)
-	seen := make(map[string]bool)
-	var models []bv.Assignment
+	return s.NewSession(f).SampleModels(k)
+}
 
-	add := func(m bv.Assignment) bool {
-		key := assignmentKey(m, vars)
-		if seen[key] {
-			return false
-		}
-		seen[key] = true
-		models = append(models, m)
-		return true
-	}
+// modelSet collects distinct models of one constraint; the dedup key is the
+// sorted-variable assignment rendering, shared by the session and one-shot
+// sampling paths.
+type modelSet struct {
+	vars   bv.VarSet
+	seen   map[string]bool
+	models []bv.Assignment
+}
 
-	// Phase 1: concrete sampling. Cheap, and for check-free constraints it
-	// finds k dense solutions almost immediately.
-	if s.opts.Mode != ModeSATOnly {
-		budget := s.opts.ConcreteTries * 4
-		for i := 0; i < budget && len(models) < k; i++ {
-			if m := s.concreteSearch(f, vars, 1); m != nil {
-				add(m)
-			}
+func newModelSet(vars bv.VarSet) *modelSet {
+	return &modelSet{vars: vars, seen: make(map[string]bool)}
+}
+
+func (ms *modelSet) add(m bv.Assignment) bool {
+	key := assignmentKey(m, ms.vars)
+	if ms.seen[key] {
+		return false
+	}
+	ms.seen[key] = true
+	ms.models = append(ms.models, m)
+	return true
+}
+
+// concretePhase is phase 1 of sampling: concrete search, cheap, and for
+// check-free constraints it finds k dense solutions almost immediately.
+// No-op in ModeSATOnly.
+func (s *Solver) concretePhase(f *bv.Bool, ms *modelSet, k int) {
+	if s.opts.Mode == ModeSATOnly {
+		return
+	}
+	budget := s.opts.ConcreteTries * 4
+	for i := 0; i < budget && len(ms.models) < k; i++ {
+		if m := s.concreteSearch(f, ms.vars, 1); m != nil {
+			ms.add(m)
 		}
 	}
-	if len(models) >= k || s.opts.Mode == ModeConcreteOnly {
-		return models
+}
+
+// sampleOneShot is the pre-session sampling path (Options.OneShot): concrete
+// phase, then complete enumeration with blocking clauses on a fresh engine.
+func (s *Solver) sampleOneShot(f *bv.Bool, k int) []bv.Assignment {
+	ms := newModelSet(bv.BoolVars(f))
+	s.concretePhase(f, ms, k)
+	if len(ms.models) >= k || s.opts.Mode == ModeConcreteOnly {
+		return ms.models
 	}
 
 	// Phase 2: complete enumeration with blocking clauses, one incremental
 	// SAT solver, randomized polarity for diversity.
 	engine := sat.New(sat.Options{
 		Seed:           s.randInt63(),
-		RandomPolarity: 0.2,
+		RandomPolarity: polaritySample,
 		MaxConflicts:   s.opts.MaxConflicts,
 	})
 	bl := bitblast.New(engine)
 	bl.Assert(f)
-	for _, m := range models {
-		s.blockModel(engine, bl, vars, m)
+	for _, m := range ms.models {
+		s.blockModel(engine, bl, ms.vars, m)
 	}
-	for len(models) < k {
+	for len(ms.models) < k {
 		res := engine.Solve()
 		if res != sat.Sat {
 			break
 		}
 		m := bl.Model()
 		engine.CancelToRoot()
-		if !add(m) {
+		if !ms.add(m) {
 			break // defensive: blocking should prevent repeats
 		}
-		s.blockModel(engine, bl, vars, m)
+		s.blockModel(engine, bl, ms.vars, m)
 	}
-	return models
+	return ms.models
 }
 
 func assignmentKey(m bv.Assignment, vars bv.VarSet) string {

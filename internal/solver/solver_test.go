@@ -178,7 +178,7 @@ func TestStatsTracking(t *testing.T) {
 	s.Solve(bv.Ugt(x, bv.Const(32, 5)))           // dense: concrete hit
 	s.Solve(bv.Ult(x, bv.Const(32, 0)))           // folds to false constant
 	s.Solve(bv.Eq(x, bv.Add(x, bv.Const(32, 1)))) // unsat via SAT
-	st := s.Stats()
+	st := s.Snapshot()
 	if st.ConcreteHits < 1 {
 		t.Errorf("expected at least one concrete hit, got %+v", st)
 	}

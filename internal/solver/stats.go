@@ -10,6 +10,11 @@ type Stats struct {
 	SATSolves    int // solves that reached the CDCL solver
 	UnsatResults int
 	UnknownOut   int
+
+	// Incremental-session counters.
+	AssumptionSolves int // CDCL calls made under ≥1 assumption (sampling blocks)
+	ModelCacheHits   int // session solves settled by re-checking an earlier model
+	ClausesReused    int // learned clauses carried into later CDCL calls of a session, each counted once
 }
 
 // Add accumulates another snapshot into s.
@@ -18,16 +23,22 @@ func (s *Stats) Add(o Stats) {
 	s.SATSolves += o.SATSolves
 	s.UnsatResults += o.UnsatResults
 	s.UnknownOut += o.UnknownOut
+	s.AssumptionSolves += o.AssumptionSolves
+	s.ModelCacheHits += o.ModelCacheHits
+	s.ClausesReused += o.ClausesReused
 }
 
 // Collector accumulates solver work counters atomically. It is safe for
 // concurrent use: each Solver counts into its own Collector, and an
 // aggregator (the scheduler) folds hunter-local snapshots into a shared one.
 type Collector struct {
-	concreteHits atomic.Int64
-	satSolves    atomic.Int64
-	unsatResults atomic.Int64
-	unknownOut   atomic.Int64
+	concreteHits     atomic.Int64
+	satSolves        atomic.Int64
+	unsatResults     atomic.Int64
+	unknownOut       atomic.Int64
+	assumptionSolves atomic.Int64
+	modelCacheHits   atomic.Int64
+	clausesReused    atomic.Int64
 }
 
 // Add folds a snapshot into the collector.
@@ -36,14 +47,20 @@ func (c *Collector) Add(s Stats) {
 	c.satSolves.Add(int64(s.SATSolves))
 	c.unsatResults.Add(int64(s.UnsatResults))
 	c.unknownOut.Add(int64(s.UnknownOut))
+	c.assumptionSolves.Add(int64(s.AssumptionSolves))
+	c.modelCacheHits.Add(int64(s.ModelCacheHits))
+	c.clausesReused.Add(int64(s.ClausesReused))
 }
 
 // Snapshot returns the current counter values.
 func (c *Collector) Snapshot() Stats {
 	return Stats{
-		ConcreteHits: int(c.concreteHits.Load()),
-		SATSolves:    int(c.satSolves.Load()),
-		UnsatResults: int(c.unsatResults.Load()),
-		UnknownOut:   int(c.unknownOut.Load()),
+		ConcreteHits:     int(c.concreteHits.Load()),
+		SATSolves:        int(c.satSolves.Load()),
+		UnsatResults:     int(c.unsatResults.Load()),
+		UnknownOut:       int(c.unknownOut.Load()),
+		AssumptionSolves: int(c.assumptionSolves.Load()),
+		ModelCacheHits:   int(c.modelCacheHits.Load()),
+		ClausesReused:    int(c.clausesReused.Load()),
 	}
 }
