@@ -39,7 +39,7 @@ import (
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		outcomes := harness.EvaluateAll(harness.Config{Seed: int64(i + 1)})
+		outcomes := harness.Evaluate(harness.Config{Seed: int64(i + 1)}, apps.Paper())
 		var exposed, unsat, prevented int
 		for _, o := range outcomes {
 			if o.Err != nil {
@@ -67,7 +67,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2Discovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		outcomes := harness.EvaluateAll(harness.Config{Seed: int64(i + 1)})
+		outcomes := harness.Evaluate(harness.Config{Seed: int64(i + 1)}, apps.Paper())
 		var totalEnforced, exposedSites int
 		for _, o := range outcomes {
 			if o.Err != nil {
@@ -114,7 +114,7 @@ func successRates(b *testing.B, short string, n int) {
 }
 
 func BenchmarkSuccessRateTargetOnly(b *testing.B) {
-	for _, short := range []string{"vlc", "swfplay", "cwebp", "imagemagick", "dillo"} {
+	for _, short := range []string{"vlc", "swfplay", "cwebp", "imagemagick", "dillo", "gifview", "tifthumb"} {
 		b.Run(short, func(b *testing.B) { successRates(b, short, 200) })
 	}
 }
@@ -141,6 +141,46 @@ func BenchmarkSuccessRateEnforced(b *testing.B) {
 					b.ReportMetric(float64(h)/float64(t)*100, short+"-enforced-%")
 				}
 			}
+		}
+	}
+}
+
+// BenchmarkTableExtended regenerates the extended-suite table and pins its
+// classification: 4 exposed, 3 unsatisfiable, 3 prevented across GIFView and
+// TIFThumb, with the screen-buffer site requiring at least two enforced
+// branches (the Figure 7 loop, not the initial β sample, cracks the new
+// formats).
+func BenchmarkTableExtended(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outcomes := harness.Evaluate(harness.Config{Seed: int64(i + 1)}, apps.Extended())
+		var exposed, unsat, prevented, screenEnforced int
+		for _, o := range outcomes {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			for _, sr := range o.Result.Sites {
+				switch sr.Verdict.Class() {
+				case apps.ClassExposed:
+					exposed++
+				case apps.ClassUnsat:
+					unsat++
+				default:
+					prevented++
+				}
+				if sr.Target.Site == "gifview:gif.c@155" {
+					screenEnforced = sr.EnforcedCount()
+				}
+			}
+		}
+		b.ReportMetric(float64(exposed), "exposed")
+		b.ReportMetric(float64(unsat), "unsat")
+		b.ReportMetric(float64(prevented), "prevented")
+		b.ReportMetric(float64(screenEnforced), "screen-enforced")
+		if exposed != 4 || unsat != 3 || prevented != 3 {
+			b.Fatalf("extended classification drifted: %d/%d/%d, want 4/3/3", exposed, unsat, prevented)
+		}
+		if screenEnforced < 2 {
+			b.Fatalf("gifview:gif.c@155 exposed after %d enforced branches, want >= 2", screenEnforced)
 		}
 	}
 }
@@ -198,9 +238,11 @@ func BenchmarkAblationFullPath(b *testing.B) {
 	}
 }
 
+// ablationSweep runs the paper suite (the ablations quantify the paper's
+// design claims, whose baselines are the 14 exposed sites of Table 1).
 func ablationSweep(b *testing.B, opts core.Options) {
 	exposed := 0
-	for _, app := range apps.All() {
+	for _, app := range apps.Paper() {
 		eng := core.New(app, opts)
 		res, err := eng.RunAll()
 		if err != nil {
@@ -259,20 +301,29 @@ func BenchmarkAnalysisOnly(b *testing.B) {
 	}
 }
 
-// Example-style sanity for the benchmark harness itself.
+// Example-style sanity for the benchmark harness itself: the full registry
+// (paper + extended) sweeps and renders both table families.
 func TestBenchHarnessSmoke(t *testing.T) {
 	outcomes := harness.EvaluateAll(harness.Config{Seed: 1})
+	if len(outcomes) != len(Applications()) {
+		t.Fatalf("%d outcomes, want %d", len(outcomes), len(Applications()))
+	}
 	for _, o := range outcomes {
 		if o.Err != nil {
 			t.Fatal(o.Err)
 		}
 	}
 	recs := harness.Records(outcomes)
-	t1 := Table1(Applications(), recs)
+	t1 := Table1(PaperApplications(), recs)
 	if len(t1) == 0 {
 		t.Fatal("empty Table 1")
 	}
 	fmt.Println(t1)
+	te := TableExtended(ExtendedApplications(), recs)
+	if len(te) == 0 {
+		t.Fatal("empty extended table")
+	}
+	fmt.Println(te)
 }
 
 // BenchmarkHuntIncremental measures what the incremental solving sessions

@@ -1,11 +1,12 @@
-// Command diode-tables regenerates the paper's evaluation tables: Table 1
-// (target site classification), Table 2 (evaluation summary, including the
-// §5.5/§5.6 success-rate columns) and the §5.4 same-path experiment, with
-// paper values printed beside the measured ones.
+// Command diode-tables regenerates the evaluation tables: Table 1 (target
+// site classification), Table 2 (evaluation summary, including the §5.5/§5.6
+// success-rate columns) and the §5.4 same-path experiment, with paper values
+// printed beside the measured ones — plus the extended-suite table, whose
+// applications have no paper counterpart and render measured-only columns.
 //
 // Usage:
 //
-//	diode-tables [-table all|1|2|samepath] [-n 200] [-seed 1] [-parallel N] [-json out.json]
+//	diode-tables [-table all|1|2|samepath|extended] [-n 200] [-seed 1] [-parallel N] [-json out.json]
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to produce: all, 1, 2, samepath")
+	table := flag.String("table", "all", "which table to produce: all, 1, 2, samepath, extended")
 	n := flag.Int("n", 200, "inputs per success-rate experiment (0 disables; paper uses 200)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent site hunts per application (1 = sequential; rows are identical)")
@@ -28,20 +29,30 @@ func main() {
 	flag.Parse()
 
 	cfg := harness.Config{Seed: *seed, Parallelism: *parallel}
+	var appList []*diode.App
 	switch *table {
 	case "1":
 		// Classification only: no sampling experiments needed.
-	case "2", "all":
+		appList = diode.PaperApplications()
+	case "2":
+		appList = diode.PaperApplications()
 		cfg.SampleN = *n
-		cfg.SamePath = *table == "all"
 	case "samepath":
+		appList = diode.PaperApplications()
+		cfg.SamePath = true
+	case "extended":
+		appList = diode.ExtendedApplications()
+		cfg.SampleN = *n
+	case "all":
+		appList = diode.Applications()
+		cfg.SampleN = *n
 		cfg.SamePath = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
 
-	outcomes := harness.EvaluateAll(cfg)
+	outcomes := harness.Evaluate(cfg, appList)
 	for _, o := range outcomes {
 		if o.Err != nil {
 			fmt.Fprintln(os.Stderr, o.Err)
@@ -49,13 +60,12 @@ func main() {
 		}
 	}
 	recs := harness.Records(outcomes)
-	appList := diode.Applications()
 
 	if *table == "1" || *table == "all" {
-		fmt.Println(diode.Table1(appList, recs))
+		fmt.Println(diode.Table1(diode.PaperApplications(), recs))
 	}
 	if *table == "2" || *table == "all" {
-		fmt.Println(diode.Table2(appList, recs))
+		fmt.Println(diode.Table2(diode.PaperApplications(), recs))
 	}
 	if *table == "samepath" || *table == "all" {
 		fmt.Println("Same-path constraint satisfiability (§5.4; paper: sat only for")
@@ -68,6 +78,9 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+	if *table == "extended" || *table == "all" {
+		fmt.Println(diode.TableExtended(diode.ExtendedApplications(), recs))
 	}
 
 	if *jsonOut != "" {

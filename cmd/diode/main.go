@@ -19,7 +19,8 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "dillo", "application: dillo, vlc, swfplay, cwebp, imagemagick")
+	appName := flag.String("app", "dillo",
+		"application: "+strings.Join(diode.ApplicationNames(diode.Applications()), ", "))
 	seed := flag.Int64("seed", 1, "random seed for the hunt")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent site hunts (1 = sequential; verdicts are identical)")
 	showExpr := flag.Bool("expr", false, "print the symbolic target expression per site")

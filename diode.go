@@ -113,14 +113,27 @@ type (
 	SiteRecord = report.SiteRecord
 )
 
-// Applications returns the five benchmark applications in the paper's table
-// order: Dillo 2.1, VLC 0.8.6h, SwfPlay 0.5.5, CWebP 0.3.1 and
-// ImageMagick 6.5.2.
+// Applications returns every registered benchmark application: the paper's
+// five (Dillo 2.1, VLC 0.8.6h, SwfPlay 0.5.5, CWebP 0.3.1, ImageMagick
+// 6.5.2) followed by the extended workload suite (GIFView 0.4, TIFThumb
+// 0.2).
 func Applications() []*App { return apps.All() }
 
+// PaperApplications returns the paper's five benchmark applications in the
+// paper's table order.
+func PaperApplications() []*App { return apps.Paper() }
+
+// ExtendedApplications returns the extended workload suite: applications
+// with no paper counterpart, reported with measured-only columns.
+func ExtendedApplications() []*App { return apps.Extended() }
+
 // Application returns a benchmark application by short name ("dillo", "vlc",
-// "swfplay", "cwebp", "imagemagick").
+// "swfplay", "cwebp", "imagemagick", "gifview", "tifthumb").
 func Application(short string) (*App, error) { return apps.ByName(short) }
+
+// ApplicationNames returns the short names of the given applications, for
+// usage strings and error messages.
+func ApplicationNames(list []*App) []string { return apps.Shorts(list) }
 
 // NewAnalyzer returns a stage 1–3 analyzer for the application.
 func NewAnalyzer(app *App, opts Options) *Analyzer { return core.NewAnalyzer(app, opts) }
@@ -151,3 +164,9 @@ func Table1(appList []*App, recs []*AppRecord) string { return report.Table1(app
 
 // Table2 renders the paper's Table 2 (evaluation summary for exposed sites).
 func Table2(appList []*App, recs []*AppRecord) string { return report.Table2(appList, recs) }
+
+// TableExtended renders the extended-suite table: every site of the given
+// applications with measured-only columns (no paper values exist for them).
+func TableExtended(appList []*App, recs []*AppRecord) string {
+	return report.TableExtended(appList, recs)
+}

@@ -1,7 +1,9 @@
-// Batchaudit sweeps all five benchmark applications in parallel — the
-// paper's full Table 1 experiment — and prints the measured classification
-// next to the paper's. The sweep runs apps × sites concurrently; per-site
-// seed derivation keeps the rows identical to a sequential run.
+// Batchaudit sweeps every registered benchmark application in parallel —
+// the paper's full Table 1 experiment plus the extended workload suite —
+// and prints the measured classification (next to the paper's for the five
+// paper applications, measured-only for the extended ones). The sweep runs
+// apps × sites concurrently; per-site seed derivation keeps the rows
+// identical to a sequential run.
 //
 // Run with: go run ./examples/batchaudit
 package main
@@ -22,14 +24,20 @@ func main() {
 			log.Fatal(o.Err)
 		}
 	}
-	fmt.Print(diode.Table1(diode.Applications(), harness.Records(outcomes)))
+	recs := harness.Records(outcomes)
+	fmt.Print(diode.Table1(diode.PaperApplications(), recs))
+	fmt.Println()
+	fmt.Print(diode.TableExtended(diode.ExtendedApplications(), recs))
 
 	fmt.Println("\nDiscovered overflows:")
 	for _, o := range outcomes {
 		for _, sr := range o.Result.Sites {
 			if sr.Verdict == diode.VerdictExposed {
-				paper, _ := o.App.PaperFor(sr.Target.Site)
-				fmt.Printf("  %-32s %-22s %s\n", sr.Target.Site, sr.ErrorType, paper.CVE)
+				cve := "(extended suite)"
+				if paper, ok := o.App.PaperFor(sr.Target.Site); ok {
+					cve = paper.CVE
+				}
+				fmt.Printf("  %-32s %-22s %s\n", sr.Target.Site, sr.ErrorType, cve)
 			}
 		}
 	}

@@ -28,7 +28,8 @@ func TestSeedsRunClean(t *testing.T) {
 }
 
 // TestTargetSiteCounts: the number of distinct allocation sites whose size is
-// influenced by the input must match Table 1's "Total Target Sites" column.
+// influenced by the input must match Table 1's "Total Target Sites" column
+// for the paper suite, and the documented site counts for the extended one.
 func TestTargetSiteCounts(t *testing.T) {
 	want := map[string]int{
 		"dillo":       12,
@@ -36,6 +37,8 @@ func TestTargetSiteCounts(t *testing.T) {
 		"swfplay":     8,
 		"cwebp":       7,
 		"imagemagick": 9,
+		"gifview":     5,
+		"tifthumb":    5,
 	}
 	for _, a := range All() {
 		out := interp.Run(a.Program, a.Format.Seed, interp.Options{TrackTaint: true})
@@ -66,7 +69,7 @@ func TestPaperTablesConsistent(t *testing.T) {
 		"imagemagick": {3, 5, 1},
 	}
 	totalSites, totalExposed := 0, 0
-	for _, a := range All() {
+	for _, a := range Paper() {
 		var got [3]int
 		for _, ps := range a.Paper {
 			got[int(ps.Class)]++
@@ -115,6 +118,35 @@ func TestSeedsExerciseAllPaperSites(t *testing.T) {
 				t.Errorf("%s: site %s not exercised by the seed", a.Short, ps.Site)
 			}
 		}
+	}
+}
+
+// TestRegistrySplit: All is exactly Paper followed by Extended, extended
+// apps carry no paper expectations, and ByName resolves every registered
+// application.
+func TestRegistrySplit(t *testing.T) {
+	paper, ext, all := Paper(), Extended(), All()
+	if len(all) != len(paper)+len(ext) {
+		t.Fatalf("All has %d apps, want %d", len(all), len(paper)+len(ext))
+	}
+	for i, a := range append(paper, ext...) {
+		if all[i].Short != a.Short {
+			t.Errorf("All[%d] = %s, want %s", i, all[i].Short, a.Short)
+		}
+	}
+	for _, a := range ext {
+		if len(a.Paper) != 0 {
+			t.Errorf("extended app %s carries paper expectations", a.Short)
+		}
+	}
+	for _, a := range all {
+		got, err := ByName(a.Short)
+		if err != nil || got.Short != a.Short {
+			t.Errorf("ByName(%q) = %v, %v", a.Short, got, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName accepted an unknown application")
 	}
 }
 

@@ -1,0 +1,225 @@
+package apps
+
+import (
+	"diode/internal/formats"
+	. "diode/internal/lang"
+)
+
+// GIFView is the first extended-suite benchmark (no paper counterpart): a
+// GIF-style image viewer over the SGIF format. It exercises branch and field
+// shapes the five paper applications never produce — little-endian 16-bit
+// dimensions, a sub-block framed data chain the walker must skip, and the
+// classic logical-screen/frame-descriptor split: the screen buffer is
+// allocated from the logical screen descriptor while frame decoding writes
+// at coordinates taken from the image descriptor.
+//
+// Five target sites:
+//
+//   - gif.c@155 (exposed): the screen buffer lsw*lsh*4. Two tile-alignment
+//     checks and a wrapping-arithmetic size check guard it, so the Figure 7
+//     loop must enforce several branches before the overflow fires — random
+//     target-constraint models essentially never pass the checks unaided.
+//   - gif.c@183 (unsatisfiable): the global color table, 3*(2<<(flags&7)),
+//     is bounded by construction.
+//   - lzw.c@88 (sanity-prevented): the LZW code table, (8<<lzwmin) in 16-bit
+//     arithmetic, can wrap but a genuine code-size check prevents it.
+//   - gif.c@466 (exposed): the frame pixel buffer fw*fh*2, allocated
+//     straight from the image descriptor with no prior checks — the paper's
+//     check-free pattern (same-path satisfiable, like CWebP jpegdec.c@248).
+//   - gif.c@512 (sanity-prevented): the row de-interlace buffer, fw*5 in
+//     16-bit arithmetic behind a genuine frame-width limit.
+func GIFView() *App {
+	p := NewProgram("gifview")
+
+	p.AddFunc(readLE16("read_le16"))
+	p.AddFunc(chunkChecksum("gif_checksum"))
+
+	// Screen setup: the logical-screen site with its guarding checks.
+	p.AddFunc(Fn("gif_screen_setup", nil,
+		IfThen("gif.c@131", Eq(BitOr(V("g_lsw"), V("g_lsh")), U32(0)),
+			Abort("empty logical screen"),
+		),
+		// Tile-renderer alignment requirements: narrow slices of the value
+		// space, so overflow models must have them enforced.
+		IfThen("gif.c@137", Ne(BitAnd(V("g_lsw"), U32(31)), U32(0)),
+			Abort("screen width not tile-aligned"),
+		),
+		IfThen("gif.c@141", Ne(BitAnd(V("g_lsh"), U32(15)), U32(0)),
+			Abort("screen height not tile-aligned"),
+		),
+		// Size check computed in wrapping 32-bit arithmetic: evadable.
+		Let("ssz", Mul(Mul(V("g_lsw"), V("g_lsh")), U32(4))),
+		IfElse("gif.c@149", Ugt(V("ssz"), U32(0x2000000)),
+			Block{Warn("screen buffer too large, deferring allocation")},
+			Block{
+				AllocAt("g_screen", "gifview:gif.c@155",
+					Mul(Mul(V("g_lsw"), V("g_lsh")), U32(4))),
+				Let("g_havescreen", U32(1)),
+				// Touch the last byte of the *intended* screen with 64-bit
+				// indexing: lands far outside the block when the 32-bit size
+				// computation wrapped.
+				Put(V("g_screen"),
+					Sub(Mul(Mul(ZX(64, V("g_lsw")), ZX(64, V("g_lsh"))), U64(4)), U64(1)),
+					U8(0)),
+				// Tile-prep loop: a blocking check whose iteration count is a
+				// function of the screen size.
+				Let("i", U32(0)),
+				Loop("gif.c@162", And(Ult(Mul(V("i"), U32(4096)), V("ssz")), Ult(V("i"), U32(16))),
+					Put(V("g_screen"), ZX(64, V("i")), U8(0)),
+					Let("i", Add(V("i"), U32(1))),
+				),
+			},
+		),
+		RetVoid(),
+	))
+
+	// Global color table: bounded by construction (unsatisfiable site).
+	p.AddFunc(Fn("gif_read_gct", nil,
+		Let("ncolors", Shl(U32(2), ZX(32, BitAnd(V("g_flags"), U32(7))))),
+		AllocAt("gct", "gifview:gif.c@183", Mul(V("ncolors"), U32(3))),
+		Let("i", U32(0)),
+		Loop("gif.c@190", Ult(V("i"), Mul(V("ncolors"), U32(3))),
+			Put(V("gct"), ZX(64, V("i")),
+				In(Add(U32(13), V("i")))),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		RetVoid(),
+	))
+
+	// Extension skipper: walks a sub-block chain, returns the offset past the
+	// zero terminator.
+	p.AddFunc(Fn("gif_skip_ext", []string{"off"},
+		Let("len", ZX(32, In(V("off")))),
+		Loop("gif.c@210", Ne(V("len"), U32(0)),
+			Let("off", Add(Add(V("off"), U32(1)), V("len"))),
+			Let("len", ZX(32, In(V("off")))),
+		),
+		Ret(Add(V("off"), U32(1))),
+	))
+
+	// Frame decoder: descriptor parsing, the LZW table site, the check-free
+	// frame buffer site, the screen-copy mismatch, and the row buffer site.
+	// Returns the offset of the image checksum (just past the sub-blocks).
+	p.AddFunc(Fn("gif_decode_frame", []string{"off"},
+		Let("left", Call("read_le16", V("off"))),
+		Let("top", Call("read_le16", Add(V("off"), U32(2)))),
+		Let("fw", Call("read_le16", Add(V("off"), U32(4)))),
+		Let("fh", Call("read_le16", Add(V("off"), U32(6)))),
+		Let("lzwmin", ZX(32, In(Add(V("off"), U32(9))))),
+
+		// LZW code table: 8<<lzwmin computed in 16-bit arithmetic wraps for
+		// lzwmin >= 13, but the genuine code-size check prevents it.
+		IfThen("lzw.c@81", Ugt(V("lzwmin"), U32(11)),
+			Abort("bad LZW minimum code size"),
+		),
+		Let("tab16", Shl(Lit{W: 16, V: 8}, ZX(16, V("lzwmin")))),
+		AllocAt("lzwtab", "gifview:lzw.c@88", ZX(32, V("tab16"))),
+		Put(V("lzwtab"), Sub(ZX(64, V("tab16")), U64(1)), U8(0)),
+
+		// Frame pixel buffer: allocated straight from the image descriptor
+		// with no sanity checks — the overflow is reachable from the target
+		// constraint alone.
+		AllocAt("frame", "gifview:gif.c@466", Mul(Mul(V("fw"), V("fh")), U32(2))),
+		Put(V("frame"),
+			Sub(Mul(Mul(ZX(64, V("fw")), ZX(64, V("fh"))), U64(2)), U64(1)),
+			U8(0)),
+
+		// The logical-screen/frame-descriptor mismatch: frame extents are
+		// only checked against the SGIF spec bound, not the allocated screen,
+		// and the copy below indexes the screen with frame coordinates.
+		IfElse("gif.c@478",
+			Or(Ugt(Add(V("left"), V("fw")), U32(0x8000)),
+				Ugt(Add(V("top"), V("fh")), U32(0x8000))),
+			Block{Warn("frame exceeds SGIF bounds, clipping")},
+			Block{
+				IfThen("gif.c@483", Eq(V("g_havescreen"), U32(1)),
+					// Last pixel of the frame's first row, in screen space.
+					Put(V("g_screen"),
+						ZX(64, Add(Mul(V("top"), V("g_lsw")),
+							Add(V("left"), Sub(V("fw"), U32(1))))),
+						U8(1)),
+				),
+			},
+		),
+
+		// Row de-interlace buffer: fw*5 in 16-bit arithmetic wraps for
+		// fw >= 13108; the genuine frame-width limit prevents it.
+		IfThen("gif.c@507", Ugt(V("fw"), U32(10000)),
+			Abort("frame wider than decoder limit"),
+		),
+		Let("rb16", Mul(ZX(16, V("fw")), Lit{W: 16, V: 5})),
+		AllocAt("rowbuf", "gifview:gif.c@512", ZX(32, V("rb16"))),
+		IfThen("gif.c@514", Ugt(V("rb16"), Lit{W: 16, V: 0}),
+			Put(V("rowbuf"), Sub(ZX(64, V("rb16")), U64(1)), U8(0)),
+		),
+
+		// Skip the LZW data sub-blocks; the checksum follows the terminator.
+		Let("p", Add(V("off"), U32(10))),
+		Let("len", ZX(32, In(V("p")))),
+		Loop("gif.c@530", Ne(V("len"), U32(0)),
+			Let("p", Add(Add(V("p"), U32(1)), V("len"))),
+			Let("len", ZX(32, In(V("p")))),
+		),
+		Ret(Add(V("p"), U32(1))),
+	))
+
+	p.AddFunc(Fn("main", nil,
+		Let("g_lsw", U32(0)), Let("g_lsh", U32(0)), Let("g_flags", U32(0)),
+		Let("g_havescreen", U32(0)), Let("g_done", U32(0)),
+		// Signature check ("SGIF9a").
+		IfThen("gif.c@sig", Or(
+			Or(Ne(ZX(32, InAt(0)), U32('S')), Ne(ZX(32, InAt(1)), U32('G'))),
+			Or(
+				Or(Ne(ZX(32, InAt(2)), U32('I')), Ne(ZX(32, InAt(3)), U32('F'))),
+				Or(Ne(ZX(32, InAt(4)), U32('9')), Ne(ZX(32, InAt(5)), U32('a'))))),
+			Abort("not an SGIF file"),
+		),
+		// Logical screen descriptor.
+		Let("g_lsw", Call("read_le16", U32(6))),
+		Let("g_lsh", Call("read_le16", U32(8))),
+		Let("g_flags", ZX(32, In(U32(10)))),
+		Do(Call("gif_screen_setup")),
+		Do(Call("gif_read_gct")),
+		// Block walk.
+		Let("off", U32(37)),
+		Loop("gif.c@walk", And(Ult(V("off"), Len()), Eq(V("g_done"), U32(0))),
+			Let("btype", ZX(32, In(V("off")))),
+			IfElse("", Eq(V("btype"), U32(0x21)),
+				Block{Let("off", Call("gif_skip_ext", Add(V("off"), U32(2))))},
+				Block{
+					IfElse("", Eq(V("btype"), U32(0x2C)),
+						Block{
+							Let("ckoff", Call("gif_decode_frame", Add(V("off"), U32(1)))),
+							// Checksum verification: Peach must reconstruct
+							// the image checksum for a generated input to get
+							// past this branch.
+							Let("sum", Call("gif_checksum", U32(6), Sub(V("ckoff"), U32(6)))),
+							Let("stored", Call("read_le16", V("ckoff"))),
+							IfThen("gif.c@crc", Ne(BitAnd(V("sum"), U32(0xFFFF)), V("stored")),
+								Abort("image checksum mismatch"),
+							),
+							Let("off", Add(V("ckoff"), U32(2))),
+						},
+						Block{
+							IfElse("", Eq(V("btype"), U32(0x3B)),
+								Block{Let("g_done", U32(1))},
+								Block{Abort("unknown block introducer")},
+							),
+							Let("off", Add(V("off"), U32(1))),
+						},
+					),
+				},
+			),
+		),
+		IfThen("gif.c@eof", Eq(V("g_done"), U32(0)),
+			Abort("missing trailer"),
+		),
+	))
+
+	return &App{
+		Name:    "GIFView 0.4",
+		Short:   "gifview",
+		Program: mustFinalize(p),
+		Format:  formats.SGIF(),
+	}
+}

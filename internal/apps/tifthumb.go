@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"diode/internal/formats"
+	. "diode/internal/lang"
+)
+
+// TIFThumb is the second extended-suite benchmark (no paper counterpart): a
+// TIFF-style thumbnailer over the STIF format. Its parsing shape is new to
+// the suite: the IFD lives at an offset read from the header, so every
+// interesting value is reached through offset indirection, and the strip
+// data is located through the StripOffsets entry.
+//
+// Five target sites:
+//
+//   - tif.c@139 (unsatisfiable): the colormap, 6*(1<<(bits&7)), is bounded
+//     by construction.
+//   - tif.c@167 (sanity-prevented): the sample conversion LUT, bits*1024 in
+//     16-bit arithmetic, can wrap but a genuine bits-per-sample check
+//     prevents it.
+//   - tif.c@188 (exposed): the strip staging buffer (rows_per_strip+1)*1024,
+//     allocated with no prior checks — exposed from the target constraint
+//     alone (the §5.5 check-free pattern).
+//   - tif.c@231 (exposed): the pixel buffer w*h*4 behind two genuine range
+//     checks and a wrapping-arithmetic size check. Width and height are full
+//     32-bit fields, so random target-constraint models essentially always
+//     violate the range checks: the site is only exposed after the Figure 7
+//     loop enforces at least the two range-check branches.
+//   - thumb.c@58 (unsatisfiable): the thumbnail encode buffer is bounded by
+//     construction.
+func TIFThumb() *App {
+	p := NewProgram("tifthumb")
+
+	p.AddFunc(readLE16("read_le16"))
+	p.AddFunc(readLE32("read_le32"))
+
+	// Colormap: bounded by construction (unsatisfiable site).
+	p.AddFunc(Fn("tif_read_cmap", nil,
+		Let("ncmap", Shl(U32(1), BitAnd(V("g_bits"), U32(7)))),
+		AllocAt("cmap", "tifthumb:tif.c@139", Mul(V("ncmap"), U32(6))),
+		Put(V("cmap"), U64(0), U8(0)),
+		RetVoid(),
+	))
+
+	// Sample conversion LUT: bits*1024 in 16-bit arithmetic wraps for
+	// bits >= 64, but the genuine bits-per-sample check prevents it.
+	p.AddFunc(Fn("tif_build_lut", nil,
+		IfThen("tif.c@161", Ugt(V("g_bits"), U32(32)),
+			Abort("unsupported bits per sample"),
+		),
+		Let("lut16", Mul(ZX(16, V("g_bits")), Lit{W: 16, V: 1024})),
+		AllocAt("lut", "tifthumb:tif.c@167", ZX(32, V("lut16"))),
+		IfThen("tif.c@169", Ugt(V("lut16"), Lit{W: 16, V: 0}),
+			Put(V("lut"), Sub(ZX(64, V("lut16")), U64(1)), U8(0)),
+		),
+		RetVoid(),
+	))
+
+	// Strip staging buffer: allocated straight from RowsPerStrip with no
+	// sanity checks, then the strip bytes are consumed through the offset
+	// indirection of the StripOffsets entry.
+	p.AddFunc(Fn("tif_read_strip", nil,
+		AllocAt("staging", "tifthumb:tif.c@188",
+			Mul(Add(V("g_rows"), U32(1)), U32(1024))),
+		Put(V("staging"),
+			Sub(Mul(Add(ZX(64, V("g_rows")), U64(1)), U64(1024)), U64(1)),
+			U8(0)),
+		Let("i", U32(0)),
+		Loop("tif.c@201", And(Ult(V("i"), V("g_stripcnt")), Ult(V("i"), U32(64))),
+			Put(V("staging"), ZX(64, V("i")),
+				In(Add(V("g_stripoff"), V("i")))),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		RetVoid(),
+	))
+
+	// Pixel buffer: two genuine range checks plus a wrapping-arithmetic size
+	// check — the enforcement-heavy exposed site.
+	p.AddFunc(Fn("tif_decode_pixels", nil,
+		IfThen("tif.c@214", Eq(BitOr(V("g_w"), V("g_h")), U32(0)),
+			Abort("empty image"),
+		),
+		IfThen("tif.c@217", Ugt(V("g_w"), U32(0x100000)),
+			Abort("image width exceeds TIFF limit"),
+		),
+		IfThen("tif.c@220", Ugt(V("g_h"), U32(0x100000)),
+			Abort("image height exceeds TIFF limit"),
+		),
+		// Size check computed in wrapping 32-bit arithmetic: evadable.
+		Let("psz", Mul(Mul(V("g_w"), V("g_h")), U32(4))),
+		IfElse("tif.c@226", Ugt(V("psz"), U32(0x4000000)),
+			Block{Warn("pixel buffer too large, using banded decode")},
+			Block{
+				AllocAt("g_pix", "tifthumb:tif.c@231",
+					Mul(Mul(V("g_w"), V("g_h")), U32(4))),
+				// Touch the last byte of the intended image with 64-bit
+				// indexing, as on x86-64.
+				Put(V("g_pix"),
+					Sub(Mul(Mul(ZX(64, V("g_w")), ZX(64, V("g_h"))), U64(4)), U64(1)),
+					U8(0)),
+				// Banded downscale loop: iteration count is a function of the
+				// computed size (a blocking check on the dimension fields).
+				Let("i", U32(0)),
+				Loop("tif.c@239", And(Ult(Mul(V("i"), U32(2048)), V("psz")), Ult(V("i"), U32(16))),
+					Put(V("g_pix"), ZX(64, V("i")), U8(0)),
+					Let("i", Add(V("i"), U32(1))),
+				),
+			},
+		),
+		RetVoid(),
+	))
+
+	// Thumbnail encode buffer: bounded by construction (unsatisfiable site).
+	p.AddFunc(Fn("thumb_encode", nil,
+		AllocAt("out", "tifthumb:thumb.c@58",
+			Add(Mul(BitAnd(V("g_bits"), U32(15)), U32(512)), U32(4096))),
+		Put(V("out"), U64(0), U8(0)),
+		RetVoid(),
+	))
+
+	p.AddFunc(Fn("main", nil,
+		Let("g_w", U32(0)), Let("g_h", U32(0)), Let("g_bits", U32(0)),
+		Let("g_rows", U32(0)), Let("g_stripoff", U32(0)), Let("g_stripcnt", U32(0)),
+		Let("g_acc", U32(0)),
+		// Header magic: "II" then 42.
+		IfThen("tif.c@magic", Or(
+			Or(Ne(ZX(32, InAt(0)), U32('I')), Ne(ZX(32, InAt(1)), U32('I'))),
+			Ne(Call("read_le16", U32(2)), U32(42))),
+			Abort("not an STIF file"),
+		),
+		// Offset indirection: the IFD lives wherever the header points.
+		Let("ifdoff", Call("read_le32", U32(4))),
+		IfThen("tif.c@hdr", Ugt(Add(V("ifdoff"), U32(2)), Len()),
+			Abort("IFD offset outside file"),
+		),
+		Let("count", Call("read_le16", V("ifdoff"))),
+		IfThen("tif.c@count", Eq(V("count"), U32(0)),
+			Abort("empty IFD"),
+		),
+		// Tagged-entry walk.
+		Let("i", U32(0)),
+		Loop("tif.c@walk", And(Ult(V("i"), V("count")), Ult(V("i"), U32(8))),
+			Let("ep", Add(Add(V("ifdoff"), U32(2)), Mul(V("i"), U32(12)))),
+			IfThen("tif.c@entry", Ugt(Add(V("ep"), U32(12)), Len()),
+				Abort("IFD entry outside file"),
+			),
+			Let("tag", Call("read_le16", V("ep"))),
+			IfThen("", Eq(V("tag"), U32(256)),
+				Let("g_w", Call("read_le32", Add(V("ep"), U32(8))))),
+			IfThen("", Eq(V("tag"), U32(257)),
+				Let("g_h", Call("read_le32", Add(V("ep"), U32(8))))),
+			IfThen("", Eq(V("tag"), U32(258)),
+				Let("g_bits", Call("read_le16", Add(V("ep"), U32(8))))),
+			IfThen("", Eq(V("tag"), U32(273)),
+				Let("g_stripoff", Call("read_le32", Add(V("ep"), U32(8))))),
+			IfThen("", Eq(V("tag"), U32(278)),
+				Let("g_rows", Call("read_le32", Add(V("ep"), U32(8))))),
+			IfThen("", Eq(V("tag"), U32(279)),
+				Let("g_stripcnt", Call("read_le32", Add(V("ep"), U32(8))))),
+			Let("i", Add(V("i"), U32(1))),
+		),
+		// Strip bookkeeping must frame the file (Peach maintains this).
+		IfThen("tif.c@counts", Ne(Add(V("g_stripoff"), V("g_stripcnt")), Len()),
+			Abort("strip byte counts do not frame the file"),
+		),
+		Do(Call("tif_read_cmap")),
+		Do(Call("tif_build_lut")),
+		Do(Call("tif_read_strip")),
+		Do(Call("tif_decode_pixels")),
+		Do(Call("thumb_encode")),
+	))
+
+	return &App{
+		Name:    "TIFThumb 0.2",
+		Short:   "tifthumb",
+		Program: mustFinalize(p),
+		Format:  formats.STIF(),
+	}
+}

@@ -41,8 +41,18 @@ type Spec struct {
 	Order Endian
 }
 
-// Width returns the field's bit width.
-func (s Spec) Width() uint8 { return uint8(s.Size * 8) }
+// Width returns the field's bit width, or 0 for a Spec whose Size is not one
+// of the supported values (1, 2, 4 or 8). NewMap rejects such specs, but a
+// Spec can also be constructed directly; without the guard a size-0 or
+// size-32 spec would silently yield width 0 via uint8 overflow while sizes
+// like 33 would yield garbage widths.
+func (s Spec) Width() uint8 {
+	switch s.Size {
+	case 1, 2, 4, 8:
+		return uint8(s.Size * 8)
+	}
+	return 0
+}
 
 // Covers reports whether the field contains the given byte offset.
 func (s Spec) Covers(off int) bool { return off >= s.Offset && off < s.Offset+s.Size }
@@ -112,6 +122,38 @@ func (s Spec) byteExtract(off int) *bv.Term {
 // interpreter.
 func InputVarName(off int) string { return fmt.Sprintf("in[%d]", off) }
 
+// ParseInputVar parses a canonical per-byte variable name produced by
+// InputVarName and returns the byte offset. Only exact matches are accepted:
+// the name must be "in[<digits>]" with no leading zeros, signs or trailing
+// characters. (fmt.Sscanf-style parsing would accept "in[3]x" as byte 3.)
+func ParseInputVar(name string) (int, bool) {
+	const prefix = "in["
+	if len(name) < len(prefix)+2 || name[:len(prefix)] != prefix || name[len(name)-1] != ']' {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-1]
+	if len(digits) > 1 && digits[0] == '0' {
+		return 0, false
+	}
+	off := 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		// Bound before accumulating so the multiply cannot overflow even
+		// where int is 32 bits (off stays well below MaxInt32/10).
+		if off > (1<<30)/10 {
+			return 0, false
+		}
+		off = off*10 + int(c-'0')
+	}
+	if off > 1<<30 {
+		return 0, false
+	}
+	return off, true
+}
+
 // replacements builds the substitution from per-byte variables to field-byte
 // extracts for the byte offsets in use.
 func (m *Map) replacements(offsets []int) map[string]*bv.Term {
@@ -128,8 +170,7 @@ func (m *Map) replacements(offsets []int) map[string]*bv.Term {
 func offsetsOf(vs bv.VarSet) []int {
 	var out []int
 	for name := range vs {
-		var off int
-		if n, _ := fmt.Sscanf(name, "in[%d]", &off); n == 1 {
+		if off, ok := ParseInputVar(name); ok {
 			out = append(out, off)
 		}
 	}

@@ -33,6 +33,46 @@ func TestBadSizeRejected(t *testing.T) {
 	}
 }
 
+// TestWidthDefendsInvalidSizes: a directly constructed Spec with an invalid
+// size must report width 0 rather than an overflowed uint8 (size 32 used to
+// wrap to width 0 by accident while size 33 produced garbage width 8).
+func TestWidthDefendsInvalidSizes(t *testing.T) {
+	for size, want := range map[int]uint8{
+		1: 8, 2: 16, 4: 32, 8: 64, // supported sizes
+		0: 0, 3: 0, 16: 0, 32: 0, 33: 0, -1: 0, // invalid sizes all report 0
+	} {
+		if got := (Spec{Name: "/x", Size: size}).Width(); got != want {
+			t.Errorf("Spec{Size: %d}.Width() = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestParseInputVar(t *testing.T) {
+	good := map[string]int{"in[0]": 0, "in[7]": 7, "in[42]": 42, "in[1073741824]": 1 << 30}
+	for name, want := range good {
+		if off, ok := ParseInputVar(name); !ok || off != want {
+			t.Errorf("ParseInputVar(%q) = %d,%v; want %d,true", name, off, ok, want)
+		}
+	}
+	bad := []string{"", "in", "in[]", "in[3", "in3]", "in[3]x", "in[03]", "in[+3]", "in[-3]",
+		"in[3.5]", "xin[3]", "IN[3]", "in[99999999999999999999]", "in[[3]]",
+		// Values just past the 2^30 cap, including ones whose 32-bit
+		// accumulation would wrap back into range.
+		"in[1073741825]", "in[4294967296]", "in[18446744073709551617]"}
+	for _, name := range bad {
+		if off, ok := ParseInputVar(name); ok {
+			t.Errorf("ParseInputVar(%q) accepted as offset %d", name, off)
+		}
+	}
+	// Round trip with the canonical producer.
+	for _, off := range []int{0, 1, 9, 10, 255, 100000} {
+		got, ok := ParseInputVar(InputVarName(off))
+		if !ok || got != off {
+			t.Errorf("round trip of offset %d failed: %d,%v", off, got, ok)
+		}
+	}
+}
+
 func TestReadWriteRoundTrip(t *testing.T) {
 	for _, order := range []Endian{BigEndian, LittleEndian} {
 		for _, size := range []int{1, 2, 4, 8} {

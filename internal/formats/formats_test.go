@@ -8,7 +8,7 @@ import (
 )
 
 func all() []*Format {
-	return []*Format{SPNG(), SWAV(), SJPG(), SWEBP(), SXWD()}
+	return []*Format{SPNG(), SWAV(), SJPG(), SWEBP(), SXWD(), SGIF(), STIF()}
 }
 
 func TestSeedsValidate(t *testing.T) {
@@ -22,6 +22,7 @@ func TestSeedsValidate(t *testing.T) {
 func TestSeedsDeterministic(t *testing.T) {
 	builders := map[string]func() *Format{
 		"spng": SPNG, "swav": SWAV, "sjpg": SJPG, "swebp": SWEBP, "sxwd": SXWD,
+		"sgif": SGIF, "stif": STIF,
 	}
 	for name, mk := range builders {
 		a, b := mk(), mk()
@@ -51,6 +52,15 @@ func TestFieldsReadSeedValues(t *testing.T) {
 		"sxwd": {
 			"/xwd/width": 320, "/xwd/height": 200, "/xwd/depth": 24,
 			"/xwd/ncolors": 8, "/xwd/bytes_per_line": 960,
+		},
+		"sgif": {
+			"/lsd/width": 640, "/lsd/height": 480, "/lsd/flags": 0x82,
+			"/img/left": 12, "/img/top": 8, "/img/width": 50,
+			"/img/height": 40, "/img/lzwmin": 8,
+		},
+		"stif": {
+			"/ifd/width": 64, "/ifd/height": 48, "/ifd/bits": 8,
+			"/ifd/rows_per_strip": 16,
 		},
 	}
 	for _, f := range all() {
@@ -130,6 +140,62 @@ func TestRIFFSizeFixups(t *testing.T) {
 		if got := rdle32(data, 4); got != uint32(len(data)-8) {
 			t.Errorf("%s: riff size %d, want %d", f.Name, got, len(data)-8)
 		}
+	}
+}
+
+// TestSGIFChecksumRepair corrupts a checksum-covered field and checks the
+// fix-up repairs the image checksum through the sub-block framing.
+func TestSGIFChecksumRepair(t *testing.T) {
+	f := SGIF()
+	data := append([]byte(nil), f.Seed...)
+	le16(data, SGIFImgDesc+4, 0xBEEF) // clobber the frame width
+	if err := f.Validate(data); err == nil {
+		t.Fatal("corrupted file unexpectedly validates")
+	}
+	FixSGIFChecksums(data)
+	if err := f.Validate(data); err != nil {
+		t.Fatalf("fix-up did not repair the checksum: %v", err)
+	}
+}
+
+// TestSGIFFixupStopsAtBadFraming: a sub-block length running past EOF must
+// stop the walker, not panic or write out of bounds.
+func TestSGIFFixupStopsAtBadFraming(t *testing.T) {
+	f := SGIF()
+	data := append([]byte(nil), f.Seed...)
+	data[SGIFSubBlocks] = 0xFF // first LZW sub-block claims 255 bytes
+	FixSGIFChecksums(data)
+	if err := f.Validate(data); err == nil {
+		t.Fatal("unframed file unexpectedly validates")
+	}
+}
+
+// TestSTIFStripBytesFixup: growing the file must be repaired through the
+// IFD indirection, like the RIFF size fix-ups.
+func TestSTIFStripBytesFixup(t *testing.T) {
+	f := STIF()
+	data := append(append([]byte(nil), f.Seed...), 1, 2, 3, 4)
+	if err := f.Validate(data); err == nil {
+		t.Fatal("grown file unexpectedly validates before fix-up")
+	}
+	FixSTIFStripBytes(data)
+	if err := f.Validate(data); err != nil {
+		t.Fatalf("fix-up did not repair strip byte counts: %v", err)
+	}
+	if got := rdle32(data, STIFCountsValue); got != uint32(len(data)-STIFStripData) {
+		t.Errorf("strip byte count %d, want %d", got, len(data)-STIFStripData)
+	}
+}
+
+// TestSTIFFixupSurvivesBadIFD: a header pointing the IFD past EOF must be
+// left alone without panicking.
+func TestSTIFFixupSurvivesBadIFD(t *testing.T) {
+	f := STIF()
+	data := append([]byte(nil), f.Seed...)
+	le32(data, STIFIFDOffset, 0xFFFFFF)
+	FixSTIFStripBytes(data)
+	if err := f.Validate(data); err == nil {
+		t.Fatal("file with out-of-bounds IFD unexpectedly validates")
 	}
 }
 

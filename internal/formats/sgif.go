@@ -1,0 +1,199 @@
+package formats
+
+import (
+	"bytes"
+
+	"diode/internal/field"
+	"diode/internal/inputgen"
+)
+
+// SGIF is the GIF-analogue format the GIFView benchmark processes: an
+// LZW-flavored, sub-block framed image format with little-endian dimensions
+// and the classic logical-screen/frame-descriptor split to exploit:
+//
+//	"SGIF9a" | logical screen descriptor | global color table |
+//	blocks... | trailer(0x3B)
+//
+// The logical screen descriptor is width(2 LE), height(2 LE), flags(1),
+// background(1), aspect(1). The global color table is always stored as 8
+// RGB entries (the flags' low bits only select how many a viewer uses).
+// Blocks are either extensions (0x21, label, sub-block chain) or image
+// blocks (0x2C, then left/top/width/height as 2-byte LE fields, flags(1),
+// LZW minimum code size(1), a sub-block chain of LZW data, and a 16-bit LE
+// additive checksum over everything from the screen descriptor up to the
+// checksum itself). A sub-block chain is length(1)-prefixed runs terminated
+// by a zero length — the framing a generated input must keep intact — and
+// the checksum is maintained by a fix-up, like SPNG's chunk checksums.
+
+// SGIF seed layout constants.
+const (
+	SGIFSigLen     = 6  // "SGIF9a"
+	SGIFLSD        = 6  // width(2 LE) height(2 LE) flags(1) bg(1) aspect(1)
+	SGIFGCT        = 13 // 8 RGB entries
+	SGIFFirstBlock = 37 // extension introducer in the seed
+	SGIFImgSep     = 49 // 0x2C image separator
+	SGIFImgDesc    = 50 // left(2 LE) top(2 LE) width(2 LE) height(2 LE) flags(1) lzwmin(1)
+	SGIFSubBlocks  = 60 // first LZW sub-block length byte
+	SGIFChecksum   = 79 // 16-bit LE checksum of [SGIFLSD, SGIFChecksum)
+	SGIFTrailer    = 81
+	SGIFSeedLength = 82
+)
+
+var sgifSignature = []byte("SGIF9a")
+
+// SGIF returns the GIFView input format with its canonical seed.
+func SGIF() *Format {
+	var buf bytes.Buffer
+	buf.Write(sgifSignature)
+
+	lsd := make([]byte, 7)
+	le16(lsd, 0, 640) // logical screen width
+	le16(lsd, 2, 480) // logical screen height
+	lsd[4] = 0x82     // flags: GCT present, size exponent 2 (8 colors)
+	lsd[5] = 0        // background color index
+	lsd[6] = 49       // pixel aspect ratio
+	buf.Write(lsd)
+
+	gct := make([]byte, 8*3)
+	for i := range gct {
+		gct[i] = byte(17 * i)
+	}
+	buf.Write(gct)
+
+	// Comment extension: introducer, label, one 8-byte sub-block, terminator.
+	buf.Write([]byte{0x21, 0xFE, 8})
+	buf.WriteString("seedfile")
+	buf.WriteByte(0)
+
+	// Image block: separator, descriptor, LZW data sub-blocks, checksum.
+	buf.WriteByte(0x2C)
+	desc := make([]byte, 10)
+	le16(desc, 0, 12) // left
+	le16(desc, 2, 8)  // top
+	le16(desc, 4, 50) // frame width
+	le16(desc, 6, 40) // frame height
+	desc[8] = 0       // frame flags
+	desc[9] = 8       // LZW minimum code size
+	buf.Write(desc)
+
+	buf.WriteByte(10)
+	for i := 0; i < 10; i++ {
+		buf.WriteByte(byte(0x30 + 7*i))
+	}
+	buf.WriteByte(6)
+	for i := 0; i < 6; i++ {
+		buf.WriteByte(byte(0x90 + 5*i))
+	}
+	buf.WriteByte(0)        // sub-block terminator
+	buf.Write([]byte{0, 0}) // checksum, fixed up below
+	buf.WriteByte(0x3B)     // trailer
+
+	seed := buf.Bytes()
+	if len(seed) != SGIFSeedLength {
+		panic("formats: SGIF seed layout drifted; update the offset constants")
+	}
+	FixSGIFChecksums(seed)
+
+	fields := field.MustMap([]field.Spec{
+		{Name: "/lsd/width", Offset: SGIFLSD, Size: 2, Order: field.LittleEndian},
+		{Name: "/lsd/height", Offset: SGIFLSD + 2, Size: 2, Order: field.LittleEndian},
+		{Name: "/lsd/flags", Offset: SGIFLSD + 4, Size: 1},
+		{Name: "/img/left", Offset: SGIFImgDesc, Size: 2, Order: field.LittleEndian},
+		{Name: "/img/top", Offset: SGIFImgDesc + 2, Size: 2, Order: field.LittleEndian},
+		{Name: "/img/width", Offset: SGIFImgDesc + 4, Size: 2, Order: field.LittleEndian},
+		{Name: "/img/height", Offset: SGIFImgDesc + 6, Size: 2, Order: field.LittleEndian},
+		{Name: "/img/lzwmin", Offset: SGIFImgDesc + 9, Size: 1},
+	})
+
+	return &Format{
+		Name:     "sgif",
+		Seed:     seed,
+		Fields:   fields,
+		Fixups:   []inputgen.Fixup{FixSGIFChecksums},
+		Validate: validateSGIF,
+	}
+}
+
+// sgifSkipSubBlocks walks a sub-block chain starting at the first length
+// byte and returns the offset just past the zero terminator, or -1 when the
+// chain is not properly framed within the data.
+func sgifSkipSubBlocks(data []byte, pos int) int {
+	for {
+		if pos >= len(data) {
+			return -1
+		}
+		n := int(data[pos])
+		if n == 0 {
+			return pos + 1
+		}
+		pos += 1 + n
+	}
+}
+
+// FixSGIFChecksums walks the block structure and rewrites every image
+// block's 16-bit checksum over [SGIFLSD, checksum offset) — the sub-block
+// framed counterpart of SPNG's chunk checksum repair. Malformed framing is
+// left alone (the parser rejects it anyway).
+func FixSGIFChecksums(data []byte) {
+	if len(data) < SGIFFirstBlock {
+		return
+	}
+	pos := SGIFFirstBlock
+	for pos < len(data) {
+		switch data[pos] {
+		case 0x21: // extension: introducer, label, sub-blocks
+			next := sgifSkipSubBlocks(data, pos+2)
+			if next < 0 {
+				return
+			}
+			pos = next
+		case 0x2C: // image: separator, 10-byte descriptor, sub-blocks, checksum
+			next := sgifSkipSubBlocks(data, pos+11)
+			if next < 0 || next+2 > len(data) {
+				return
+			}
+			le16(data, next, uint16(sum32(data[SGIFLSD:next])))
+			pos = next + 2
+		default: // trailer or junk: nothing left to fix
+			return
+		}
+	}
+}
+
+func validateSGIF(data []byte) error {
+	if len(data) < SGIFGCT+8*3 || !bytes.Equal(data[:SGIFSigLen], sgifSignature) {
+		return structErr("sgif", "bad signature")
+	}
+	pos := SGIFFirstBlock
+	for {
+		if pos >= len(data) {
+			return structErr("sgif", "missing trailer")
+		}
+		switch data[pos] {
+		case 0x21:
+			next := sgifSkipSubBlocks(data, pos+2)
+			if next < 0 {
+				return structErr("sgif", "extension at %d runs past EOF", pos)
+			}
+			pos = next
+		case 0x2C:
+			if pos+11 > len(data) {
+				return structErr("sgif", "truncated image descriptor at %d", pos)
+			}
+			next := sgifSkipSubBlocks(data, pos+11)
+			if next < 0 || next+2 > len(data) {
+				return structErr("sgif", "image data at %d runs past EOF", pos)
+			}
+			want := uint16(sum32(data[SGIFLSD:next]))
+			got := uint16(data[next]) | uint16(data[next+1])<<8
+			if got != want {
+				return structErr("sgif", "image checksum mismatch: %#x != %#x", got, want)
+			}
+			pos = next + 2
+		case 0x3B:
+			return nil
+		default:
+			return structErr("sgif", "unknown block introducer %#x at %d", data[pos], pos)
+		}
+	}
+}

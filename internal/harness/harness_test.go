@@ -7,10 +7,10 @@ import (
 	"diode/internal/core"
 )
 
-// TestEvaluateClassification runs the full five-application sweep (Table 1)
+// TestEvaluateClassification runs the five-application paper sweep (Table 1)
 // through the harness and checks the totals against the paper.
 func TestEvaluateClassification(t *testing.T) {
-	outcomes := EvaluateAll(Config{Seed: 21})
+	outcomes := Evaluate(Config{Seed: 21}, apps.Paper())
 	if len(outcomes) != 5 {
 		t.Fatalf("%d outcomes, want 5", len(outcomes))
 	}

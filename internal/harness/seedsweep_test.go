@@ -6,14 +6,14 @@ import (
 	"diode/internal/apps"
 )
 
-// TestClassificationStableAcrossSeeds runs the full sweep at several seeds:
-// the Table 1 classification must not depend on the random draws.
+// TestClassificationStableAcrossSeeds runs the full paper sweep at several
+// seeds: the Table 1 classification must not depend on the random draws.
 func TestClassificationStableAcrossSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-seed sweep")
 	}
 	for _, seed := range []int64{1, 21, 77, 1234} {
-		outcomes := EvaluateAll(Config{Seed: seed})
+		outcomes := Evaluate(Config{Seed: seed}, apps.Paper())
 		var exposed, unsat, prevented int
 		for _, o := range outcomes {
 			if o.Err != nil {

@@ -11,6 +11,7 @@ package inputgen
 
 import (
 	"fmt"
+	"sort"
 
 	"diode/internal/bv"
 	"diode/internal/field"
@@ -50,15 +51,22 @@ func (g *Generator) Generate(seed []byte, asn bv.Assignment) ([]byte, error) {
 		}
 		spec.Write(out, v)
 	}
-	// Raw-byte mode for variables not lifted to fields.
-	for name, v := range asn {
-		var off int
-		if n, _ := fmt.Sscanf(name, "in[%d]", &off); n == 1 {
-			if off < 0 || off >= len(out) {
-				return nil, fmt.Errorf("inputgen: raw byte %d outside input", off)
-			}
-			out[off] = byte(v)
+	// Raw-byte mode for variables not lifted to fields. Names must be exact
+	// canonical in[i] forms (ParseInputVar), and patches are applied in sorted
+	// name order so the result never depends on map iteration order.
+	var raw []string
+	for name := range asn {
+		if _, ok := field.ParseInputVar(name); ok {
+			raw = append(raw, name)
 		}
+	}
+	sort.Strings(raw)
+	for _, name := range raw {
+		off, _ := field.ParseInputVar(name)
+		if off >= len(out) {
+			return nil, fmt.Errorf("inputgen: raw byte %d outside input", off)
+		}
+		out[off] = byte(asn[name])
 	}
 	for _, f := range g.fixups {
 		f(out)

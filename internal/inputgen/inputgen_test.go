@@ -64,6 +64,58 @@ func TestGenerateRawByteMode(t *testing.T) {
 	}
 }
 
+// TestGenerateRawByteStrictNames pins the strict-parse behavior: only exact
+// canonical in[i] names patch bytes. The old fmt.Sscanf parse accepted
+// trailing garbage ("in[3]x" patched byte 3) and leading zeros.
+func TestGenerateRawByteStrictNames(t *testing.T) {
+	seed := []byte{9, 9, 9, 9, 9, 9, 9, 9}
+	g := New(testMap(t))
+	for _, name := range []string{"in[7]x", "in[07]", "in[+7]", "in[7", "in[]", "xin[7]", "in[7]]"} {
+		out, err := g.Generate(seed, bv.Assignment{name: 0x5A})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(out, seed) {
+			t.Errorf("non-canonical name %q patched the input: % X", name, out)
+		}
+	}
+	// An out-of-range offset under a malformed name must not error either:
+	// the name is simply not a raw-byte variable.
+	if _, err := g.Generate(seed, bv.Assignment{"in[999]z": 1}); err != nil {
+		t.Fatalf("malformed name rejected as out of range: %v", err)
+	}
+}
+
+// TestGenerateRawByteDeterministicOrder pins the sorted application order:
+// with the seed byte left alone, repeated generations with the same
+// assignment must agree byte for byte regardless of map iteration order.
+func TestGenerateRawByteDeterministicOrder(t *testing.T) {
+	seed := make([]byte, 16)
+	g := New(testMap(t))
+	asn := bv.Assignment{}
+	for i := 6; i < 16; i++ {
+		asn[field.InputVarName(i)] = uint64(0xA0 + i)
+	}
+	first, err := g.Generate(seed, asn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 32; trial++ {
+		out, err := g.Generate(seed, asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, first) {
+			t.Fatalf("trial %d: raw-byte patching not deterministic", trial)
+		}
+	}
+	for i := 6; i < 16; i++ {
+		if first[i] != byte(0xA0+i) {
+			t.Errorf("byte %d = %#x, want %#x", i, first[i], byte(0xA0+i))
+		}
+	}
+}
+
 func TestFixupsRunAfterPatching(t *testing.T) {
 	seed := make([]byte, 8)
 	var sawPatched bool

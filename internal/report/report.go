@@ -90,16 +90,30 @@ func (r *AppRecord) SiteFor(site string) *SiteRecord {
 	return nil
 }
 
-// MarshalJSON round-trips via the standard encoder; records are plain data.
+// Save renders the records as the indented-JSON results database; records
+// are plain data, so the standard encoder round-trips them.
 func Save(recs []*AppRecord) ([]byte, error) {
 	return json.MarshalIndent(recs, "", "  ")
 }
 
-// Load parses a results database produced by Save.
+// Load parses a results database produced by Save. Databases carrying more
+// than one record for the same application are rejected: SiteFor and the
+// table renderers resolve an application to a single record, so a duplicate
+// would make them pick one arbitrarily.
 func Load(data []byte) ([]*AppRecord, error) {
 	var recs []*AppRecord
 	if err := json.Unmarshal(data, &recs); err != nil {
 		return nil, fmt.Errorf("report: corrupt results database: %w", err)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if r == nil {
+			return nil, fmt.Errorf("report: corrupt results database: null record")
+		}
+		if seen[r.App] {
+			return nil, fmt.Errorf("report: results database has duplicate records for application %q", r.App)
+		}
+		seen[r.App] = true
 	}
 	return recs, nil
 }
@@ -192,6 +206,42 @@ func Table2(appList []*apps.App, recs []*AppRecord) string {
 				sr.TargetEnforced, paperER)
 		}
 	}
+	w.Flush()
+	return b.String()
+}
+
+// TableExtended renders the extended-suite evaluation table. Extended
+// applications have no paper expectations, so every column is measured-only
+// and every site appears (not just the exposed ones): classification,
+// observed error type, analysis/discovery times, enforced X/Y and the §5.5
+// success rate when the experiment ran.
+func TableExtended(appList []*apps.App, recs []*AppRecord) string {
+	var b strings.Builder
+	b.WriteString("Extended Suite: Site Classification and Discovery (measured only)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Application\tSite\tClass\tError Type\tTime (A) D\tEnforced X/Y\tTarget Rate")
+	var exposed, unsat, prevented int
+	for _, app := range appList {
+		rec := findRecord(recs, app.Short)
+		if rec == nil {
+			continue
+		}
+		e, u, p := classCounts(rec)
+		exposed, unsat, prevented = exposed+e, unsat+u, prevented+p
+		for _, sr := range rec.Sites {
+			errType, times, enf, rate := "", "", "", ""
+			if sr.Class == apps.ClassExposed.String() {
+				errType = sr.ErrorType
+				times = fmt.Sprintf("(%s) %s", durMS(rec.AnalysisMS), durMS(sr.DiscoveryMS))
+				enf = fmt.Sprintf("%d/%d", sr.Enforced, sr.RelevantDynamic)
+				rate = sr.TargetOnly.String()
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				app.Name, sr.Site, sr.Class, errType, times, enf, rate)
+		}
+	}
+	fmt.Fprintf(w, "Total\t%d sites\t%d exposed, %d unsat, %d prevented\t\t\t\t\n",
+		exposed+unsat+prevented, exposed, unsat, prevented)
 	w.Flush()
 	return b.String()
 }

@@ -9,7 +9,7 @@ import (
 
 func sampleRecords() []*AppRecord {
 	var recs []*AppRecord
-	for _, app := range apps.All() {
+	for _, app := range apps.Paper() {
 		rec := &AppRecord{App: app.Short, AnalysisMS: 10}
 		for _, ps := range app.Paper {
 			rec.Sites = append(rec.Sites, SiteRecord{
@@ -27,7 +27,7 @@ func sampleRecords() []*AppRecord {
 }
 
 func TestTable1RendersTotals(t *testing.T) {
-	out := Table1(apps.All(), sampleRecords())
+	out := Table1(apps.Paper(), sampleRecords())
 	for _, want := range []string{
 		"Dillo 2.1", "VLC 0.8.6h", "ImageMagick 6.5.2",
 		"Total", "40 | 40", "14 | 14", "17 | 17", "9 | 9",
@@ -39,7 +39,7 @@ func TestTable1RendersTotals(t *testing.T) {
 }
 
 func TestTable2RendersExposedRows(t *testing.T) {
-	out := Table2(apps.All(), sampleRecords())
+	out := Table2(apps.Paper(), sampleRecords())
 	for _, want := range []string{
 		"dillo:png.c@203", "CVE-2009-2294", "CVE-2008-2430", "vlc:block.c@54",
 	} {
@@ -49,6 +49,52 @@ func TestTable2RendersExposedRows(t *testing.T) {
 	}
 	if strings.Contains(out, "dillo:png.c@118") {
 		t.Error("Table 2 must only list exposed sites")
+	}
+}
+
+// extendedRecords builds synthetic measured-only records for the extended
+// suite (extended apps carry no paper expectations to derive from).
+func extendedRecords() []*AppRecord {
+	var recs []*AppRecord
+	for _, app := range apps.Extended() {
+		rec := &AppRecord{App: app.Short, AnalysisMS: 4}
+		for i, site := range app.Program.Sites() {
+			class := apps.ClassExposed
+			sr := SiteRecord{App: app.Short, Site: site, Enforced: 2 + i, RelevantDynamic: 11}
+			if i%2 == 1 {
+				class = apps.ClassUnsat
+			} else {
+				sr.ErrorType = "SIGSEGV/InvalidWrite"
+				sr.TargetOnly = Rate{Hits: 5, Total: 20}
+			}
+			sr.Class = class.String()
+			sr.Verdict = class.String()
+			rec.Sites = append(rec.Sites, sr)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestTableExtendedRendersMeasuredOnly: the extended table must carry rows
+// for every extended app and site, with no paper-value "|" separators.
+func TestTableExtendedRendersMeasuredOnly(t *testing.T) {
+	out := TableExtended(apps.Extended(), extendedRecords())
+	for _, want := range []string{
+		"GIFView 0.4", "TIFThumb 0.2",
+		"gifview:gif.c@155", "tifthumb:tif.c@231",
+		"SIGSEGV/InvalidWrite", "5/20", "Total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extended table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "|") {
+		t.Errorf("extended table renders paper-comparison separators:\n%s", out)
+	}
+	// Apps without records are skipped, not rendered empty.
+	if got := TableExtended(apps.Extended(), nil); strings.Contains(got, "GIFView") {
+		t.Error("extended table rendered rows with no records")
 	}
 }
 
@@ -71,6 +117,27 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if _, err := Load([]byte("not json")); err == nil {
 		t.Fatal("corrupt database accepted")
+	}
+}
+
+// TestLoadRejectsDuplicateApps: a database with two records for the same
+// application would make SiteFor and the table renderers pick one
+// arbitrarily, so Load must reject it outright.
+func TestLoadRejectsDuplicateApps(t *testing.T) {
+	recs := sampleRecords()
+	dup := *recs[0]
+	data, err := Save(append(recs, &dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(data); err == nil {
+		t.Fatal("database with duplicate app records accepted")
+	} else if !strings.Contains(err.Error(), recs[0].App) {
+		t.Errorf("duplicate error does not name the application: %v", err)
+	}
+	// A JSON null element must yield an error, not a nil-pointer panic.
+	if _, err := Load([]byte("[null]")); err == nil {
+		t.Fatal("database with a null record accepted")
 	}
 }
 
