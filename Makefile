@@ -1,0 +1,53 @@
+# Local developer entry points mirroring the CI pipeline (.github/workflows/
+# ci.yml). The container/CI installs staticcheck; locally `make lint` runs it
+# when present and prints the install hint otherwise, so `make check` works
+# on a bare Go toolchain.
+
+GO ?= go
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: all build test race lint vet staticcheck check bench-smoke fuzz-smoke
+
+all: check test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; run:"; \
+		echo "  $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+	fi
+
+# lint = gofmt (check only) + go vet + staticcheck, matching CI.
+lint: vet staticcheck
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+check: lint build
+
+# One iteration of every benchmark — includes BenchmarkSuccessRateBatched,
+# whose one-shot-vs-batched row-parity assertions run even at 1x.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Short live-fuzz pass: the per-format fix-up invariant targets and the
+# cross-layer FuzzHunt engine-robustness target.
+fuzz-smoke:
+	@for target in FuzzSPNG FuzzSWAV FuzzSJPG FuzzSWEBP FuzzSXWD FuzzSGIF FuzzSTIF; do \
+		$(GO) test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime 5s ./internal/formats || exit 1; \
+	done
+	$(GO) test -run '^FuzzHunt$$' -fuzz '^FuzzHunt$$' -fuzztime 5s ./internal/core

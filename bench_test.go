@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"diode/internal/apps"
+	"diode/internal/bv"
 	"diode/internal/core"
 	"diode/internal/harness"
+	"diode/internal/interp"
 	"diode/internal/solver"
 )
 
@@ -385,6 +387,131 @@ func BenchmarkHuntIncremental(b *testing.B) {
 				b.ReportMetric(float64(st.ModelCacheHits), "model-cache-hits")
 			}
 		})
+	}
+}
+
+// BenchmarkSuccessRateBatched measures what the compiled execution layer
+// buys the §5.5/§5.6 experiments (the workload of the two SuccessRate
+// benchmarks above): every exposed site's target-only experiment plus every
+// enforcement site's enforced experiment, on the one-shot path
+// (core.Options.OneShotExecution — a fresh tree-walking interpreter with
+// string-keyed environments per sampled input) versus the batched path (the
+// application compiled once, every input executed on one reused slot-indexed
+// machine).
+//
+// Setup (untimed) runs the hunts, samples every experiment's models once and
+// generates the input corpus — sampling and generation are solver/format
+// work identical on both paths, so the corpus is shared by construction —
+// and then verifies row parity through the real Hunter.SuccessRate API: the
+// hit/total counts (the table-row rates) from identically seeded one-shot
+// and batched hunters must be byte-identical. The timed region executes the
+// corpus on each path. Reported metrics:
+//
+//	exec-speedup — one-shot / batched time over the guest executions, the
+//	               component the compiled layer optimizes (the ≥2x claim)
+//	e2e-speedup  — same ratio with each path's full SuccessRate calls
+//	               (sampling included; enforced-constraint model enumeration
+//	               is shared CDCL work, which dilutes this number)
+//	hits, total  — aggregate rates, equal on both paths
+func BenchmarkSuccessRateBatched(b *testing.B) {
+	type item struct {
+		app   *apps.App
+		site  string
+		input []byte
+	}
+	var (
+		corpus       []item
+		machines     = map[*apps.App]*interp.Machine{}
+		e2eOne, e2eB time.Duration
+		hits         int
+	)
+	for _, short := range []string{"dillo", "vlc", "gifview", "tifthumb"} {
+		app, err := apps.ByName(short)
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines[app] = interp.NewMachine(app.Compiled())
+		res, err := core.NewScheduler(app, core.Options{Seed: 1, Parallelism: runtime.GOMAXPROCS(0)}).RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range res.Sites {
+			if sr.Verdict != core.VerdictExposed {
+				continue
+			}
+			constraints := []*bv.Bool{sr.Target.Beta}
+			if sr.EnforcedCount() > 0 {
+				constraints = append(constraints, core.EnforcedConstraint(sr))
+			}
+			for _, constraint := range constraints {
+				siteOpts := core.Options{Seed: 1}.ForSite(sr.Target.Site)
+				oneOpts := siteOpts
+				oneOpts.OneShotExecution = true
+
+				// Row parity through the real experiment path, also timed
+				// for the end-to-end metric.
+				t0 := time.Now()
+				oh, ot := core.NewHunter(app, oneOpts).SuccessRate(sr.Target, constraint, 200)
+				e2eOne += time.Since(t0)
+				t0 = time.Now()
+				bh, bt := core.NewHunter(app, siteOpts).SuccessRate(sr.Target, constraint, 200)
+				e2eB += time.Since(t0)
+				if oh != bh || ot != bt {
+					b.Fatalf("%s: batched rate %d/%d != one-shot %d/%d", sr.Target.Site, bh, bt, oh, ot)
+				}
+				hits += bh
+
+				// Shared corpus: the same models both hunters sampled.
+				sol := solver.New(solver.Options{Seed: siteOpts.Seed})
+				gen := app.Format.Generator()
+				for _, m := range sol.NewSession(constraint).SampleModels(200) {
+					input, err := gen.Generate(app.Format.Seed, m)
+					if err != nil {
+						continue
+					}
+					corpus = append(corpus, item{app: app, site: sr.Target.Site, input: input})
+				}
+			}
+		}
+	}
+
+	triggered := func(out *interp.Outcome, site string) bool {
+		for _, ev := range out.Allocs {
+			if ev.Site == site && ev.Wrapped {
+				return true
+			}
+		}
+		return false
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		oneHits := 0
+		for _, it := range corpus {
+			if triggered(interp.RunTree(it.app.Program, it.input, interp.Options{}), it.site) {
+				oneHits++
+			}
+		}
+		oneShot := time.Since(t0)
+
+		t0 = time.Now()
+		batHits := 0
+		for _, it := range corpus {
+			m := machines[it.app]
+			m.Reset(it.input, interp.Options{})
+			if triggered(m.Run(), it.site) {
+				batHits++
+			}
+		}
+		batched := time.Since(t0)
+
+		if oneHits != batHits {
+			b.Fatalf("corpus hits diverge: one-shot %d != batched %d", oneHits, batHits)
+		}
+		b.ReportMetric(oneShot.Seconds()/batched.Seconds(), "exec-speedup")
+		b.ReportMetric(e2eOne.Seconds()/e2eB.Seconds(), "e2e-speedup")
+		b.ReportMetric(float64(hits), "hits")
+		b.ReportMetric(float64(len(corpus)), "total")
 	}
 }
 

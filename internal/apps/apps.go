@@ -23,8 +23,10 @@ package apps
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"diode/internal/formats"
+	"diode/internal/interp"
 	"diode/internal/lang"
 )
 
@@ -83,6 +85,20 @@ type App struct {
 	Format *formats.Format
 	// Paper lists the paper's per-site expectations.
 	Paper []PaperSite
+
+	compileOnce sync.Once
+	compiled    *interp.Compiled
+}
+
+// Compiled returns the application's guest program in slot-resolved compiled
+// form, compiling on first use. The result is immutable and shared: every
+// Analyzer, Hunter and experiment path holding this *App executes the same
+// Compiled on its own private interp.Machine, so a sweep pays program
+// analysis once per application rather than once per site or per run. Safe
+// for concurrent use.
+func (a *App) Compiled() *interp.Compiled {
+	a.compileOnce.Do(func() { a.compiled = interp.Compile(a.Program) })
+	return a.compiled
 }
 
 // PaperFor returns the paper expectations for a site.

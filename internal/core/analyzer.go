@@ -16,25 +16,45 @@ import (
 // extract the target expression and the branch condition sequence.
 //
 // Analysis runs once per application; the Targets it produces are immutable
-// and safe to share across concurrent Hunters.
+// and safe to share across concurrent Hunters. The Analyzer triggers the
+// application's one-time program compilation (apps.App.Compiled) and runs
+// all its stage 1–3 executions on one private reused interp.Machine; the
+// shared Compiled is what every site's Hunter then executes.
 type Analyzer struct {
 	app  *apps.App
 	opts Options
+	mach *interp.Machine
 }
 
 // NewAnalyzer returns an analyzer for the application.
 func NewAnalyzer(app *apps.App, opts Options) *Analyzer {
-	return &Analyzer{app: app, opts: opts.withDefaults()}
+	a := &Analyzer{app: app, opts: opts.withDefaults()}
+	if !a.opts.OneShotExecution {
+		a.mach = interp.NewMachine(app.Compiled())
+	}
+	return a
 }
 
 // App returns the analyzer's application.
 func (a *Analyzer) App() *apps.App { return a.app }
 
+// run executes the guest on the analyzer's reused machine (or, under the
+// OneShotExecution ablation, on a fresh tree-walking interpreter). The
+// outcome aliases machine storage: anything retained past the next run must
+// be copied.
+func (a *Analyzer) run(input []byte, opts interp.Options) *interp.Outcome {
+	if a.mach == nil {
+		return interp.RunTree(a.app.Program, input, opts)
+	}
+	a.mach.Reset(input, opts)
+	return a.mach.Run()
+}
+
 // Analyze identifies every tainted allocation site and extracts a Target per
 // site, in seed execution order.
 func (a *Analyzer) Analyze() ([]*Target, error) {
 	seed := a.app.Format.Seed
-	taintRun := interp.Run(a.app.Program, seed, interp.Options{
+	taintRun := a.run(seed, interp.Options{
 		TrackTaint: true,
 		Fuel:       a.opts.Fuel,
 	})
@@ -68,7 +88,7 @@ func (a *Analyzer) Analyze() ([]*Target, error) {
 func (a *Analyzer) analyzeSite(site string, labels *taint.Set) (*Target, error) {
 	seed := a.app.Format.Seed
 	relevant := labels.Elems()
-	symRun := interp.Run(a.app.Program, seed, interp.Options{
+	symRun := a.run(seed, interp.Options{
 		TrackSymbolic: true,
 		Fuel:          a.opts.Fuel,
 		SymbolicBytes: func(i int) bool { return labels.Has(i) },
@@ -91,7 +111,11 @@ func (a *Analyzer) analyzeSite(site string, labels *taint.Set) (*Target, error) 
 	expr := fields.LiftTerm(ev.Sym)
 	beta := bv.OverflowCond(expr)
 
-	raw := symRun.Branches[:ev.BranchMark]
+	// The Target retains the raw branch records past this site's run, but the
+	// outcome's slices are reused machine storage — copy before the next
+	// site's symbolic run overwrites them. (The records' Cond terms are
+	// interned and immutable; only the slice needs detaching.)
+	raw := append([]interp.BranchRecord(nil), symRun.Branches[:ev.BranchMark]...)
 	path := trace.FromBranches(raw)
 	lifted := make(trace.Path, len(path))
 	for i, entry := range path {

@@ -51,6 +51,7 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 	for _, m := range initial {
 		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
+			h.sol.NoteGenFailure()
 			continue
 		}
 		res.Runs++
@@ -120,6 +121,7 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 		}
 		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
+			h.sol.NoteGenFailure()
 			res.Verdict = VerdictUnknown
 			return res
 		}
@@ -221,15 +223,27 @@ func (h *Hunter) SamePathSatisfiable(t *Target) solver.Verdict {
 }
 
 // SuccessRate generates up to n inputs satisfying the constraint and reports
-// how many trigger the overflow at the target site (§5.5/§5.6). It returns
-// the number of triggering inputs and the number of inputs generated (fewer
-// than n when the constraint has fewer distinct solutions, as with the
-// paper's x+2 target expression).
+// how many trigger the overflow at the target site (§5.5/§5.6). The
+// experiment is batched: one SampleModels session call enumerates all n
+// models up front, then every sampled input is generated and executed on the
+// hunter's single reused machine — per-sample setup (a fresh interpreter per
+// run) exists only under the OneShotExecution ablation.
+//
+// It returns the number of triggering inputs and the number of inputs
+// actually generated and executed. total can fall short of n two ways, which
+// the caller must not conflate: the constraint may have fewer distinct
+// solutions than n (the paper's x+2 target expression has two), or Generate
+// may fail to reconstruct an input from a model (a broken format fix-up).
+// Generation failures are counted in the hunter's solver.Stats.GenFailures —
+// SolverStats before/after brackets a run — so a fix-up regression surfaces
+// as failures in the stats and report output instead of masquerading as a
+// low success rate.
 func (h *Hunter) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total int) {
 	models := h.sol.NewSession(constraint).SampleModels(n)
 	for _, m := range models {
 		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
+			h.sol.NoteGenFailure()
 			continue
 		}
 		total++

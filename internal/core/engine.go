@@ -57,6 +57,13 @@ type Options struct {
 	// pre-session behavior (benchmark/ablation hook — see
 	// BenchmarkHuntIncremental).
 	OneShotSolver bool
+	// OneShotExecution disables the compiled-program execution layer: every
+	// guest run then re-interprets the AST on a fresh tree-walking machine
+	// with string-keyed environments, the pre-compilation behavior
+	// (benchmark/ablation hook — see BenchmarkSuccessRateBatched). The
+	// default path compiles each application once (apps.App.Compiled) and
+	// reuses one slot-indexed interp.Machine per Analyzer/Hunter.
+	OneShotExecution bool
 	// DisableCompression skips Figure 8 branch-condition compression
 	// (ablation hook).
 	DisableCompression bool

@@ -9,15 +9,24 @@ import (
 
 // Hunter runs the goal-directed conditional branch enforcement loop of
 // Figure 7 against the target sites of one application. Each Hunter owns a
-// private solver and input generator, so hunts are fully isolated from one
-// another: the Scheduler creates one Hunter per site with a seed derived
-// from the run seed and the site name, which is what makes parallel and
-// sequential schedules produce identical verdicts.
+// private solver, input generator and interp.Machine, so hunts are fully
+// isolated from one another: the Scheduler creates one Hunter per site with
+// a seed derived from the run seed and the site name, which is what makes
+// parallel and sequential schedules produce identical verdicts. The guest
+// program itself is executed in the application's shared immutable compiled
+// form (apps.App.Compiled) — compilation is paid once per application, while
+// all mutable execution state stays hunter-private.
 type Hunter struct {
 	app  *apps.App
 	opts Options
 	sol  *solver.Solver
 	gen  *inputgen.Generator
+	mach *interp.Machine
+
+	// relevant memoizes the SymbolicBytes predicate for the last target, so
+	// the per-iteration instrumented runs of one hunt share it.
+	relevantFor *Target
+	relevantFn  func(int) bool
 }
 
 // NewHunter returns a hunter for the application. opts.Seed seeds the
@@ -25,7 +34,7 @@ type Hunter struct {
 // deterministic per-site seed the Scheduler uses.
 func NewHunter(app *apps.App, opts Options) *Hunter {
 	opts = opts.withDefaults()
-	return &Hunter{
+	h := &Hunter{
 		app:  app,
 		opts: opts,
 		sol: solver.New(solver.Options{
@@ -35,6 +44,10 @@ func NewHunter(app *apps.App, opts Options) *Hunter {
 		}),
 		gen: app.Format.Generator(),
 	}
+	if !opts.OneShotExecution {
+		h.mach = interp.NewMachine(app.Compiled())
+	}
+	return h
 }
 
 // App returns the hunter's application.
@@ -46,18 +59,35 @@ func (h *Hunter) SolverStats() solver.Stats { return h.sol.Snapshot() }
 
 // execute runs the guest on an input and returns the outcome. When
 // withBranches is set, the run records the branch trace restricted to the
-// target's relevant bytes (for first-flipped-branch comparison).
+// target's relevant bytes (for first-flipped-branch comparison). The run
+// reuses the hunter's private machine (unless the OneShotExecution ablation
+// rebuilds a tree-walking interpreter per run), so the returned outcome is
+// valid only until the hunter's next execute call.
 func (h *Hunter) execute(t *Target, input []byte, withBranches bool) *interp.Outcome {
 	opts := interp.Options{Fuel: h.opts.Fuel}
 	if withBranches {
-		labels := map[int]bool{}
-		for _, b := range t.RelevantBytes {
-			labels[b] = true
-		}
 		opts.TrackSymbolic = true
-		opts.SymbolicBytes = func(i int) bool { return labels[i] }
+		opts.SymbolicBytes = h.relevantBytes(t)
 	}
-	return interp.Run(h.app.Program, input, opts)
+	if h.mach == nil {
+		return interp.RunTree(h.app.Program, input, opts)
+	}
+	h.mach.Reset(input, opts)
+	return h.mach.Run()
+}
+
+// relevantBytes returns (and memoizes) the target's relevant-byte predicate.
+func (h *Hunter) relevantBytes(t *Target) func(int) bool {
+	if h.relevantFor == t {
+		return h.relevantFn
+	}
+	labels := make(map[int]bool, len(t.RelevantBytes))
+	for _, b := range t.RelevantBytes {
+		labels[b] = true
+	}
+	h.relevantFor = t
+	h.relevantFn = func(i int) bool { return labels[i] }
+	return h.relevantFn
 }
 
 // triggered reports whether the outcome contains an overflowing allocation

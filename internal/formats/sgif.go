@@ -114,6 +114,55 @@ func SGIF() *Format {
 	}
 }
 
+// SGIFAppendFrame returns a copy of data with one more image block — the
+// given descriptor, an 8-bit LZW minimum code size and a single 4-byte LZW
+// sub-block — inserted immediately before the trailer, with every image
+// checksum re-fixed. SGIF allows any number of image blocks per file; the
+// canonical seed carries one, and this helper builds the multi-frame inputs
+// that pin repeated-frame field structure through the taint and trace layers.
+// Data without a well-formed block walk up to a trailer is returned unchanged
+// (the parser rejects it anyway).
+func SGIFAppendFrame(data []byte, left, top, width, height uint16) []byte {
+	out := append([]byte(nil), data...)
+	pos := SGIFFirstBlock
+	for pos < len(out) {
+		switch out[pos] {
+		case 0x21:
+			next := sgifSkipSubBlocks(out, pos+2)
+			if next < 0 {
+				return out
+			}
+			pos = next
+		case 0x2C:
+			next := sgifSkipSubBlocks(out, pos+11)
+			if next < 0 || next+2 > len(out) {
+				return out
+			}
+			pos = next + 2
+		case 0x3B:
+			frame := make([]byte, 0, 19)
+			frame = append(frame, 0x2C)
+			desc := make([]byte, 10)
+			le16(desc, 0, left)
+			le16(desc, 2, top)
+			le16(desc, 4, width)
+			le16(desc, 6, height)
+			desc[8] = 0 // frame flags
+			desc[9] = 8 // LZW minimum code size
+			frame = append(frame, desc...)
+			frame = append(frame, 4, 0x51, 0x62, 0x73, 0x84) // one LZW sub-block
+			frame = append(frame, 0)                         // sub-block terminator
+			frame = append(frame, 0, 0)                      // checksum, fixed up below
+			out = append(out[:pos], append(frame, out[pos:]...)...)
+			FixSGIFChecksums(out)
+			return out
+		default:
+			return out
+		}
+	}
+	return out
+}
+
 // sgifSkipSubBlocks walks a sub-block chain starting at the first length
 // byte and returns the offset just past the zero terminator, or -1 when the
 // chain is not properly framed within the data.

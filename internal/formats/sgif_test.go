@@ -1,0 +1,50 @@
+package formats
+
+import (
+	"bytes"
+	"testing"
+
+	"diode/internal/bv"
+)
+
+// TestSGIFAppendFrame pins the multi-frame fixture builder: appended image
+// blocks keep the file Validate-clean (every per-image checksum re-fixed),
+// stack to arbitrary depth, and leave malformed inputs untouched.
+func TestSGIFAppendFrame(t *testing.T) {
+	f := SGIF()
+	multi := SGIFAppendFrame(f.Seed, 3, 1, 33, 21)
+	if len(multi) != SGIFSeedLength+19 {
+		t.Fatalf("appended block length drifted: %d, want %d", len(multi), SGIFSeedLength+19)
+	}
+	if err := f.Validate(multi); err != nil {
+		t.Fatalf("two-frame file invalid: %v", err)
+	}
+	if multi[len(multi)-1] != 0x3B {
+		t.Fatal("trailer not preserved")
+	}
+	// The original frame's bytes are untouched except its checksum region.
+	if !bytes.Equal(multi[:SGIFChecksum], f.Seed[:SGIFChecksum]) {
+		t.Fatal("appending a frame modified earlier file content")
+	}
+
+	three := SGIFAppendFrame(multi, 0, 0, 7, 9)
+	if err := f.Validate(three); err != nil {
+		t.Fatalf("three-frame file invalid: %v", err)
+	}
+
+	// Field patches through the generator must re-fix every frame checksum.
+	out, err := f.Generator().Generate(three, bv.Assignment{"/img/width": 1000, "/lsd/height": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(out); err != nil {
+		t.Fatalf("patched three-frame file invalid (multi-frame fix-up broken): %v", err)
+	}
+
+	// Malformed input (no trailer reachable) comes back unchanged.
+	junk := append([]byte(nil), f.Seed[:SGIFFirstBlock]...)
+	junk = append(junk, 0x99)
+	if got := SGIFAppendFrame(junk, 0, 0, 1, 1); !bytes.Equal(got, junk) {
+		t.Fatal("malformed input was modified")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"diode/internal/apps"
+	"diode/internal/bv"
 	"diode/internal/core"
 	"diode/internal/queue"
 	"diode/internal/report"
@@ -92,26 +93,41 @@ func evaluateApp(cfg Config, app *apps.App, seed int64) AppOutcome {
 		}
 		experiments = append(experiments, func() {
 			// Experiments run on a hunter seeded like the site's hunt, so
-			// rates are reproducible and independent of experiment order.
+			// rates are reproducible and independent of experiment order. All
+			// hunters of one application execute the app's shared compiled
+			// program (apps.App.Compiled) on private machines, so a sweep at
+			// any Config.Parallelism compiles each guest exactly once.
 			hunter := core.NewHunter(app, opts.ForSite(sr.Target.Site))
 			if cfg.SamePath {
 				srec.SamePathSat = hunter.SamePathSatisfiable(sr.Target).String()
 			}
 			if cfg.SampleN > 0 && sr.Verdict == core.VerdictExposed {
-				hits, total := hunter.SuccessRate(sr.Target, sr.Target.Beta, cfg.SampleN)
-				srec.TargetOnly = report.Rate{Hits: hits, Total: total}
+				srec.TargetOnly = successRate(hunter, sr, sr.Target.Beta, cfg.SampleN)
 				// The paper only runs the enforced experiment when the
 				// target-alone rate is low (§5.6): skip it when the majority of
 				// target-only inputs already trigger.
-				if sr.EnforcedCount() > 0 && hits*2 < total {
-					h2, t2 := hunter.SuccessRate(sr.Target, core.EnforcedConstraint(sr), cfg.SampleN)
-					srec.TargetEnforced = report.Rate{Hits: h2, Total: t2}
+				if sr.EnforcedCount() > 0 && srec.TargetOnly.Hits*2 < srec.TargetOnly.Total {
+					srec.TargetEnforced = successRate(hunter, sr, core.EnforcedConstraint(sr), cfg.SampleN)
 				}
 			}
 		})
 	}
 	queue.Each(max(cfg.Parallelism, 1), experiments)
 	return AppOutcome{App: app, Result: res, Record: rec}
+}
+
+// successRate runs one §5.5/§5.6 experiment and packages the result as a
+// render-ready Rate, bracketing the hunter's solver stats so generation
+// failures for this experiment are carried into the record (and from there
+// into the table output's debugging column).
+func successRate(hunter *core.Hunter, sr *core.SiteResult, constraint *bv.Bool, n int) report.Rate {
+	before := hunter.SolverStats().GenFailures
+	hits, total := hunter.SuccessRate(sr.Target, constraint, n)
+	return report.Rate{
+		Hits:     hits,
+		Total:    total,
+		Failures: hunter.SolverStats().GenFailures - before,
+	}
 }
 
 // Records extracts the render records from a sweep, skipping failures.

@@ -1,0 +1,395 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diode/internal/bv"
+	"diode/internal/lang"
+	"diode/internal/taint"
+)
+
+// Compiled is the slot-resolved executable form of a finalized program: every
+// variable reference is resolved to an integer frame slot (locals) or a
+// program-wide global slot at compile time, call targets are direct function
+// pointers instead of per-call map lookups, literals are pre-masked to their
+// width, and branch labels sit directly on the compiled nodes. A Compiled is
+// immutable after Compile returns and safe to share across any number of
+// concurrent Machines — the Analyzer compiles each application once and every
+// site's Hunter executes the same Compiled on a private Machine.
+type Compiled struct {
+	name        string
+	funcs       map[string]*cFunc
+	main        *cFunc
+	numGlobals  int
+	globalNames []string // global slot index → variable name
+}
+
+// Name returns the compiled program's name.
+func (c *Compiled) Name() string { return c.name }
+
+// cFunc is one compiled procedure.
+type cFunc struct {
+	name      string
+	params    []slotRef // parameter binding slots (always local, in order)
+	numSlots  int
+	slotNames []string // local slot index → variable name (error messages)
+	body      []cStmt
+}
+
+// slotRef is a resolved variable location: a local frame slot, or a global
+// slot when the variable carries the "g_" program-wide prefix.
+type slotRef struct {
+	idx    int32
+	global bool
+}
+
+// Compile flattens a finalized program into its slot-resolved executable
+// form. It panics on a program that Finalize would reject (no main, calls to
+// undefined functions); run Program.Finalize first.
+func Compile(prog *lang.Program) *Compiled {
+	c := &Compiled{
+		name:  prog.Name,
+		funcs: make(map[string]*cFunc, len(prog.Funcs)),
+	}
+	names := make([]string, 0, len(prog.Funcs))
+	for n := range prog.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Shells first so mutually recursive calls resolve to stable pointers.
+	for _, n := range names {
+		c.funcs[n] = &cFunc{name: n}
+	}
+	globals := map[string]int32{}
+	for _, n := range names {
+		src := prog.Funcs[n]
+		fc := &funcCompiler{c: c, globals: globals, f: c.funcs[n], locals: map[string]int32{}}
+		for _, p := range src.Params {
+			// Parameters bind into local slots unconditionally, mirroring the
+			// tree-walker's call semantics (a "g_"-named parameter lands in
+			// the frame, where the prefix rule never reads it).
+			fc.f.params = append(fc.f.params, slotRef{idx: fc.localSlot(p)})
+		}
+		fc.f.body = fc.block(src.Body)
+		fc.f.numSlots = len(fc.f.slotNames)
+	}
+	c.numGlobals = len(c.globalNames)
+	c.main = c.funcs["main"]
+	if c.main == nil {
+		panic("interp: Compile: program " + prog.Name + " has no main (not finalized?)")
+	}
+	return c
+}
+
+// funcCompiler compiles one procedure, interning variable names to slots.
+type funcCompiler struct {
+	c       *Compiled
+	globals map[string]int32
+	f       *cFunc
+	locals  map[string]int32
+}
+
+// slot resolves a variable reference: names with the "g_" prefix share the
+// program-wide global slot table, everything else is function-local.
+func (fc *funcCompiler) slot(name string) slotRef {
+	if strings.HasPrefix(name, "g_") {
+		i, ok := fc.globals[name]
+		if !ok {
+			i = int32(len(fc.c.globalNames))
+			fc.globals[name] = i
+			fc.c.globalNames = append(fc.c.globalNames, name)
+		}
+		return slotRef{idx: i, global: true}
+	}
+	return slotRef{idx: fc.localSlot(name)}
+}
+
+func (fc *funcCompiler) localSlot(name string) int32 {
+	if i, ok := fc.locals[name]; ok {
+		return i
+	}
+	i := int32(len(fc.f.slotNames))
+	fc.locals[name] = i
+	fc.f.slotNames = append(fc.f.slotNames, name)
+	return i
+}
+
+func (fc *funcCompiler) block(b lang.Block) []cStmt {
+	out := make([]cStmt, len(b))
+	for i, s := range b {
+		out[i] = fc.stmt(s)
+	}
+	return out
+}
+
+func (fc *funcCompiler) stmt(s lang.Stmt) cStmt {
+	switch st := s.(type) {
+	case lang.Assign:
+		e := fc.operand(st.E)
+		if bin, ok := e.e.(*cBin); ok {
+			// Fused assignment-of-binop: the statement's step charge joins
+			// the binop's prefix in one fuel check (see cAssignBin.exec).
+			return &cAssignBin{dst: fc.slot(st.Var), pre: 1 + bin.pre, bin: bin}
+		}
+		return &cAssign{dst: fc.slot(st.Var), e: e}
+	case lang.Alloc:
+		return &cAlloc{dst: fc.slot(st.Var), site: st.Site, size: fc.operand(st.Size)}
+	case lang.Store:
+		return &cStore{ptr: fc.operand(st.Ptr), off: fc.operand(st.Off), val: fc.operand(st.Val)}
+	case lang.If:
+		return &cIf{label: st.Label, cond: fc.boolExpr(st.Cond), then: fc.block(st.Then), els: fc.block(st.Else)}
+	case lang.While:
+		return &cWhile{label: st.Label, cond: fc.boolExpr(st.Cond), body: fc.block(st.Body)}
+	case lang.ExprStmt:
+		return &cExprStmt{e: fc.operand(st.E)}
+	case lang.Return:
+		r := &cReturn{}
+		if st.E != nil {
+			r.has = true
+			r.e = fc.operand(st.E)
+		}
+		return r
+	case lang.AbortStmt:
+		return &cAbort{msg: st.Msg}
+	case lang.WarnStmt:
+		return &cWarn{msg: st.Msg}
+	}
+	panic(fmt.Sprintf("interp: Compile: unknown statement %T", s))
+}
+
+// operand pre-resolves an expression position: variable reads and literals —
+// the overwhelmingly common operand shapes — are tagged for inline
+// evaluation without an interface dispatch; everything else falls through to
+// the generic compiled node.
+func (fc *funcCompiler) operand(e lang.Expr) operand {
+	switch x := e.(type) {
+	case lang.Lit:
+		return operand{kind: opLit, v: x.V & bv.Mask(x.W), w: x.W}
+	case lang.VarRef:
+		return operand{kind: opVar, slot: fc.slot(x.Name), name: x.Name}
+	}
+	return operand{kind: opGen, e: fc.expr(e)}
+}
+
+func (fc *funcCompiler) expr(e lang.Expr) cExpr {
+	switch x := e.(type) {
+	case lang.Lit:
+		return &cLit{v: x.V & bv.Mask(x.W), w: x.W}
+	case lang.VarRef:
+		return &cVar{src: fc.slot(x.Name), name: x.Name}
+	case lang.Bin:
+		a, b := fc.operand(x.A), fc.operand(x.B)
+		return &cBin{op: x.Op, pre: stepPrefix(a, b), a: a, b: b}
+	case lang.Un:
+		a := fc.operand(x.A)
+		return &cUn{neg: x.Neg, pre: stepPrefix(a), a: a}
+	case lang.Cvt:
+		a := fc.operand(x.A)
+		node := &cCvt{w: x.W, signed: x.Signed, pre: stepPrefix(a), a: a}
+		if fused := fc.fuseLoadZX(x, node); fused != nil {
+			return fused
+		}
+		return node
+	case lang.InByte:
+		idx := fc.operand(x.Idx)
+		return &cInByte{pre: stepPrefix(idx), idx: idx}
+	case lang.InLen:
+		return cInLen{}
+	case lang.LoadExpr:
+		return &cLoad{ptr: fc.operand(x.Ptr), off: fc.operand(x.Off)}
+	case lang.CallExpr:
+		callee, ok := fc.c.funcs[x.Fn]
+		if !ok {
+			panic("interp: Compile: " + fc.f.name + " calls undefined function " + x.Fn)
+		}
+		args := make([]operand, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = fc.operand(a)
+		}
+		return &cCall{fn: callee, args: args}
+	}
+	panic(fmt.Sprintf("interp: Compile: unknown expression %T", e))
+}
+
+func (fc *funcCompiler) boolExpr(b lang.BoolExpr) cBool {
+	switch x := b.(type) {
+	case lang.BoolLit:
+		return cBoolLit{v: x.V}
+	case lang.Cmp:
+		a, b := fc.operand(x.A), fc.operand(x.B)
+		return &cCmp{op: x.Op, pre: stepPrefix(a, b), a: a, b: b}
+	case lang.NotE:
+		return &cNot{a: fc.boolExpr(x.A)}
+	case lang.AndE:
+		return &cAnd{a: fc.boolExpr(x.A), b: fc.boolExpr(x.B)}
+	case lang.OrE:
+		return &cOr{a: fc.boolExpr(x.A), b: fc.boolExpr(x.B)}
+	}
+	panic(fmt.Sprintf("interp: Compile: unknown boolean expression %T", b))
+}
+
+// fuseLoadZX recognizes the guests' hottest expression shape — an unsigned
+// widening of an input byte addressed by a two-leaf sum,
+// ZX(w, In(Add(leaf, leaf))) — and compiles it into one superinstruction
+// covering all five step charges (cvt, inbyte, add, two leaves) with a single
+// fuel check. The generic node is kept as the slow path for exact sequencing
+// near fuel exhaustion.
+func (fc *funcCompiler) fuseLoadZX(x lang.Cvt, generic *cCvt) cExpr {
+	if x.Signed {
+		return nil
+	}
+	ib, ok := x.A.(lang.InByte)
+	if !ok {
+		return nil
+	}
+	bn, ok := ib.Idx.(lang.Bin)
+	if !ok || bn.Op != lang.OpAdd {
+		return nil
+	}
+	a, b := fc.operand(bn.A), fc.operand(bn.B)
+	if a.kind == opGen || b.kind == opGen {
+		return nil
+	}
+	return &cLoadByteZX{w: x.W, a: a, b: b, slow: generic}
+}
+
+// stepPrefix computes the contiguous run of step charges at the head of a
+// node's evaluation: the node's own step plus one per *leading* leaf operand
+// (variables and literals). A leaf operand's evaluation is its step charge
+// followed by at most an undefined-variable error — no other effect can
+// intervene — so the Machine charges the whole prefix against the fuel
+// budget in a single check, falling back to exact per-step sequencing when
+// fuel is about to run out (see the fused eval paths in machine.go).
+func stepPrefix(ops ...operand) int64 {
+	pre := int64(1)
+	for i := range ops {
+		if ops[i].kind == opGen {
+			break
+		}
+		pre++
+	}
+	return pre
+}
+
+// --- compiled node types ---
+
+// Compiled nodes return bare values; exceptional exits travel as vmError
+// panics (see Machine).
+type cStmt interface{ exec(m *Machine) }
+
+// operand kinds: generic subexpression, inline variable read, inline literal.
+const (
+	opGen uint8 = iota
+	opVar
+	opLit
+)
+
+// operand is a pre-resolved expression position (see funcCompiler.operand).
+type operand struct {
+	kind uint8
+	w    uint8
+	slot slotRef
+	v    uint64
+	name string
+	e    cExpr // opGen only
+}
+
+type (
+	cAssign struct {
+		dst slotRef
+		e   operand
+	}
+	cAssignBin struct {
+		dst slotRef
+		pre int64 // assignment step + the binop's fused prefix
+		bin *cBin
+	}
+	cAlloc struct {
+		dst  slotRef
+		site string
+		size operand
+	}
+	cStore struct{ ptr, off, val operand }
+	cIf    struct {
+		label     string
+		cond      cBool
+		then, els []cStmt
+	}
+	cWhile struct {
+		label string
+		cond  cBool
+		body  []cStmt
+	}
+	cExprStmt struct{ e operand }
+	cReturn   struct {
+		has bool
+		e   operand
+	}
+	cAbort struct{ msg string }
+	cWarn  struct{ msg string }
+)
+
+type cExpr interface{ eval(m *Machine) value }
+
+type (
+	cLit struct {
+		v uint64
+		w uint8
+	}
+	cVar struct {
+		src  slotRef
+		name string // original name, for error messages
+	}
+	cBin struct {
+		op   lang.BinOp
+		pre  int64 // steps batched into one fuel check (node + leading leaf operands)
+		a, b operand
+	}
+	cUn struct {
+		neg bool
+		pre int64
+		a   operand
+	}
+	cCvt struct {
+		w      uint8
+		signed bool
+		pre    int64
+		a      operand
+	}
+	cInByte struct {
+		pre int64
+		idx operand
+	}
+	// cLoadByteZX is the fused ZX(w, In(Add(leaf, leaf))) superinstruction
+	// (see fuseLoadZX); slow replays the generic five-step sequence when fuel
+	// is nearly exhausted.
+	cLoadByteZX struct {
+		w    uint8
+		a, b operand
+		slow *cCvt
+	}
+	cInLen struct{}
+	cLoad  struct{ ptr, off operand }
+	cCall  struct {
+		fn   *cFunc
+		args []operand
+	}
+)
+
+type cBool interface {
+	evalBool(m *Machine) (bool, *bv.Bool, *taint.Set)
+}
+
+type (
+	cBoolLit struct{ v bool }
+	cCmp     struct {
+		op   lang.CmpOp
+		pre  int64
+		a, b operand
+	}
+	cNot struct{ a cBool }
+	cAnd struct{ a, b cBool }
+	cOr  struct{ a, b cBool }
+)

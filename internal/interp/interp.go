@@ -58,12 +58,13 @@ type Options struct {
 
 // value is the ⟨v, w⟩ pair of the semantics: a concrete machine integer with
 // width, its symbolic expression (nil when the value does not depend on
-// symbolic input bytes), and its taint labels.
+// symbolic input bytes), and its taint labels. Field order packs the struct
+// into 32 bytes — values are copied on every expression step.
 type value struct {
 	v   uint64
-	w   uint8
 	sym *bv.Term
 	tnt *taint.Set
+	w   uint8
 	// wrapped records that some arithmetic step producing this value (or an
 	// operand of it) wrapped around the modulus — runtime overflow tracking
 	// consistent with bv.OverflowCond (add, sub, mul, shl).
@@ -84,6 +85,222 @@ type block struct {
 	size   uint64
 	cells  map[uint64]value
 	canary bool // true once an out-of-bounds write clobbered the red zone
+
+	// Machine-only cell storage (the tree-walking interpreter leaves all of
+	// this zero and uses the cells map alone). Offsets below len(dense) live
+	// in the dense prefix; higher offsets live in an open-addressing table.
+	// Both carry a generation stamp marking which entries the current run
+	// wrote — an unstamped entry reads as the zero-initialized cell — so
+	// recycling a block costs one generation bump instead of clearing
+	// storage.
+	dense []value
+	stamp []uint32
+	far   farCells
+	gen   uint32
+}
+
+const (
+	// denseLimit bounds the dense-cell prefix per block.
+	denseLimit = 4096
+	// blockPoolCap bounds how many blocks a Machine recycles across runs.
+	blockPoolCap = 64
+)
+
+// storeCell writes a cell through the Machine's dense/far storage. plain is
+// true when the run tracks neither taint nor symbolic state, so the value is
+// pointer-free and can go to the GC-invisible log.
+func (b *block) storeCell(off uint64, v value, plain bool) {
+	if off < uint64(len(b.dense)) {
+		b.dense[off] = v
+		b.stamp[off] = b.gen
+		return
+	}
+	b.far.store(off, b.gen, v, plain)
+}
+
+// loadCell reads a cell through the Machine's dense/far storage; untouched
+// cells read as the zero-initialized value (Figure 5).
+func (b *block) loadCell(off uint64) value {
+	if off < uint64(len(b.dense)) {
+		if b.stamp[off] == b.gen {
+			return b.dense[off]
+		}
+		return value{v: 0, w: 8}
+	}
+	if v, ok := b.far.load(off, b.gen); ok {
+		return v
+	}
+	return value{v: 0, w: 8}
+}
+
+// farCells stores a Machine block's cells beyond the dense prefix. Guests
+// overwhelmingly *write* far cells (memset loops, end-of-buffer pokes over
+// huge allocations) and read them rarely, so writes append to a log — no
+// hashing, no growth rehashes — and the log is folded into the lookup table
+// only if the run ever loads a far cell. Later entries overwrite earlier
+// ones during the fold, preserving store order. Plain-mode runs (no taint,
+// no symbolic state) append to a pointer-free log the GC never scans; a run
+// is entirely in one mode, so at most one log is populated per run.
+type farCells struct {
+	log      []farWrite      // taint/symbolic-mode writes (pointer-carrying)
+	plainLog []farPlainWrite // plain-mode writes (GC-invisible)
+	tab      cellTable
+	indexed  bool // this run has folded its logs and writes to tab directly
+}
+
+type farWrite struct {
+	off uint64
+	val value
+}
+
+type farPlainWrite struct {
+	off     uint64
+	v       uint64
+	w       uint8
+	wrapped bool
+}
+
+func (f *farCells) store(off uint64, gen uint32, v value, plain bool) {
+	if f.indexed {
+		f.tab.store(off, gen, v)
+		return
+	}
+	if plain {
+		f.plainLog = append(f.plainLog, farPlainWrite{off: off, v: v.v, w: v.w, wrapped: v.wrapped})
+		return
+	}
+	f.log = append(f.log, farWrite{off: off, val: v})
+}
+
+func (f *farCells) load(off uint64, gen uint32) (value, bool) {
+	if !f.indexed {
+		f.indexed = true
+		for i := range f.plainLog {
+			e := &f.plainLog[i]
+			f.tab.store(e.off, gen, value{v: e.v, w: e.w, wrapped: e.wrapped})
+		}
+		f.plainLog = f.plainLog[:0]
+		for i := range f.log {
+			f.tab.store(f.log[i].off, gen, f.log[i].val)
+		}
+		f.log = f.log[:0]
+	}
+	return f.tab.load(off, gen)
+}
+
+// recycle prepares the storage for the next run (whose generation differs,
+// so stale table entries read as misses), dropping outsized storage.
+func (f *farCells) recycle() {
+	f.indexed = false
+	if cap(f.log) > eventPoolCap {
+		f.log = nil
+	} else {
+		f.log = f.log[:0]
+	}
+	if cap(f.plainLog) > 4*eventPoolCap {
+		f.plainLog = nil
+	} else {
+		f.plainLog = f.plainLog[:0]
+	}
+	if len(f.tab.slots) > eventPoolCap {
+		f.tab = cellTable{}
+	}
+}
+
+// cellTable is a linear-probing hash table over cell offsets with
+// generation-stamped entries: entries from earlier runs read as misses and
+// their slots are reclaimed in place, so the table is reusable across runs
+// without clearing. At most one slot per offset ever exists (stores update
+// the offset's slot regardless of generation), which is what lets a lookup
+// stop at the first offset match.
+type cellTable struct {
+	slots []cellSlot
+	used  int // slots ever claimed (any generation)
+}
+
+type cellSlot struct {
+	off uint64
+	gen uint32 // 0 = never used
+	val value
+}
+
+func cellHash(off uint64) uint64 {
+	off *= 0x9E3779B97F4A7C15 // Fibonacci scrambling of the offset bits
+	return off ^ off>>29
+}
+
+func (t *cellTable) store(off uint64, gen uint32, v value) {
+	if t.used*4 >= len(t.slots)*3 {
+		t.grow(gen)
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := cellHash(off) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch {
+		case s.gen == 0: // never used: claim
+			*s = cellSlot{off: off, gen: gen, val: v}
+			t.used++
+			return
+		case s.off == off: // this offset's slot (any generation): update
+			s.gen = gen
+			s.val = v
+			return
+		case s.gen != gen: // stale other offset: reclaim in place
+			*s = cellSlot{off: off, gen: gen, val: v}
+			return
+		}
+	}
+}
+
+func (t *cellTable) load(off uint64, gen uint32) (value, bool) {
+	if t.slots == nil {
+		return value{}, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := cellHash(off) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.gen == 0 {
+			return value{}, false
+		}
+		if s.off == off {
+			if s.gen == gen {
+				return s.val, true
+			}
+			return value{}, false // stale: this run never wrote the cell
+		}
+	}
+}
+
+// grow rehashes the current generation's live entries into a larger table,
+// dropping stale ones.
+func (t *cellTable) grow(gen uint32) {
+	live := 0
+	for i := range t.slots {
+		if t.slots[i].gen == gen {
+			live++
+		}
+	}
+	size := 64
+	for size < 4*live {
+		size *= 2
+	}
+	old := t.slots
+	t.slots = make([]cellSlot, size)
+	t.used = 0
+	mask := uint64(size - 1)
+	for i := range old {
+		s := &old[i]
+		if s.gen != gen {
+			continue
+		}
+		for j := cellHash(s.off) & mask; ; j = (j + 1) & mask {
+			if t.slots[j].gen == 0 {
+				t.slots[j] = *s
+				t.used++
+				break
+			}
+		}
+	}
 }
 
 type frame struct {
@@ -98,6 +315,7 @@ type machine struct {
 	fuel    int64
 	frames  []frame
 	blocks  map[uint64]*block
+	canary  *block           // first block whose red zone was clobbered
 	globals map[string]value // variables named "g_*" are program-wide
 	nextID  uint64
 	out     Outcome
@@ -118,7 +336,25 @@ var (
 
 // Run executes prog on input under opts and returns the observed outcome.
 // The program must have been finalized.
+//
+// Run is a convenience wrapper over the compiled execution layer: it compiles
+// prog and runs it on a fresh Machine. Callers that execute the same program
+// many times (the core Hunter, the harness sweeps) should Compile once and
+// reuse a Machine via Reset/Run, which amortizes compilation and storage
+// allocation across runs.
 func Run(prog *lang.Program, input []byte, opts Options) *Outcome {
+	m := NewMachine(Compile(prog))
+	m.Reset(input, opts)
+	return m.Run()
+}
+
+// RunTree executes prog on the original tree-walking interpreter: a fresh
+// machine per call, environments as string-keyed maps, every variable
+// re-resolved by name at each step. It is retained as the compiled layer's
+// differential oracle (TestCompiledParity* pin byte-identical Outcomes) and
+// as the core.Options.OneShotExecution ablation baseline; new code should use
+// Run or a reused Machine.
+func RunTree(prog *lang.Program, input []byte, opts Options) *Outcome {
 	if opts.TrackSymbolic {
 		opts.TrackTaint = true
 	}
@@ -257,14 +493,15 @@ func (m *machine) execAlloc(st lang.Alloc) error {
 		return err
 	}
 	// Heap-corruption check: glibc-style abort when a previously clobbered
-	// red zone (allocator metadata) is observed by the allocator.
-	for _, b := range m.blocks {
-		if b.canary {
-			m.out.MemErrs = append(m.out.MemErrs, MemError{
-				Kind: InvalidWrite, Site: b.site, Offset: b.size, Size: b.size,
-			})
-			return errAbrt
-		}
+	// red zone (allocator metadata) is observed by the allocator. The error
+	// is attributed to the *first* clobbered block — deterministically, and
+	// identically to the compiled Machine — rather than to whichever block a
+	// map iteration happens to yield.
+	if b := m.canary; b != nil {
+		m.out.MemErrs = append(m.out.MemErrs, MemError{
+			Kind: InvalidWrite, Site: b.site, Offset: b.size, Size: b.size,
+		})
+		return errAbrt
 	}
 	m.nextID++
 	base := m.nextID << 32
@@ -330,6 +567,9 @@ func (m *machine) execStore(st lang.Store) error {
 			Kind: InvalidWrite, Site: b.site, Offset: off.v, Size: b.size,
 		})
 		b.canary = true // allocator metadata clobbered
+		if m.canary == nil {
+			m.canary = b
+		}
 	}
 	b.cells[off.v] = val
 	return nil
@@ -359,19 +599,19 @@ func (m *machine) eval(e lang.Expr) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		return m.binop(x.Op, a, b)
+		return binop(x.Op, a, b, m.opts.TrackTaint)
 	case lang.Un:
 		a, err := m.eval(x.A)
 		if err != nil {
 			return value{}, err
 		}
-		return m.unop(x.Neg, a), nil
+		return unop(x.Neg, a), nil
 	case lang.Cvt:
 		a, err := m.eval(x.A)
 		if err != nil {
 			return value{}, err
 		}
-		return m.convert(x.W, x.Signed, a), nil
+		return convert(x.W, x.Signed, a), nil
 	case lang.InByte:
 		idx, err := m.eval(x.Idx)
 		if err != nil {
@@ -456,10 +696,21 @@ func (m *machine) call(x lang.CallExpr) (value, error) {
 	return ret, nil
 }
 
-func (m *machine) binop(op lang.BinOp, a, b value) (value, error) {
+// binop, unop and convert implement the operator semantics shared by the
+// tree-walking machine and the compiled Machine; trackTaint selects whether
+// result taint is computed.
+func binop(op lang.BinOp, a, b value, trackTaint bool) (value, error) {
 	if a.w != b.w {
 		return value{}, fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", op, a.w, b.w)
 	}
+	return binopVal(op, &a, &b, trackTaint)
+}
+
+// binopVal is binop after the width check; the compiled Machine calls it
+// directly (panicking on its own width mismatch) so the hot path carries no
+// error plumbing for the impossible cases. Operands are passed by pointer to
+// keep the hot call free of 32-byte struct copies; they are not modified.
+func binopVal(op lang.BinOp, a, b *value, trackTaint bool) (value, error) {
 	w := a.w
 	mask := bv.Mask(w)
 	var v uint64
@@ -516,7 +767,7 @@ func (m *machine) binop(op lang.BinOp, a, b value) (value, error) {
 		return value{}, fmt.Errorf("interp: unknown binop %d", op)
 	}
 	out := value{v: v, w: w, wrapped: wrapped}
-	if m.opts.TrackTaint {
+	if trackTaint {
 		out.tnt = a.tnt.Union(b.tnt)
 	}
 	// The INPVAR rules of Figure 4: a symbolic expression is built whenever
@@ -527,7 +778,7 @@ func (m *machine) binop(op lang.BinOp, a, b value) (value, error) {
 	return out, nil
 }
 
-func symBinop(op lang.BinOp, a, b value) *bv.Term {
+func symBinop(op lang.BinOp, a, b *value) *bv.Term {
 	x, y := a.term(), b.term()
 	switch op {
 	case lang.OpAdd:
@@ -566,7 +817,7 @@ func mulWraps(x, y uint64, w uint8) bool {
 	return x > bv.Mask(w)/y
 }
 
-func (m *machine) unop(neg bool, a value) value {
+func unop(neg bool, a value) value {
 	out := value{w: a.w, tnt: a.tnt, wrapped: a.wrapped}
 	if neg {
 		out.v = (-a.v) & bv.Mask(a.w)
@@ -583,7 +834,7 @@ func (m *machine) unop(neg bool, a value) value {
 	return out
 }
 
-func (m *machine) convert(w uint8, signed bool, a value) value {
+func convert(w uint8, signed bool, a value) value {
 	out := value{w: w, tnt: a.tnt, wrapped: a.wrapped}
 	switch {
 	case w == a.w:

@@ -1,0 +1,758 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"diode/internal/bv"
+	"diode/internal/lang"
+	"diode/internal/taint"
+)
+
+// Machine executes a Compiled program with the same small-step semantics as
+// the tree-walking interpreter (byte-identical Outcomes — pinned by the
+// parity tests) but over slot-indexed frames instead of string-keyed maps,
+// and with all per-run storage reused across Reset/Run cycles: frame slots,
+// block bookkeeping, the outcome's event slices, and the per-input-byte
+// taint-label and symbolic-variable caches. One Machine executing the same
+// program thousands of times — the Figure 7 enforcement loop, the §5.5/§5.6
+// success-rate sweeps — therefore pays allocation and name-resolution costs
+// once instead of per run.
+//
+// Internally the Machine uses panic-based control flow for every exceptional
+// exit (fuel exhaustion, abort, simulated signals, guest runtime errors):
+// compiled nodes return bare values and Run's recover classifies the vmError
+// sentinel, so the per-node hot path carries no error plumbing. The panics
+// never escape Run.
+//
+// A Machine is not safe for concurrent use; create one per goroutine (the
+// core Hunter owns one per site hunt, which is what keeps the Scheduler's
+// no-shared-mutable-state determinism seam intact). The Outcome returned by
+// Run aliases machine-internal storage and is valid only until the next
+// Reset; callers that retain parts of it (the Analyzer keeps seed branch
+// traces in Targets) must copy them first.
+type Machine struct {
+	code  *Compiled
+	input []byte
+	opts  Options
+	fuel  int64
+
+	frames  []cframe // frame stack; frames[fp] is the active frame
+	fp      int
+	globals cframe
+
+	blocks     map[uint64]*block
+	freeBlocks []*block // recycled blocks, cells cleared
+	canary     *block   // first block whose red zone was clobbered
+	nextID     uint64
+
+	out       Outcome
+	returning bool
+	retVal    value
+	hasRet    bool
+	ready     bool
+	plain     bool // run tracks neither taint nor symbolic state
+
+	// Per-input-byte caches, valid across runs: taint label sets and (for the
+	// default "in[i]" naming) interned symbolic variables.
+	inTaints []*taint.Set
+	inTerms  []*bv.Term
+}
+
+// vmError is the panic sentinel carrying an exceptional machine exit: one of
+// the control-flow errors (errAbort, errSegv, errAbrt, errFuel) or a guest
+// runtime error. Run recovers it; any other panic propagates.
+type vmError struct{ err error }
+
+// throw raises a machine exit.
+func throw(err error) {
+	panic(vmError{err})
+}
+
+// eventPoolCap bounds the event-slice capacity a Machine retains across
+// runs (~5MB of AllocEvents). Normal runs emit a handful of events, and even
+// fuel-burning runs usually stay under this; the cap only exists so a truly
+// pathological run cannot leave unbounded pointer-laden storage behind,
+// which the GC would tax on every later run. Below the cap, retention wins:
+// reallocating multi-megabyte event slices per run costs more than the scan.
+const eventPoolCap = 1 << 16
+
+// recycleEvents returns the slice emptied for reuse, dropping outsized
+// storage a pathological run left behind.
+func recycleEvents[T any](s []T) []T {
+	if cap(s) > eventPoolCap {
+		return nil
+	}
+	return s[:0]
+}
+
+// cframe is one slot-indexed activation frame. set tracks which slots hold a
+// value, so reused storage never leaks stale values between runs or calls.
+type cframe struct {
+	vals []value
+	set  []bool
+}
+
+// ensure sizes the frame for n slots, clearing definedness flags.
+func (f *cframe) ensure(n int) {
+	if cap(f.vals) < n {
+		f.vals = make([]value, n)
+		f.set = make([]bool, n)
+		return
+	}
+	f.vals = f.vals[:n]
+	f.set = f.set[:n]
+	for i := range f.set {
+		f.set[i] = false
+	}
+}
+
+// NewMachine returns a Machine for the compiled program. The Compiled may be
+// shared with any number of other Machines.
+func NewMachine(c *Compiled) *Machine {
+	return &Machine{code: c, blocks: make(map[uint64]*block)}
+}
+
+// Program returns the compiled program the machine executes.
+func (m *Machine) Program() *Compiled { return m.code }
+
+// Reset prepares the machine to execute the compiled program on input under
+// opts, recycling all storage from the previous run. It invalidates the
+// Outcome of the previous Run.
+func (m *Machine) Reset(input []byte, opts Options) {
+	if opts.TrackSymbolic {
+		opts.TrackTaint = true
+	}
+	if opts.Fuel == 0 {
+		opts.Fuel = DefaultFuel
+	}
+	m.input = input
+	m.opts = opts
+	m.fuel = opts.Fuel
+	m.fp = -1
+	m.globals.ensure(m.code.numGlobals)
+	// Recycle a bounded number of blocks; a pathological run that allocated
+	// thousands (a fuel-burning allocation loop) must not leave the machine
+	// holding their dense-cell storage forever — the GC scan cost of an
+	// unbounded pointer-laden pool would tax every later run.
+	for _, b := range m.blocks {
+		if len(m.freeBlocks) >= blockPoolCap {
+			break
+		}
+		b.far.recycle()
+		b.canary = false
+		m.freeBlocks = append(m.freeBlocks, b)
+	}
+	if m.nextID > eventPoolCap {
+		// A pathological run (fuel-burning allocation loop) grew the block
+		// map's bucket array beyond what is worth keeping; start fresh
+		// rather than let the GC scan it on every later run.
+		m.blocks = make(map[uint64]*block)
+	} else {
+		clear(m.blocks)
+	}
+	m.canary = nil
+	m.nextID = 0
+	m.out = Outcome{
+		Allocs:   recycleEvents(m.out.Allocs),
+		MemErrs:  recycleEvents(m.out.MemErrs),
+		Branches: recycleEvents(m.out.Branches),
+		Warnings: recycleEvents(m.out.Warnings),
+	}
+	m.returning = false
+	m.hasRet = false
+	m.plain = !opts.TrackTaint
+	m.ready = true
+}
+
+// Run executes the program prepared by the last Reset and returns the
+// outcome. The returned Outcome (including its event slices) aliases
+// machine storage and is valid only until the next Reset.
+func (m *Machine) Run() *Outcome {
+	if !m.ready {
+		panic("interp: Machine.Run without a preceding Reset")
+	}
+	m.ready = false
+	err := m.runMain()
+	m.out.Steps = m.opts.Fuel - m.fuel
+	switch {
+	case err == nil || errors.Is(err, errAbort):
+		if errors.Is(err, errAbort) {
+			m.out.Kind = OutRejected
+		} else {
+			m.out.Kind = OutOK
+		}
+	case errors.Is(err, errSegv):
+		m.out.Kind = OutSegv
+	case errors.Is(err, errAbrt):
+		m.out.Kind = OutAbrt
+	case errors.Is(err, errFuel):
+		m.out.Kind = OutFuel
+	default:
+		m.out.Kind = OutError
+		m.out.Err = err
+	}
+	return &m.out
+}
+
+// runMain executes main, converting the vmError panic back into the
+// classified error.
+func (m *Machine) runMain() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ve, ok := r.(vmError)
+			if !ok {
+				panic(r)
+			}
+			err = ve.err
+		}
+	}()
+	m.pushFrame(m.code.main)
+	m.execBlock(m.code.main.body)
+	return nil
+}
+
+func (m *Machine) step() {
+	m.fuel--
+	if m.fuel <= 0 {
+		throw(errFuel)
+	}
+}
+
+func (m *Machine) pushFrame(fn *cFunc) *cframe {
+	m.fp++
+	if m.fp == len(m.frames) {
+		m.frames = append(m.frames, cframe{})
+	}
+	f := &m.frames[m.fp]
+	f.ensure(fn.numSlots)
+	return f
+}
+
+// frameFor returns the frame a slot reference resolves into.
+func (m *Machine) frameFor(s slotRef) *cframe {
+	if s.global {
+		return &m.globals
+	}
+	return &m.frames[m.fp]
+}
+
+func (m *Machine) setSlot(s slotRef, v value) {
+	f := m.frameFor(s)
+	f.vals[s.idx] = v
+	f.set[s.idx] = true
+}
+
+// eval evaluates an operand. The opVar and opLit fast paths replicate
+// cVar.eval/cLit.eval exactly — including the step charge and the
+// undefined-variable error — without an interface dispatch.
+func (o *operand) eval(m *Machine) value {
+	switch o.kind {
+	case opVar:
+		m.step()
+		f := m.frameFor(o.slot)
+		if !f.set[o.slot.idx] {
+			throw(fmt.Errorf("interp: undefined variable %q", o.name))
+		}
+		return f.vals[o.slot.idx]
+	case opLit:
+		m.step()
+		return value{v: o.v, w: o.w}
+	default:
+		return o.e.eval(m)
+	}
+}
+
+// read evaluates a leaf operand whose step charge was already batched into
+// the parent node's fused fuel check (stepPrefix). Only called for
+// opVar/opLit operands.
+func (o *operand) read(m *Machine) value {
+	if o.kind == opVar {
+		f := m.frameFor(o.slot)
+		if !f.set[o.slot.idx] {
+			throw(fmt.Errorf("interp: undefined variable %q", o.name))
+		}
+		return f.vals[o.slot.idx]
+	}
+	return value{v: o.v, w: o.w}
+}
+
+func (m *Machine) execBlock(b []cStmt) {
+	for _, s := range b {
+		s.exec(m)
+		if m.returning {
+			return
+		}
+	}
+}
+
+// --- statements ---
+
+func (s *cAssign) exec(m *Machine) {
+	m.step()
+	m.setSlot(s.dst, s.e.eval(m))
+}
+
+func (s *cAssignBin) exec(m *Machine) {
+	e := s.bin
+	var a, b value
+	if m.fuel <= s.pre {
+		m.step()
+		m.setSlot(s.dst, e.eval(m))
+		return
+	}
+	m.fuel -= s.pre
+	switch e.pre {
+	case 3:
+		a = e.a.read(m)
+		b = e.b.read(m)
+	case 2:
+		a = e.a.read(m)
+		b = e.b.eval(m)
+	default:
+		a = e.a.eval(m)
+		b = e.b.eval(m)
+	}
+	if a.w != b.w {
+		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", e.op, a.w, b.w))
+	}
+	v, err := binopVal(e.op, &a, &b, m.opts.TrackTaint)
+	if err != nil {
+		throw(err)
+	}
+	m.setSlot(s.dst, v)
+}
+
+func (s *cAlloc) exec(m *Machine) {
+	m.step()
+	size := s.size.eval(m)
+	// Heap-corruption check: glibc-style abort when a previously clobbered
+	// red zone (allocator metadata) is observed by the allocator.
+	if b := m.canary; b != nil {
+		m.out.MemErrs = append(m.out.MemErrs, MemError{
+			Kind: InvalidWrite, Site: b.site, Offset: b.size, Size: b.size,
+		})
+		throw(errAbrt)
+	}
+	m.nextID++
+	base := m.nextID << 32
+	m.blocks[base] = m.newBlock(s.site, size.v)
+	m.out.Allocs = append(m.out.Allocs, AllocEvent{
+		Site:       s.site,
+		Seq:        len(m.out.Allocs),
+		Size:       size.v,
+		Width:      size.w,
+		Sym:        size.sym,
+		Taint:      size.tnt,
+		Wrapped:    size.wrapped,
+		BranchMark: len(m.out.Branches),
+	})
+	m.setSlot(s.dst, value{v: base, w: 64})
+}
+
+func (m *Machine) newBlock(site string, size uint64) *block {
+	var b *block
+	if n := len(m.freeBlocks); n > 0 {
+		b = m.freeBlocks[n-1]
+		m.freeBlocks = m.freeBlocks[:n-1]
+		b.site, b.size, b.canary = site, size, false
+		b.gen++
+		if b.gen == 0 { // stamp wraparound: invalidate explicitly
+			clear(b.stamp)
+			b.far = farCells{}
+			b.gen = 1
+		}
+	} else {
+		b = &block{site: site, size: size, gen: 1}
+	}
+	want := size + RedZone
+	if want > denseLimit || want < size { // cap, and guard size overflow
+		want = denseLimit
+	}
+	if uint64(len(b.dense)) < want {
+		b.dense = make([]value, want)
+		b.stamp = make([]uint32, want)
+		b.gen = 1
+	}
+	return b
+}
+
+func (s *cStore) exec(m *Machine) {
+	m.step()
+	ptr := s.ptr.eval(m)
+	off := s.off.eval(m)
+	val := s.val.eval(m)
+	b, ok := m.blocks[ptr.v]
+	if !ok {
+		throw(fmt.Errorf("interp: store through non-pointer %#x", ptr.v))
+	}
+	if off.v >= b.size {
+		if off.v >= b.size+RedZone {
+			m.out.MemErrs = append(m.out.MemErrs, MemError{
+				Kind: InvalidWrite, Site: b.site, Offset: off.v, Size: b.size,
+			})
+			throw(errSegv)
+		}
+		m.out.MemErrs = append(m.out.MemErrs, MemError{
+			Kind: InvalidWrite, Site: b.site, Offset: off.v, Size: b.size,
+		})
+		b.canary = true // allocator metadata clobbered
+		if m.canary == nil {
+			m.canary = b
+		}
+	}
+	b.storeCell(off.v, val, m.plain)
+}
+
+func (s *cIf) exec(m *Machine) {
+	m.step()
+	if m.condBranch(s.label, s.cond) {
+		m.execBlock(s.then)
+		return
+	}
+	m.execBlock(s.els)
+}
+
+func (s *cWhile) exec(m *Machine) {
+	m.step()
+	for {
+		if !m.condBranch(s.label, s.cond) {
+			return
+		}
+		m.execBlock(s.body)
+		if m.returning {
+			return
+		}
+	}
+}
+
+func (s *cExprStmt) exec(m *Machine) {
+	m.step()
+	s.e.eval(m)
+}
+
+func (s *cReturn) exec(m *Machine) {
+	m.step()
+	if s.has {
+		m.retVal = s.e.eval(m)
+		m.hasRet = true
+	} else {
+		m.hasRet = false
+	}
+	m.returning = true
+}
+
+func (s *cAbort) exec(m *Machine) {
+	m.step()
+	m.out.AbortMsg = s.msg
+	throw(errAbort)
+}
+
+func (s *cWarn) exec(m *Machine) {
+	m.step()
+	m.out.Warnings = append(m.out.Warnings, s.msg)
+}
+
+// --- expressions ---
+
+func (e *cLit) eval(m *Machine) value {
+	m.step()
+	return value{v: e.v, w: e.w}
+}
+
+func (e *cVar) eval(m *Machine) value {
+	m.step()
+	f := m.frameFor(e.src)
+	if !f.set[e.src.idx] {
+		throw(fmt.Errorf("interp: undefined variable %q", e.name))
+	}
+	return f.vals[e.src.idx]
+}
+
+// The fused eval paths below charge a node's step prefix (its own step plus
+// the leading leaf operands', see stepPrefix) against the fuel budget in one
+// check, reading the prefetched leaves without a second check. Near fuel
+// exhaustion they fall back to exact per-step sequencing, so the
+// fuel-exhaustion point (and any undefined-variable error racing it) stays
+// byte-identical to the tree-walker's.
+
+func (e *cBin) eval(m *Machine) value {
+	var a, b value
+	if m.fuel <= e.pre {
+		m.step()
+		a = e.a.eval(m)
+		b = e.b.eval(m)
+	} else {
+		m.fuel -= e.pre
+		switch e.pre {
+		case 3: // both operands are leaves
+			a = e.a.read(m)
+			b = e.b.read(m)
+		case 2: // first operand is a leaf
+			a = e.a.read(m)
+			b = e.b.eval(m)
+		default:
+			a = e.a.eval(m)
+			b = e.b.eval(m)
+		}
+	}
+	if a.w != b.w {
+		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", e.op, a.w, b.w))
+	}
+	v, err := binopVal(e.op, &a, &b, m.opts.TrackTaint)
+	if err != nil {
+		throw(err)
+	}
+	return v
+}
+
+func (e *cUn) eval(m *Machine) value {
+	var a value
+	if m.fuel <= e.pre {
+		m.step()
+		a = e.a.eval(m)
+	} else {
+		m.fuel -= e.pre
+		if e.pre == 2 {
+			a = e.a.read(m)
+		} else {
+			a = e.a.eval(m)
+		}
+	}
+	return unop(e.neg, a)
+}
+
+func (e *cCvt) eval(m *Machine) value {
+	var a value
+	if m.fuel <= e.pre {
+		m.step()
+		a = e.a.eval(m)
+	} else {
+		m.fuel -= e.pre
+		if e.pre == 2 {
+			a = e.a.read(m)
+		} else {
+			a = e.a.eval(m)
+		}
+	}
+	return convert(e.w, e.signed, a)
+}
+
+func (e *cInByte) eval(m *Machine) value {
+	var idx value
+	if m.fuel <= e.pre {
+		m.step()
+		idx = e.idx.eval(m)
+	} else {
+		m.fuel -= e.pre
+		if e.pre == 2 {
+			idx = e.idx.read(m)
+		} else {
+			idx = e.idx.eval(m)
+		}
+	}
+	return m.readInput(idx)
+}
+
+func (e *cLoadByteZX) eval(m *Machine) value {
+	if m.fuel <= 5 {
+		return e.slow.eval(m)
+	}
+	m.fuel -= 5
+	a := e.a.read(m)
+	b := e.b.read(m)
+	if a.w != b.w {
+		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", lang.OpAdd, a.w, b.w))
+	}
+	if !m.opts.TrackTaint {
+		// Plain mode: no value in the machine carries taint or symbolic
+		// state, readInput drops the index's wrapped flag, and the unsigned
+		// widening only moves the byte — compute the whole chain inline.
+		i := int((a.v + b.v) & bv.Mask(a.w))
+		var v uint64
+		if i >= 0 && i < len(m.input) {
+			v = uint64(m.input[i])
+		}
+		if e.w < 8 {
+			v &= bv.Mask(e.w)
+		}
+		return value{v: v, w: e.w}
+	}
+	idx, err := binopVal(lang.OpAdd, &a, &b, true)
+	if err != nil {
+		throw(err)
+	}
+	return convert(e.w, false, m.readInput(idx))
+}
+
+func (cInLen) eval(m *Machine) value {
+	m.step()
+	return value{v: uint64(len(m.input)), w: 32}
+}
+
+func (e *cLoad) eval(m *Machine) value {
+	m.step()
+	ptr := e.ptr.eval(m)
+	off := e.off.eval(m)
+	b, ok := m.blocks[ptr.v]
+	if !ok {
+		throw(fmt.Errorf("interp: load through non-pointer %#x", ptr.v))
+	}
+	if off.v >= b.size {
+		m.out.MemErrs = append(m.out.MemErrs, MemError{
+			Kind: InvalidRead, Site: b.site, Offset: off.v, Size: b.size,
+		})
+		if off.v >= b.size+RedZone {
+			throw(errSegv)
+		}
+	}
+	return b.loadCell(off.v)
+}
+
+func (e *cCall) eval(m *Machine) value {
+	m.step()
+	// Arguments evaluate in the caller's frame, before the callee's frame is
+	// pushed (matching the tree-walker's call order).
+	var abuf [6]value
+	args := abuf[:0]
+	if len(e.args) > len(abuf) {
+		args = make([]value, 0, len(e.args))
+	}
+	for i := range e.args {
+		args = append(args, e.args[i].eval(m))
+	}
+	f := m.pushFrame(e.fn)
+	for i, s := range e.fn.params {
+		f.vals[s.idx] = args[i]
+		f.set[s.idx] = true
+	}
+	m.execBlock(e.fn.body)
+	m.fp--
+	ret := value{w: 32}
+	if m.hasRet {
+		ret = m.retVal
+	}
+	m.returning = false
+	m.hasRet = false
+	return ret
+}
+
+// readInput mirrors the tree-walker's input access, with the taint-label and
+// symbolic-variable caches making repeated runs allocation-free.
+func (m *Machine) readInput(idx value) value {
+	i := int(idx.v)
+	if i < 0 || i >= len(m.input) {
+		// Reading past the end of input yields zero, like a short read.
+		return value{v: 0, w: 8, tnt: idx.tnt}
+	}
+	out := value{v: uint64(m.input[i]), w: 8}
+	if m.opts.TrackTaint {
+		out.tnt = m.taintFor(i).Union(idx.tnt)
+	}
+	if m.opts.TrackSymbolic && (m.opts.SymbolicBytes == nil || m.opts.SymbolicBytes(i)) {
+		out.sym = m.inputTerm(i)
+	}
+	return out
+}
+
+func (m *Machine) taintFor(i int) *taint.Set {
+	for len(m.inTaints) <= i {
+		m.inTaints = append(m.inTaints, taint.Single(len(m.inTaints)))
+	}
+	return m.inTaints[i]
+}
+
+func (m *Machine) inputTerm(i int) *bv.Term {
+	if m.opts.InputVarName != nil {
+		return bv.Var(8, m.opts.InputVarName(i))
+	}
+	for len(m.inTerms) <= i {
+		m.inTerms = append(m.inTerms, bv.Var(8, fmt.Sprintf("in[%d]", len(m.inTerms))))
+	}
+	return m.inTerms[i]
+}
+
+// --- boolean evaluation and branch recording ---
+
+// condBranch evaluates a branch condition, appends to φ when the condition is
+// input-dependent, and returns the direction taken.
+func (m *Machine) condBranch(label string, c cBool) bool {
+	taken, sym, _ := c.evalBool(m)
+	if m.opts.TrackSymbolic && sym != nil {
+		cond := sym
+		if !taken {
+			cond = bv.NotB(cond)
+		}
+		m.out.Branches = append(m.out.Branches, BranchRecord{
+			Label: label,
+			Taken: taken,
+			Cond:  cond,
+		})
+	}
+	return taken
+}
+
+func (e cBoolLit) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
+	m.step()
+	return e.v, nil, nil
+}
+
+func (e *cCmp) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
+	var a, b value
+	if m.fuel <= e.pre {
+		m.step()
+		a = e.a.eval(m)
+		b = e.b.eval(m)
+	} else {
+		m.fuel -= e.pre
+		switch e.pre {
+		case 3:
+			a = e.a.read(m)
+			b = e.b.read(m)
+		case 2:
+			a = e.a.read(m)
+			b = e.b.eval(m)
+		default:
+			a = e.a.eval(m)
+			b = e.b.eval(m)
+		}
+	}
+	if a.w != b.w {
+		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", e.op, a.w, b.w))
+	}
+	cv := concreteCmp(e.op, a, b)
+	var sym *bv.Bool
+	if a.sym != nil || b.sym != nil {
+		sym = symCmp(e.op, a.term(), b.term())
+	}
+	var tn *taint.Set
+	if m.opts.TrackTaint {
+		tn = a.tnt.Union(b.tnt)
+	}
+	return cv, sym, tn
+}
+
+func (e *cNot) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
+	m.step()
+	v, sym, tn := e.a.evalBool(m)
+	if sym != nil {
+		sym = bv.NotB(sym)
+	}
+	return !v, sym, tn
+}
+
+func (e *cAnd) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
+	m.step()
+	av, asym, at := e.a.evalBool(m)
+	bvv, bsym, bt := e.b.evalBool(m)
+	sym := combineBool(av, asym, bvv, bsym, true)
+	return av && bvv, sym, at.Union(bt)
+}
+
+func (e *cOr) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
+	m.step()
+	av, asym, at := e.a.evalBool(m)
+	bvv, bsym, bt := e.b.evalBool(m)
+	sym := combineBool(av, asym, bvv, bsym, false)
+	return av || bvv, sym, at.Union(bt)
+}

@@ -1,0 +1,316 @@
+package interp_test
+
+// Differential tests pinning the compiled execution layer to the original
+// tree-walking interpreter: for every benchmark application and a matrix of
+// inputs and instrumentation modes, interp.RunTree (the legacy oracle) and a
+// reused interp.Machine must produce byte-identical Outcomes — same outcome
+// kind, same step count (fuel parity), same allocation/branch/memcheck event
+// sequences with identical symbolic expressions and taint labels.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"diode/internal/apps"
+	"diode/internal/formats"
+	"diode/internal/interp"
+	"diode/internal/lang"
+)
+
+// dumpOutcome renders every observable field of an outcome; two outcomes are
+// byte-identical iff their dumps are equal.
+func dumpOutcome(o *interp.Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind=%v abort=%q steps=%d\n", o.Kind, o.AbortMsg, o.Steps)
+	if o.Err != nil {
+		fmt.Fprintf(&b, "err=%v\n", o.Err)
+	}
+	for _, w := range o.Warnings {
+		fmt.Fprintf(&b, "warn=%q\n", w)
+	}
+	for _, ev := range o.Allocs {
+		fmt.Fprintf(&b, "alloc site=%s seq=%d size=%d w=%d wrapped=%v mark=%d taint=%v",
+			ev.Site, ev.Seq, ev.Size, ev.Width, ev.Wrapped, ev.BranchMark, ev.Taint.Elems())
+		if ev.Sym != nil {
+			fmt.Fprintf(&b, " sym=%s", ev.Sym)
+		}
+		b.WriteByte('\n')
+	}
+	for _, me := range o.MemErrs {
+		fmt.Fprintf(&b, "memerr kind=%v site=%s off=%d size=%d\n", me.Kind, me.Site, me.Offset, me.Size)
+	}
+	for _, br := range o.Branches {
+		fmt.Fprintf(&b, "branch label=%s taken=%v cond=%s\n", br.Label, br.Taken, br.Cond)
+	}
+	return b.String()
+}
+
+// parityModes is the instrumentation matrix every input is run under. Fuel is
+// capped well below the interpreter default: the seeds finish in a fraction
+// of it, corrupted inputs that loop reach the fuel-exhaustion outcome quickly
+// (itself a parity case), and step-count equality makes the cap bite at the
+// exact same point on both paths.
+func parityModes() map[string]interp.Options {
+	return map[string]interp.Options{
+		"plain":    {Fuel: 300_000},
+		"taint":    {TrackTaint: true, Fuel: 300_000},
+		"symbolic": {TrackSymbolic: true, Fuel: 300_000},
+		"sym-restricted": {
+			TrackSymbolic: true,
+			Fuel:          300_000,
+			SymbolicBytes: func(i int) bool { return i%2 == 0 },
+		},
+		"low-fuel": {TrackSymbolic: true, Fuel: 500},
+	}
+}
+
+func checkParity(t *testing.T, name string, prog *lang.Program, m *interp.Machine, input []byte, opts interp.Options) {
+	t.Helper()
+	want := dumpOutcome(interp.RunTree(prog, input, opts))
+	m.Reset(input, opts)
+	got := dumpOutcome(m.Run())
+	if got != want {
+		t.Errorf("%s: compiled outcome diverges from tree-walker\n--- tree:\n%s--- compiled:\n%s", name, want, got)
+	}
+}
+
+// parityInputs derives a deterministic input matrix from an application's
+// seed: the seed itself, mutations that flip size-relevant bytes, a
+// truncation, and garbage — enough to drive each guest down accepting,
+// rejecting and erroring paths.
+func parityInputs(seed []byte) [][]byte {
+	mutate := func(f func(b []byte)) []byte {
+		out := append([]byte(nil), seed...)
+		f(out)
+		return out
+	}
+	inputs := [][]byte{
+		seed,
+		nil,
+		mutate(func(b []byte) {
+			for i := range b {
+				b[i] ^= 0xA5 // wholesale corruption: signature checks reject
+			}
+		}),
+		mutate(func(b []byte) {
+			// Blow up every byte in the second quarter — typically the header
+			// size fields — without touching the signature.
+			for i := len(b) / 4; i < len(b)/2; i++ {
+				b[i] = 0xFF
+			}
+		}),
+		mutate(func(b []byte) {
+			if len(b) > 20 {
+				b[len(b)-7] ^= 0x42 // tail corruption: checksums mismatch
+			}
+		}),
+	}
+	if len(seed) > 8 {
+		inputs = append(inputs, seed[:len(seed)/2]) // truncated file
+	}
+	return inputs
+}
+
+// TestCompiledParityApps runs every registered benchmark application over the
+// input × mode matrix on both interpreters, one reused Machine per app.
+func TestCompiledParityApps(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Short, func(t *testing.T) {
+			m := interp.NewMachine(app.Compiled())
+			inputs := parityInputs(app.Format.Seed)
+			if app.Short == "gifview" {
+				// Multi-frame SGIF: repeated image blocks exercise the
+				// repeated-frame field structure through taint and trace.
+				multi := formats.SGIFAppendFrame(app.Format.Seed, 3, 1, 33, 21)
+				inputs = append(inputs, multi, formats.SGIFAppendFrame(multi, 0, 0, 7, 9))
+			}
+			for i, input := range inputs {
+				for mode, opts := range parityModes() {
+					checkParity(t, fmt.Sprintf("%s input#%d mode=%s", app.Short, i, mode), app.Program, m, input, opts)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledParityUnits covers the statement/expression/outcome space the
+// app sweep may miss: memory errors in and past the red zone, heap-corruption
+// aborts, runtime errors, custom input-variable naming, globals, recursion
+// and bare returns.
+func TestCompiledParityUnits(t *testing.T) {
+	progs := map[string]*lang.Program{
+		"redzone-write": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(8)),
+			lang.Put(lang.V("buf"), lang.U32(10), lang.U8(0xAA)),
+		)),
+		"segv": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(8)),
+			lang.Put(lang.V("buf"), lang.U32(100000), lang.U8(1)),
+		)),
+		"heap-corruption-abrt": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("a", "t@1", lang.U32(8)),
+			lang.Put(lang.V("a"), lang.U32(9), lang.U8(1)),
+			lang.AllocAt("b", "t@2", lang.U32(8)),
+		)),
+		// Two clobbered red zones before the aborting alloc: the abort must
+		// be attributed to the *first* clobbered block on both interpreters.
+		"double-canary-abrt": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("a", "t@1", lang.U32(8)),
+			lang.AllocAt("b", "t@2", lang.U32(8)),
+			lang.Put(lang.V("b"), lang.U32(9), lang.U8(1)),
+			lang.Put(lang.V("a"), lang.U32(10), lang.U8(1)),
+			lang.AllocAt("c", "t@3", lang.U32(8)),
+		)),
+		"invalid-read": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(4)),
+			lang.Let("x", lang.Load(lang.V("buf"), lang.U32(6))),
+			lang.AllocAt("b2", "t@2", lang.V("x")),
+		)),
+		"width-mismatch": mustProg(t, lang.Fn("main", nil,
+			lang.Let("x", lang.Add(lang.U8(1), lang.U32(2))),
+		)),
+		"undefined-var": mustProg(t, lang.Fn("main", nil,
+			lang.Let("x", lang.V("never_assigned")),
+		)),
+		"undefined-global": mustProg(t, lang.Fn("main", nil,
+			lang.Let("x", lang.V("g_missing")),
+		)),
+		"globals-and-calls": mustProg(t,
+			lang.Fn("bump", nil,
+				lang.Let("g_n", lang.Add(lang.V("g_n"), lang.U32(1))),
+				lang.Ret(lang.V("g_n")),
+			),
+			lang.Fn("main", nil,
+				lang.Let("g_n", lang.ZX(32, lang.InAt(0))),
+				lang.Do(lang.Call("bump")),
+				lang.Let("v", lang.Call("bump")),
+				lang.AllocAt("b", "t@1", lang.V("v")),
+			),
+		),
+		"recursion": mustProg(t,
+			lang.Fn("fib", []string{"n"},
+				lang.IfThen("base", lang.Ult(lang.V("n"), lang.U32(2)),
+					lang.Ret(lang.V("n")),
+				),
+				lang.Ret(lang.Add(
+					lang.Call("fib", lang.Sub(lang.V("n"), lang.U32(1))),
+					lang.Call("fib", lang.Sub(lang.V("n"), lang.U32(2))),
+				)),
+			),
+			lang.Fn("main", nil,
+				lang.AllocAt("b", "t@1", lang.Call("fib", lang.ZX(32, lang.InAt(0)))),
+			),
+		),
+		"bare-return": mustProg(t,
+			lang.Fn("noop", nil, lang.RetVoid()),
+			lang.Fn("main", nil,
+				lang.Let("x", lang.Call("noop")),
+				lang.AllocAt("b", "t@1", lang.V("x")),
+			),
+		),
+		"ops-matrix": mustProg(t, lang.Fn("main", nil,
+			lang.Let("a", lang.ZX(32, lang.InAt(0))),
+			lang.Let("b", lang.ZX(32, lang.InAt(1))),
+			lang.Let("x", lang.BitXor(
+				lang.UDiv(lang.Mul(lang.V("a"), lang.V("b")), lang.Add(lang.V("b"), lang.U32(1))),
+				lang.URem(lang.Shl(lang.V("a"), lang.U32(3)), lang.Add(lang.V("a"), lang.U32(7))))),
+			lang.Let("y", lang.BitOr(
+				lang.LShr(lang.V("x"), lang.U32(2)),
+				lang.AShr(lang.Neg(lang.V("b")), lang.U32(1)))),
+			lang.Let("z", lang.SX(64, lang.BitNot(lang.V("y")))),
+			lang.IfElse("cmp", lang.Or(
+				lang.And(lang.Slt(lang.V("a"), lang.V("b")), lang.Not(lang.Uge(lang.V("x"), lang.V("y")))),
+				lang.Sgt(lang.V("z"), lang.U64(100))),
+				lang.Block{lang.AllocAt("p", "t@1", lang.V("x"))},
+				lang.Block{lang.AllocAt("q", "t@2", lang.V("y"))},
+			),
+			// "p" is only defined on the then-branch: the else path exercises
+			// the undefined-variable runtime error on both interpreters.
+			lang.Let("w", lang.Load(lang.V("p"), lang.Len())),
+		)),
+	}
+	inputs := [][]byte{nil, {0}, {7, 3}, {200, 100, 50}, {9, 0xFF}}
+	for name, prog := range progs {
+		m := interp.NewMachine(interp.Compile(prog))
+		for i, input := range inputs {
+			for mode, opts := range parityModes() {
+				checkParity(t, fmt.Sprintf("%s input#%d mode=%s", name, i, mode), prog, m, input, opts)
+			}
+		}
+	}
+}
+
+// TestCompiledCustomInputVarName pins that a caller-supplied InputVarName is
+// honored identically on both paths (field-named symbolic variables).
+func TestCompiledCustomInputVarName(t *testing.T) {
+	prog := mustProg(t, lang.Fn("main", nil,
+		lang.AllocAt("b", "t@1", lang.Mul(lang.ZX(32, lang.InAt(0)), lang.ZX(32, lang.InAt(1)))),
+	))
+	opts := interp.Options{
+		TrackSymbolic: true,
+		InputVarName:  func(i int) string { return fmt.Sprintf("/custom/byte%d", i) },
+	}
+	m := interp.NewMachine(interp.Compile(prog))
+	checkParity(t, "custom-name", prog, m, []byte{5, 7}, opts)
+	m.Reset([]byte{5, 7}, opts)
+	out := m.Run()
+	if got := out.Allocs[0].Sym.String(); !strings.Contains(got, "/custom/byte0") {
+		t.Fatalf("custom input var name not used: %s", got)
+	}
+}
+
+// TestMachineReuseMatchesFreshRuns pins the Reset contract: a single Machine
+// run back-to-back over a mixed input/mode sequence produces the same
+// outcomes as a fresh Machine per run.
+func TestMachineReuseMatchesFreshRuns(t *testing.T) {
+	app, err := apps.ByName("dillo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := app.Compiled()
+	reused := interp.NewMachine(code)
+	inputs := parityInputs(app.Format.Seed)
+	for round := 0; round < 3; round++ {
+		for i, input := range inputs {
+			for mode, opts := range parityModes() {
+				fresh := interp.NewMachine(code)
+				fresh.Reset(input, opts)
+				want := dumpOutcome(fresh.Run())
+				reused.Reset(input, opts)
+				got := dumpOutcome(reused.Run())
+				if got != want {
+					t.Fatalf("round %d input#%d mode=%s: reused machine diverges\n--- fresh:\n%s--- reused:\n%s",
+						round, i, mode, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestMachineRunRequiresReset pins the Reset-then-Run usage contract.
+func TestMachineRunRequiresReset(t *testing.T) {
+	prog := mustProg(t, lang.Fn("main", nil, lang.AllocAt("b", "t@1", lang.U32(1))))
+	m := interp.NewMachine(interp.Compile(prog))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run without Reset should panic")
+		}
+	}()
+	m.Reset(nil, interp.Options{})
+	m.Run()
+	m.Run() // second Run without Reset
+}
+
+func mustProg(t *testing.T, fns ...*lang.Func) *lang.Program {
+	t.Helper()
+	p := lang.NewProgram("parity")
+	for _, f := range fns {
+		p.AddFunc(f)
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

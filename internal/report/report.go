@@ -17,17 +17,25 @@ import (
 )
 
 // Rate is one success-rate measurement: Hits triggering inputs out of Total
-// generated.
+// generated. Failures counts sampled models the input-reconstruction layer
+// could not turn into files (solver.Stats.GenFailures for the experiment);
+// it is rendered alongside the rate so a broken format fix-up reads as
+// generation failures in the tables rather than as a low success rate.
 type Rate struct {
-	Hits  int
-	Total int
+	Hits     int
+	Total    int
+	Failures int `json:",omitempty"`
 }
 
 func (r Rate) String() string {
-	if r.Total == 0 {
+	if r.Total == 0 && r.Failures == 0 {
 		return "N/A"
 	}
-	return fmt.Sprintf("%d/%d", r.Hits, r.Total)
+	s := fmt.Sprintf("%d/%d", r.Hits, r.Total)
+	if r.Failures > 0 {
+		s += fmt.Sprintf(" (%d gen-fail)", r.Failures)
+	}
+	return s
 }
 
 // SiteRecord is the persisted, render-ready result for one target site.

@@ -114,6 +114,12 @@ func New(opts Options) *Solver {
 // Snapshot returns a point-in-time copy of the cumulative work counters.
 func (s *Solver) Snapshot() Stats { return s.stats.Snapshot() }
 
+// NoteGenFailure records that a model this solver produced could not be
+// reconstructed into an input file (inputgen.Generator.Generate failed). The
+// core reports these so success-rate totals can document how many sampled
+// models were lost to generation rather than counted as non-triggering.
+func (s *Solver) NoteGenFailure() { s.stats.genFailures.Add(1) }
+
 // randIntn, randUint64 and randInt63 serialize access to the shared random
 // stream so concurrent Solve calls are race-free.
 func (s *Solver) randIntn(n int) int {
@@ -144,19 +150,27 @@ func (s *Solver) Solve(f *bv.Bool) (bv.Assignment, Verdict) {
 
 // concreteSearch samples random assignments, mixing uniform values with
 // boundary values (0, 1, all-ones, single bits) that are likely to matter for
-// overflow and comparison constraints.
+// overflow and comparison constraints. The formula is compiled once per call
+// (bv.CompileBool) so each try is a flat-array evaluation.
 func (s *Solver) concreteSearch(f *bv.Bool, vars bv.VarSet, tries int) bv.Assignment {
 	names := vars.Names()
 	if len(names) == 0 {
 		return nil
 	}
+	return s.concreteTries(bv.CompileBool(f), vars, names, tries)
+}
+
+// concreteTries runs the random-assignment loop against a pre-compiled
+// formula. Randomness is drawn in exactly the order the pre-compilation
+// search did, so results (and therefore verdicts) are unchanged.
+func (s *Solver) concreteTries(ce *bv.CompiledBool, vars bv.VarSet, names []string, tries int) bv.Assignment {
 	m := make(bv.Assignment, len(names))
 	for i := 0; i < tries; i++ {
 		for _, n := range names {
 			w := vars[n].W
 			m[n] = s.randomValue(w)
 		}
-		ok, err := m.EvalBool(f)
+		ok, err := ce.Eval(m)
 		if err != nil {
 			return nil
 		}
@@ -280,14 +294,19 @@ func (ms *modelSet) add(m bv.Assignment) bool {
 
 // concretePhase is phase 1 of sampling: concrete search, cheap, and for
 // check-free constraints it finds k dense solutions almost immediately.
-// No-op in ModeSATOnly.
+// No-op in ModeSATOnly. The formula is compiled once for the whole phase.
 func (s *Solver) concretePhase(f *bv.Bool, ms *modelSet, k int) {
 	if s.opts.Mode == ModeSATOnly {
 		return
 	}
+	names := ms.vars.Names()
+	if len(names) == 0 {
+		return
+	}
+	ce := bv.CompileBool(f)
 	budget := s.opts.ConcreteTries * 4
 	for i := 0; i < budget && len(ms.models) < k; i++ {
-		if m := s.concreteSearch(f, ms.vars, 1); m != nil {
+		if m := s.concreteTries(ce, ms.vars, names, 1); m != nil {
 			ms.add(m)
 		}
 	}

@@ -15,6 +15,13 @@ type Stats struct {
 	AssumptionSolves int // CDCL calls made under ≥1 assumption (sampling blocks)
 	ModelCacheHits   int // session solves settled by re-checking an earlier model
 	ClausesReused    int // learned clauses carried into later CDCL calls of a session, each counted once
+
+	// GenFailures counts solver models the input-reconstruction layer failed
+	// to turn into an input file (Generate errors, reported by the core via
+	// Solver.NoteGenFailure). A nonzero count in a success-rate experiment
+	// means the measured total undercounts the sampled models — a broken
+	// format fix-up, not a low success rate.
+	GenFailures int
 }
 
 // Add accumulates another snapshot into s.
@@ -26,6 +33,7 @@ func (s *Stats) Add(o Stats) {
 	s.AssumptionSolves += o.AssumptionSolves
 	s.ModelCacheHits += o.ModelCacheHits
 	s.ClausesReused += o.ClausesReused
+	s.GenFailures += o.GenFailures
 }
 
 // Collector accumulates solver work counters atomically. It is safe for
@@ -39,6 +47,7 @@ type Collector struct {
 	assumptionSolves atomic.Int64
 	modelCacheHits   atomic.Int64
 	clausesReused    atomic.Int64
+	genFailures      atomic.Int64
 }
 
 // Add folds a snapshot into the collector.
@@ -50,6 +59,7 @@ func (c *Collector) Add(s Stats) {
 	c.assumptionSolves.Add(int64(s.AssumptionSolves))
 	c.modelCacheHits.Add(int64(s.ModelCacheHits))
 	c.clausesReused.Add(int64(s.ClausesReused))
+	c.genFailures.Add(int64(s.GenFailures))
 }
 
 // Snapshot returns the current counter values.
@@ -62,5 +72,6 @@ func (c *Collector) Snapshot() Stats {
 		AssumptionSolves: int(c.assumptionSolves.Load()),
 		ModelCacheHits:   int(c.modelCacheHits.Load()),
 		ClausesReused:    int(c.clausesReused.Load()),
+		GenFailures:      int(c.genFailures.Load()),
 	}
 }
