@@ -6,7 +6,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race lint vet staticcheck check bench-smoke fuzz-smoke
+.PHONY: all build test race lint vet staticcheck check bench-smoke fuzz-smoke worker-smoke
 
 all: check test
 
@@ -44,10 +44,31 @@ check: lint build
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Short live-fuzz pass: the per-format fix-up invariant targets and the
-# cross-layer FuzzHunt engine-robustness target.
+# Short live-fuzz pass: the per-format fix-up invariant targets, the
+# cross-layer FuzzHunt engine-robustness target, and the dispatch-layer
+# Job/Result codec round-trip target.
 fuzz-smoke:
 	@for target in FuzzSPNG FuzzSWAV FuzzSJPG FuzzSWEBP FuzzSXWD FuzzSGIF FuzzSTIF; do \
 		$(GO) test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime 5s ./internal/formats || exit 1; \
 	done
 	$(GO) test -run '^FuzzHunt$$' -fuzz '^FuzzHunt$$' -fuzztime 5s ./internal/core
+	$(GO) test -run '^FuzzJobResultCodec$$' -fuzz '^FuzzJobResultCodec$$' -fuzztime 5s ./internal/dispatch
+
+# End-to-end work-queue smoke: build the real worker binary, pipe a three-job
+# batch through its stdin/stdout protocol, and assert the verdicts (the
+# classification is seed-stable, so any seed works). Mirrors the CI step.
+worker-smoke:
+	$(GO) build -o bin/diode-worker ./cmd/diode-worker
+	@out=$$(printf '%s\n' \
+	  '{"id":1,"kind":"hunt","app":"dillo","site":"dillo:png.c@203","seed":7,"opts":{}}' \
+	  '{"id":2,"kind":"hunt","app":"vlc","site":"vlc:block.c@54","seed":8,"opts":{}}' \
+	  '{"id":3,"kind":"hunt","app":"gifview","site":"gifview:gif.c@183","seed":9,"opts":{}}' \
+	  | ./bin/diode-worker); \
+	results=$$(printf '%s\n' "$$out" | grep -c '"type":"result"'); \
+	exposed=$$(printf '%s\n' "$$out" | grep -c '"verdict":"exposed"'); \
+	unsat=$$(printf '%s\n' "$$out" | grep -c '"verdict":"unsatisfiable"'); \
+	if [ "$$results" -ne 3 ] || [ "$$exposed" -ne 2 ] || [ "$$unsat" -ne 1 ]; then \
+	  echo "worker smoke failed: results=$$results exposed=$$exposed unsat=$$unsat (want 3/2/1)"; \
+	  printf '%s\n' "$$out"; exit 1; \
+	fi; \
+	echo "worker smoke ok: 3 jobs -> 2 exposed, 1 unsatisfiable"

@@ -4,16 +4,31 @@
 // printed beside the measured ones — plus the extended-suite table, whose
 // applications have no paper counterpart and render measured-only columns.
 //
+// The sweep runs as dispatch jobs over a backend: -backend local fans out on
+// an in-process pool, -backend exec shards across spawned diode-worker
+// processes. Tables are byte-identical for either backend at any worker
+// count. -json streams the per-application report.AppRecord values as JSON
+// lines instead of rendering tables; -db additionally writes the JSON results
+// database to a file. Any application error aborts with a non-zero exit
+// before any table is rendered.
+//
 // Usage:
 //
-//	diode-tables [-table all|1|2|samepath|extended] [-n 200] [-seed 1] [-parallel N] [-json out.json]
+//	diode-tables [-table all|1|2|samepath|extended] [-n 200] [-seed 1]
+//	             [-parallel N] [-workers N] [-backend local|exec] [-worker BIN]
+//	             [-json] [-progress] [-db out.json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
+	"syscall"
 
 	"diode"
 	"diode/internal/harness"
@@ -24,11 +39,26 @@ func main() {
 	table := flag.String("table", "all", "which table to produce: all, 1, 2, samepath, extended")
 	n := flag.Int("n", 200, "inputs per success-rate experiment (0 disables; paper uses 200)")
 	seed := flag.Int64("seed", 1, "base random seed")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent site hunts per application (1 = sequential; rows are identical)")
-	jsonOut := flag.String("json", "", "also write the results database to this file")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "pool multiplier for -backend local (apps × this many concurrent jobs; rows are identical at any setting). -backend exec sizes by -workers instead")
+	workers := flag.Int("workers", 0, "worker count: apps per wave for -backend local (0 = one per app), processes for -backend exec (0 = GOMAXPROCS)")
+	backendName := flag.String("backend", "local", "job backend: local (in-process pool) or exec (spawned diode-worker processes)")
+	workerBin := flag.String("worker", "", "diode-worker binary for -backend exec (default: sibling of this binary, then $PATH)")
+	jsonOut := flag.Bool("json", false, "emit one report.AppRecord JSON line per application instead of tables")
+	progress := flag.Bool("progress", false, "stream live job progress to stderr")
+	dbOut := flag.String("db", "", "also write the results database to this file")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// Fail loudly rather than silently ignoring arguments — in
+		// particular the old `-json out.json` spelling, whose file role
+		// moved to -db when -json became the record-stream mode.
+		fmt.Fprintf(os.Stderr, "unexpected argument %q (-json is now a boolean record-stream mode; use -db FILE for the results database)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
-	cfg := harness.Config{Seed: *seed, Parallelism: *parallel}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := harness.Config{Seed: *seed, Parallelism: *parallel, Workers: *workers}
 	var appList []*diode.App
 	switch *table {
 	case "1":
@@ -52,47 +82,90 @@ func main() {
 		os.Exit(2)
 	}
 
-	outcomes := harness.Evaluate(cfg, appList)
+	var sink diode.JobSink
+	if *progress {
+		var done atomic.Int64
+		sink = func(ev diode.JobEvent) {
+			switch ev.Type {
+			case diode.JobStarted:
+				fmt.Fprintf(os.Stderr, "[diode-tables] %s %s started\n", ev.Job.Kind, ev.Job.Site)
+			case diode.JobFinished:
+				fmt.Fprintf(os.Stderr, "[diode-tables] %s %s done (%d jobs finished)\n",
+					ev.Job.Kind, ev.Job.Site, done.Add(1))
+			}
+		}
+	}
+	switch *backendName {
+	case "local":
+		cfg.Sink = sink
+	case "exec":
+		execWorkers := *workers
+		if execWorkers == 0 {
+			execWorkers = runtime.GOMAXPROCS(0)
+		}
+		cfg.Backend = &diode.ExecBackend{Binary: *workerBin, Workers: execWorkers, Sink: sink}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (local, exec)\n", *backendName)
+		os.Exit(2)
+	}
+
+	outcomes := harness.EvaluateContext(ctx, cfg, appList)
+	failed := false
 	for _, o := range outcomes {
 		if o.Err != nil {
+			failed = true
 			fmt.Fprintln(os.Stderr, o.Err)
-			os.Exit(1)
 		}
+	}
+	if failed || ctx.Err() != nil {
+		// No partial tables: a missing application would silently skew the
+		// totals row, so any error (or a cancelled sweep) is fatal.
+		os.Exit(1)
 	}
 	recs := harness.Records(outcomes)
 
-	if *table == "1" || *table == "all" {
-		fmt.Println(diode.Table1(diode.PaperApplications(), recs))
-	}
-	if *table == "2" || *table == "all" {
-		fmt.Println(diode.Table2(diode.PaperApplications(), recs))
-	}
-	if *table == "samepath" || *table == "all" {
-		fmt.Println("Same-path constraint satisfiability (§5.4; paper: sat only for")
-		fmt.Println("SwfPlay jpeg.c@192 and CWebP jpegdec.c@248):")
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
 		for _, rec := range recs {
-			for _, s := range rec.Sites {
-				if s.Class == "exposed" && s.SamePathSat != "" {
-					fmt.Printf("  %-32s %s\n", s.Site, s.SamePathSat)
-				}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
 		}
-		fmt.Println()
-	}
-	if *table == "extended" || *table == "all" {
-		fmt.Println(diode.TableExtended(diode.ExtendedApplications(), recs))
+	} else {
+		if *table == "1" || *table == "all" {
+			fmt.Println(diode.Table1(diode.PaperApplications(), recs))
+		}
+		if *table == "2" || *table == "all" {
+			fmt.Println(diode.Table2(diode.PaperApplications(), recs))
+		}
+		if *table == "samepath" || *table == "all" {
+			fmt.Println("Same-path constraint satisfiability (§5.4; paper: sat only for")
+			fmt.Println("SwfPlay jpeg.c@192 and CWebP jpegdec.c@248):")
+			for _, rec := range recs {
+				for _, s := range rec.Sites {
+					if s.Class == "exposed" && s.SamePathSat != "" {
+						fmt.Printf("  %-32s %s\n", s.Site, s.SamePathSat)
+					}
+				}
+			}
+			fmt.Println()
+		}
+		if *table == "extended" || *table == "all" {
+			fmt.Println(diode.TableExtended(diode.ExtendedApplications(), recs))
+		}
 	}
 
-	if *jsonOut != "" {
+	if *dbOut != "" {
 		data, err := report.Save(recs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+		if err := os.WriteFile(*dbOut, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println("results database written to", *jsonOut)
+		fmt.Fprintln(os.Stderr, "results database written to", *dbOut)
 	}
 }

@@ -3,19 +3,32 @@
 // sanity checks, the triggering input's field values, and the observed
 // error.
 //
+// The hunts run as dispatch jobs: -backend local fans them out on an
+// in-process pool, -backend exec shards them across spawned diode-worker
+// processes (the §4 work-queue role). -progress streams live per-site
+// started/iteration/verdict lines to stderr as the jobs execute; -json
+// replaces the text report with one report.SiteRecord JSON line per site on
+// stdout. The command exits non-zero if analysis fails or any job errors.
+//
 // Usage:
 //
-//	diode -app dillo [-seed 1] [-parallel N] [-expr] [-v]
+//	diode -app dillo [-seed 1] [-parallel N] [-backend local|exec] [-worker BIN] [-expr] [-v] [-json] [-progress]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
+	"syscall"
 
 	"diode"
+	"diode/internal/report"
 )
 
 func main() {
@@ -23,30 +36,127 @@ func main() {
 		"application: "+strings.Join(diode.ApplicationNames(diode.Applications()), ", "))
 	seed := flag.Int64("seed", 1, "random seed for the hunt")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent site hunts (1 = sequential; verdicts are identical)")
+	backendName := flag.String("backend", "local", "job backend: local (in-process pool) or exec (spawned diode-worker processes)")
+	workerBin := flag.String("worker", "", "diode-worker binary for -backend exec (default: sibling of this binary, then $PATH)")
 	showExpr := flag.Bool("expr", false, "print the symbolic target expression per site")
 	verbose := flag.Bool("v", false, "print relevant input bytes, path statistics and solver counters")
+	jsonOut := flag.Bool("json", false, "emit one report.SiteRecord JSON line per site instead of the text report")
+	progress := flag.Bool("progress", false, "stream live job progress (started/iteration/verdict) to stderr")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
 	app, err := diode.Application(*appName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	sched := diode.NewScheduler(app, diode.Options{Seed: *seed, Parallelism: *parallel})
-	result, err := sched.RunAll()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := diode.Options{Seed: *seed}
+	targets, err := diode.NewAnalyzer(app, opts).AnalyzeContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analysis failed:", err)
 		os.Exit(1)
 	}
+	// One hunt job per analyzed site, seeded exactly as a Scheduler would
+	// seed its per-site Hunters; the targets are kept for the verbose
+	// per-site introspection below.
+	jobs := diode.HuntJobsFor(app, opts, targets)
 
-	fmt.Printf("%s — %d target sites (analysis %s)\n\n", app.Name, len(result.Sites), result.Analysis)
+	var sink diode.JobSink
+	if *progress {
+		sink = func(ev diode.JobEvent) {
+			switch ev.Type {
+			case diode.JobStarted:
+				fmt.Fprintf(os.Stderr, "[diode] %s: hunt started\n", ev.Job.Site)
+			case diode.JobIteration:
+				fmt.Fprintf(os.Stderr, "[diode] %s: enforcement iteration %d\n", ev.Job.Site, ev.Iteration)
+			case diode.JobFinished:
+				fmt.Fprintf(os.Stderr, "[diode] %s: %s\n", ev.Job.Site, ev.Result.Verdict)
+			}
+		}
+	}
+	var backend diode.Backend
+	switch *backendName {
+	case "local":
+		backend = &diode.LocalBackend{Workers: *parallel, Sink: sink}
+	case "exec":
+		backend = &diode.ExecBackend{Binary: *workerBin, Workers: *parallel, Sink: sink}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (local, exec)\n", *backendName)
+		os.Exit(2)
+	}
+
+	results, err := diode.RunJobs(ctx, backend, jobs)
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "dispatch failed:", err)
+		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		// Interrupted: report the sites that finished, then exit non-zero.
+		fmt.Fprintf(os.Stderr, "interrupted: %d of %d sites finished\n", len(results), len(jobs))
+	}
+	// Results stream in completion order; report in analysis (job) order.
+	sort.Slice(results, func(i, j int) bool { return results[i].JobID < results[j].JobID })
+
+	failed := false
+	for _, r := range results {
+		if r.Err != "" {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: %s\n", r.Site, r.Err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range results {
+			if r.Err != "" {
+				continue
+			}
+			verdict, _ := r.CoreVerdict()
+			rec := report.SiteRecord{
+				App:             r.App,
+				Site:            r.Site,
+				Verdict:         r.Verdict,
+				Class:           verdict.Class().String(),
+				ErrorType:       r.ErrorType,
+				Enforced:        len(r.Enforced),
+				RelevantDynamic: r.DynamicBranches,
+				DiscoveryMS:     r.DiscoveryMS,
+			}
+			if err := enc.Encode(&rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if failed || ctx.Err() != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	byID := make(map[int]*diode.Target, len(targets))
+	for i := range targets {
+		byID[jobs[i].ID] = targets[i]
+	}
+	fmt.Printf("%s — %d target sites\n\n", app.Name, len(results))
 	exposed := 0
-	for _, sr := range result.Sites {
-		t := sr.Target
-		fmt.Printf("site %s: %s", t.Site, sr.Verdict)
-		if sr.Verdict == diode.VerdictExposed {
+	var stats diode.SolverStats
+	for _, r := range results {
+		stats.Add(r.Stats)
+		if r.Err != "" {
+			fmt.Printf("site %s: error\n\n", r.Site)
+			continue
+		}
+		t := byID[r.JobID]
+		fmt.Printf("site %s: %s", r.Site, r.Verdict)
+		if r.Verdict == diode.VerdictExposed.String() {
 			exposed++
-			fmt.Printf(" (%s, %d branches enforced, %s)", sr.ErrorType, sr.EnforcedCount(), sr.Discovery)
+			fmt.Printf(" (%s, %d branches enforced, %dms)", r.ErrorType, len(r.Enforced), r.DiscoveryMS)
 		}
 		fmt.Println()
 		if *verbose {
@@ -57,14 +167,14 @@ func main() {
 		if *showExpr {
 			fmt.Printf("  target expression: %s\n", t.Expr)
 		}
-		if sr.Verdict == diode.VerdictExposed {
-			if len(sr.Enforced) > 0 {
-				fmt.Printf("  enforced checks: %s\n", strings.Join(sr.Enforced, ", "))
+		if r.Verdict == diode.VerdictExposed.String() {
+			if len(r.Enforced) > 0 {
+				fmt.Printf("  enforced checks: %s\n", strings.Join(r.Enforced, ", "))
 			}
 			fmt.Printf("  triggering field values:\n")
 			for _, spec := range app.Format.Fields.Specs() {
 				seedVal := spec.Read(app.Format.Seed)
-				newVal := spec.Read(sr.Input)
+				newVal := spec.Read(r.Input)
 				if seedVal != newVal {
 					fmt.Printf("    %-20s %d -> %d\n", spec.Name, seedVal, newVal)
 				}
@@ -72,12 +182,14 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("%d overflows exposed out of %d sites\n", exposed, len(result.Sites))
+	fmt.Printf("%d overflows exposed out of %d sites\n", exposed, len(results))
 	if *verbose {
-		st := sched.SolverStats()
-		fmt.Printf("solver: %d concrete hits, %d SAT solves, %d unsat, %d unknown (aggregated over %d-way hunts)\n",
-			st.ConcreteHits, st.SATSolves, st.UnsatResults, st.UnknownOut, sched.Parallelism())
+		fmt.Printf("solver: %d concrete hits, %d SAT solves, %d unsat, %d unknown (aggregated over %d-way %s dispatch)\n",
+			stats.ConcreteHits, stats.SATSolves, stats.UnsatResults, stats.UnknownOut, *parallel, *backendName)
 		fmt.Printf("incremental: %d model-cache hits, %d assumption solves, %d learned clauses reused\n",
-			st.ModelCacheHits, st.AssumptionSolves, st.ClausesReused)
+			stats.ModelCacheHits, stats.AssumptionSolves, stats.ClausesReused)
+	}
+	if failed || ctx.Err() != nil {
+		os.Exit(1)
 	}
 }

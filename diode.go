@@ -25,22 +25,37 @@
 // worker pool. Per-site seed derivation makes parallel and sequential runs
 // produce identical verdicts.
 //
+// The execution surface is job-based (the paper's §4 distributed work-queue
+// role): a sweep decomposes into serializable Jobs — per-site hunts,
+// same-path experiments, success-rate experiments — executed by a Backend.
+// LocalBackend runs jobs on an in-process goroutine pool; ExecBackend shards
+// them across spawned diode-worker processes. Every job carries its fully
+// derived seed, so verdicts are byte-identical on any backend at any worker
+// count, results stream as jobs complete, and a cancelled context stops a
+// sweep mid-flight with partial results.
+//
 // Quick start:
 //
 //	app, _ := diode.Application("dillo")
-//	sched := diode.NewScheduler(app, diode.Options{Seed: 1, Parallelism: runtime.GOMAXPROCS(0)})
-//	result, _ := sched.RunAll()
-//	for _, site := range result.Sites {
-//	    fmt.Println(site.Target.Site, site.Verdict)
+//	jobs, _ := diode.HuntJobs(app, diode.Options{Seed: 1})
+//	results, _ := diode.RunJobs(context.Background(),
+//	    &diode.LocalBackend{Workers: runtime.GOMAXPROCS(0)}, jobs)
+//	for _, r := range results {
+//	    fmt.Println(r.Site, r.Verdict)
 //	}
 //
-// The pre-scheduler Engine API (NewEngine + RunAll) remains available as a
-// thin compatibility wrapper with identical results.
+// The batch-synchronous Scheduler API (NewScheduler + RunAll, with
+// context-aware variants) remains first-class for single-application use,
+// and the pre-scheduler Engine API (NewEngine + RunAll) remains available as
+// a thin compatibility wrapper with identical results.
 package diode
 
 import (
+	"context"
+
 	"diode/internal/apps"
 	"diode/internal/core"
+	"diode/internal/dispatch"
 	"diode/internal/report"
 	"diode/internal/solver"
 )
@@ -157,6 +172,89 @@ func NewEngine(app *App, opts Options) *Engine { return core.New(app, opts) }
 // Record converts an engine result into a persistable record for the table
 // renderers.
 func Record(res *AppResult) *AppRecord { return report.FromResult(res) }
+
+// --- dispatch layer: the job-based execution surface ---
+
+// Job is one serializable unit of work: a per-site hunt, same-path
+// experiment or success-rate experiment, identified by (application, site,
+// derived seed) and executable by any worker with identical results.
+type Job = dispatch.Job
+
+// JobKind discriminates the units of work.
+type JobKind = dispatch.Kind
+
+// Job kinds.
+const (
+	JobHunt        = dispatch.KindHunt
+	JobSamePath    = dispatch.KindSamePath
+	JobSuccessRate = dispatch.KindSuccessRate
+)
+
+// Progress event types.
+const (
+	JobStarted   = dispatch.EventStarted
+	JobIteration = dispatch.EventIteration
+	JobFinished  = dispatch.EventFinished
+)
+
+// JobResult is the serializable outcome of one Job.
+type JobResult = dispatch.Result
+
+// Backend executes batches of jobs, streaming results as they complete.
+type Backend = dispatch.Backend
+
+// LocalBackend executes jobs on an in-process goroutine pool.
+type LocalBackend = dispatch.Local
+
+// ExecBackend shards jobs across spawned diode-worker processes — the
+// multi-process deployment of the §4 work-queue role.
+type ExecBackend = dispatch.Exec
+
+// JobEvent is a progress observation (job started / enforcement iteration /
+// finished) emitted by backends to a JobSink for live output.
+type JobEvent = dispatch.Event
+
+// JobSink receives progress events; it must be safe for concurrent calls.
+type JobSink = dispatch.Sink
+
+// RunJobs runs the jobs on the backend and collects the streamed results
+// (completion order; resolve by JobID). On cancellation it returns the
+// partial results together with ctx.Err().
+func RunJobs(ctx context.Context, b Backend, jobs []Job) ([]JobResult, error) {
+	return dispatch.Collect(ctx, b, jobs)
+}
+
+// HuntJobs analyzes the application and plans one hunt job per target site,
+// with per-site seeds derived from opts.Seed exactly as a Scheduler would
+// derive them — running the jobs on any Backend reproduces RunAll's
+// verdicts.
+func HuntJobs(app *App, opts Options) ([]Job, error) {
+	targets, err := core.NewAnalyzer(app, opts).Analyze()
+	if err != nil {
+		return nil, err
+	}
+	return HuntJobsFor(app, opts, targets), nil
+}
+
+// HuntJobsFor plans one hunt job per already-analyzed target — the planner
+// HuntJobs wraps, for callers that hold the Targets themselves (per-site
+// introspection alongside the sweep, as cmd/diode does). Job i corresponds
+// to targets[i]; the serializable subset of opts travels on every job.
+func HuntJobsFor(app *App, opts Options, targets []*Target) []Job {
+	subset := dispatch.OptionsFrom(opts)
+	jobs := make([]Job, len(targets))
+	for i, t := range targets {
+		jobs[i] = Job{
+			ID:   i,
+			Kind: dispatch.KindHunt,
+			App:  app.Short,
+			Site: t.Site,
+			Seed: core.SiteSeed(opts.Seed, t.Site),
+			Opts: subset,
+		}
+	}
+	return jobs
+}
 
 // Table1 renders the paper's Table 1 (target site classification), measured
 // values next to the paper's.

@@ -1,9 +1,15 @@
-// Batchaudit sweeps every registered benchmark application in parallel —
-// the paper's full Table 1 experiment plus the extended workload suite —
-// and prints the measured classification (next to the paper's for the five
-// paper applications, measured-only for the extended ones). The sweep runs
-// apps × sites concurrently; per-site seed derivation keeps the rows
-// identical to a sequential run.
+// Batchaudit sweeps every registered benchmark application — the paper's
+// full Table 1 experiment plus the extended workload suite — and prints the
+// measured classification (next to the paper's for the five paper
+// applications, measured-only for the extended ones).
+//
+// The sweep runs on the job-based dispatch layer: the harness plans one job
+// per (application, site) and the backend fans them out. The default is the
+// in-process LocalBackend shown here with a live progress sink; building
+// cmd/diode-worker and setting harness.Config.Backend to a
+// diode.ExecBackend runs the identical sweep across worker processes with
+// byte-identical tables — the seam a networked work-queue backend (the
+// paper's §4 deployment) drops into.
 //
 // Run with: go run ./examples/batchaudit
 package main
@@ -11,14 +17,27 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"runtime"
+	"sync/atomic"
 
 	"diode"
 	"diode/internal/harness"
 )
 
 func main() {
-	outcomes := harness.EvaluateAll(harness.Config{Seed: 1, Parallelism: runtime.GOMAXPROCS(0)})
+	var hunted atomic.Int64
+	cfg := harness.Config{
+		Seed:        1,
+		Parallelism: runtime.GOMAXPROCS(0),
+		Sink: func(ev diode.JobEvent) {
+			if ev.Type == diode.JobFinished {
+				fmt.Fprintf(os.Stderr, "  [%2d] %-12s %-32s %s\n",
+					hunted.Add(1), ev.Job.Kind, ev.Job.Site, ev.Result.Verdict)
+			}
+		},
+	}
+	outcomes := harness.EvaluateAll(cfg)
 	for _, o := range outcomes {
 		if o.Err != nil {
 			log.Fatal(o.Err)

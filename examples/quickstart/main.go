@@ -1,11 +1,16 @@
 // Quickstart walks the paper's §2 example end to end: DIODE against Dillo's
 // PNG pipeline, targeting the image-buffer allocation png.c@203 whose size
-// is rowbytes*height.
+// is rowbytes*height. The hunt itself runs through the job-based dispatch
+// API: analysis plans one serializable hunt job per target site, a backend
+// executes them (swap LocalBackend for ExecBackend and the same jobs run in
+// spawned worker processes), and a progress sink streams the Figure 7
+// enforcement iterations live.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -51,12 +56,31 @@ func main() {
 	fmt.Printf("  target expression (note the endianness swizzle over\n"+
 		"  HachField(32,'/ihdr/width') etc., as in §2):\n    %s\n\n", expr)
 
-	// Goal-directed conditional branch enforcement (Figure 7). A Hunter owns
-	// its private solver; seeding it with ForSite reproduces exactly the hunt
-	// a Scheduler would run for this site.
-	result := diode.NewHunter(app, opts.ForSite(png203.Site)).Hunt(png203)
-	fmt.Printf("verdict: %v\n", result.Verdict)
-	if result.Verdict != diode.VerdictExposed {
+	// Goal-directed conditional branch enforcement (Figure 7), dispatched as
+	// a job: the record carries everything a worker needs — application,
+	// site, the seed derived exactly as a Scheduler would derive it — so the
+	// same job produces the same verdict on any backend. The sink narrates
+	// the enforcement loop as it runs.
+	job := diode.Job{
+		ID: 1, Kind: diode.JobHunt, App: app.Short, Site: png203.Site,
+		Seed: diode.SiteSeed(opts.Seed, png203.Site),
+	}
+	backend := &diode.LocalBackend{Sink: func(ev diode.JobEvent) {
+		if ev.Type == diode.JobIteration {
+			fmt.Printf("  enforcement iteration %d...\n", ev.Iteration)
+		}
+	}}
+	results, err := diode.RunJobs(context.Background(), backend, []diode.Job{job})
+	if err != nil || len(results) != 1 {
+		log.Fatalf("dispatch failed: %v", err)
+	}
+	result := results[0]
+	if result.Err != "" {
+		log.Fatalf("hunt failed: %s", result.Err)
+	}
+
+	fmt.Printf("verdict: %s\n", result.Verdict)
+	if result.Verdict != diode.VerdictExposed.String() {
 		return
 	}
 	fmt.Printf("enforced sanity checks, in discovery order:\n")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"diode/internal/apps"
@@ -53,11 +54,22 @@ func (a *Analyzer) run(input []byte, opts interp.Options) *interp.Outcome {
 // Analyze identifies every tainted allocation site and extracts a Target per
 // site, in seed execution order.
 func (a *Analyzer) Analyze() ([]*Target, error) {
+	return a.AnalyzeContext(context.Background())
+}
+
+// AnalyzeContext is Analyze with cancellation: ctx is checked between per-site
+// symbolic runs and aborts mid-run guest executions through the interpreter's
+// Cancel hook. A cancelled analysis returns (nil, ctx.Err()).
+func (a *Analyzer) AnalyzeContext(ctx context.Context) ([]*Target, error) {
 	seed := a.app.Format.Seed
 	taintRun := a.run(seed, interp.Options{
 		TrackTaint: true,
 		Fuel:       a.opts.Fuel,
+		Cancel:     ctx.Done(),
 	})
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 	if taintRun.Kind != interp.OutOK {
 		return nil, fmt.Errorf("core: seed taint run ended %v (%s)", taintRun.Kind, taintRun.AbortMsg)
 	}
@@ -76,7 +88,10 @@ func (a *Analyzer) Analyze() ([]*Target, error) {
 
 	var targets []*Target
 	for _, site := range order {
-		t, err := a.analyzeSite(site, firstTaint[site])
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		t, err := a.analyzeSite(ctx, site, firstTaint[site])
 		if err != nil {
 			return nil, err
 		}
@@ -85,14 +100,18 @@ func (a *Analyzer) Analyze() ([]*Target, error) {
 	return targets, nil
 }
 
-func (a *Analyzer) analyzeSite(site string, labels *taint.Set) (*Target, error) {
+func (a *Analyzer) analyzeSite(ctx context.Context, site string, labels *taint.Set) (*Target, error) {
 	seed := a.app.Format.Seed
 	relevant := labels.Elems()
 	symRun := a.run(seed, interp.Options{
 		TrackSymbolic: true,
 		Fuel:          a.opts.Fuel,
+		Cancel:        ctx.Done(),
 		SymbolicBytes: func(i int) bool { return labels.Has(i) },
 	})
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 	if symRun.Kind != interp.OutOK {
 		return nil, fmt.Errorf("core: symbolic run for %s ended %v", site, symRun.Kind)
 	}

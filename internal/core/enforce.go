@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"diode/internal/bv"
@@ -29,6 +30,16 @@ import (
 // reconstructs, such as checksums, whose branch conditions mention stale
 // stored values; the concrete re-execution sees the repaired file.)
 func (h *Hunter) Hunt(t *Target) *SiteResult {
+	return h.HuntContext(context.Background(), t)
+}
+
+// HuntContext is Hunt with cancellation: the enforcement loop checks ctx at
+// every iteration boundary, and mid-run guest executions abort through the
+// interpreter's Cancel hook. A cancelled hunt returns promptly with a
+// VerdictUnknown result carrying whatever the loop had established so far
+// (enforced labels, run counts); callers distinguish cancellation from a
+// genuine budget-exhaustion Unknown via ctx.Err().
+func (h *Hunter) HuntContext(ctx context.Context, t *Target) *SiteResult {
 	start := time.Now()
 	res := &SiteResult{Target: t}
 	defer func() { res.Discovery = time.Since(start) }()
@@ -49,13 +60,17 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 	}
 	var lastInput []byte
 	for _, m := range initial {
+		if ctx.Err() != nil {
+			res.Verdict = VerdictUnknown
+			return res
+		}
 		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
 			h.sol.NoteGenFailure()
 			continue
 		}
 		res.Runs++
-		out := h.execute(t, input, false)
+		out := h.execute(ctx, t, input, false)
 		if ok, et := triggered(t, out); ok {
 			res.Verdict = VerdictExposed
 			res.Input = input
@@ -73,9 +88,23 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 	enforced := map[string]bool{}
 	current := lastInput
 	for iter := 0; iter < h.opts.MaxEnforce; iter++ {
-		// Instrumented run of the current input for trace comparison.
+		// Iteration boundary: the cancellation point of the enforcement loop.
+		if ctx.Err() != nil {
+			res.Verdict = VerdictUnknown
+			return res
+		}
+		if h.opts.Progress != nil {
+			h.opts.Progress(iter)
+		}
+		// Instrumented run of the current input for trace comparison. A run
+		// aborted by cancellation leaves a truncated branch trace — bail out
+		// before the trace comparison acts on it.
 		res.Runs++
-		curOut := h.execute(t, current, true)
+		curOut := h.execute(ctx, t, current, true)
+		if curOut.Kind == interp.OutCancelled {
+			res.Verdict = VerdictUnknown
+			return res
+		}
 		label, flipped, followed := h.firstFlipped(t, curOut, enforced)
 		// Line 11's break requires the input to have actually executed the
 		// target site via the seed path; a run that matched every branch but
@@ -127,7 +156,7 @@ func (h *Hunter) Hunt(t *Target) *SiteResult {
 		}
 		// Line 14: does the new input trigger the overflow?
 		res.Runs++
-		out := h.execute(t, input, false)
+		out := h.execute(ctx, t, input, false)
 		if ok, et := triggered(t, out); ok {
 			res.Verdict = VerdictExposed
 			res.Input = input
@@ -239,15 +268,30 @@ func (h *Hunter) SamePathSatisfiable(t *Target) solver.Verdict {
 // as failures in the stats and report output instead of masquerading as a
 // low success rate.
 func (h *Hunter) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total int) {
+	return h.SuccessRateContext(context.Background(), t, constraint, n)
+}
+
+// SuccessRateContext is SuccessRate with cancellation: ctx is checked between
+// sampled executions and aborts mid-run guest executions through the
+// interpreter's Cancel hook. On cancellation the partial counts gathered so
+// far are returned; callers detect the truncation via ctx.Err().
+func (h *Hunter) SuccessRateContext(ctx context.Context, t *Target, constraint *bv.Bool, n int) (hits, total int) {
 	models := h.sol.NewSession(constraint).SampleModels(n)
 	for _, m := range models {
+		if ctx.Err() != nil {
+			return hits, total
+		}
 		input, err := h.gen.Generate(h.app.Format.Seed, m)
 		if err != nil {
 			h.sol.NoteGenFailure()
 			continue
 		}
 		total++
-		out := h.execute(t, input, false)
+		out := h.execute(ctx, t, input, false)
+		if out.Kind == interp.OutCancelled {
+			total-- // the aborted run observed nothing; do not count it
+			return hits, total
+		}
 		if ok, _ := triggered(t, out); ok {
 			hits++
 		}
@@ -258,9 +302,19 @@ func (h *Hunter) SuccessRate(t *Target, constraint *bv.Bool, n int) (hits, total
 // EnforcedConstraint rebuilds φ′∧β for a completed hunt (the constraint the
 // final input satisfied), for the §5.6 experiment.
 func EnforcedConstraint(res *SiteResult) *bv.Bool {
-	out := res.Target.Beta
-	for _, label := range res.Enforced {
-		if entry, ok := res.Target.PathEntry(label); ok {
+	return EnforcedConstraintFor(res.Target, res.Enforced)
+}
+
+// EnforcedConstraintFor rebuilds φ′∧β from a target and the enforced branch
+// labels in enforcement order. The labels are plain strings, so a completed
+// hunt's constraint can be reconstructed from a serialized job record in a
+// different process (the dispatch layer's success-rate jobs do exactly this);
+// labels without a seed-path entry are skipped, matching the hunt's own
+// constraint construction.
+func EnforcedConstraintFor(t *Target, enforced []string) *bv.Bool {
+	out := t.Beta
+	for _, label := range enforced {
+		if entry, ok := t.PathEntry(label); ok {
 			out = bv.AndB(out, entry.Cond)
 		}
 	}

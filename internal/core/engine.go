@@ -70,6 +70,13 @@ type Options struct {
 	// DisableRelevanceFilter keeps branches that share no input variable
 	// with the target constraint (ablation hook).
 	DisableRelevanceFilter bool
+	// Progress, when non-nil, is called at the top of every Figure 7
+	// enforcement iteration with the 0-based iteration number. It is a live
+	// observation hook (the dispatch layer's Sink rides on it); it runs on
+	// the hunting goroutine, so implementations must be fast and must not
+	// call back into the Hunter. Not part of the serializable options subset
+	// (dispatch.Options drops it).
+	Progress func(iteration int)
 }
 
 func (o Options) withDefaults() Options {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -82,7 +83,7 @@ func FuzzHunt(f *testing.F) {
 		}
 		// Independent re-execution: a fresh compile-and-run must reproduce
 		// the overflow the hunter's reused machine observed.
-		out := NewHunter(p.app, Options{Seed: 0, OneShotExecution: true}).execute(p.target, res.Input, false)
+		out := NewHunter(p.app, Options{Seed: 0, OneShotExecution: true}).execute(context.Background(), p.target, res.Input, false)
 		if ok, _ := triggered(p.target, out); !ok {
 			t.Fatalf("%s: triggering input does not re-trigger on a fresh interpreter", p.target.Site)
 		}

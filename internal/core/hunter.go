@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"diode/internal/apps"
 	"diode/internal/inputgen"
 	"diode/internal/interp"
@@ -62,9 +64,11 @@ func (h *Hunter) SolverStats() solver.Stats { return h.sol.Snapshot() }
 // target's relevant bytes (for first-flipped-branch comparison). The run
 // reuses the hunter's private machine (unless the OneShotExecution ablation
 // rebuilds a tree-walking interpreter per run), so the returned outcome is
-// valid only until the hunter's next execute call.
-func (h *Hunter) execute(t *Target, input []byte, withBranches bool) *interp.Outcome {
-	opts := interp.Options{Fuel: h.opts.Fuel}
+// valid only until the hunter's next execute call. A cancelled ctx aborts the
+// run mid-execution through the interpreter's Cancel hook (the outcome then
+// reads OutCancelled).
+func (h *Hunter) execute(ctx context.Context, t *Target, input []byte, withBranches bool) *interp.Outcome {
+	opts := interp.Options{Fuel: h.opts.Fuel, Cancel: ctx.Done()}
 	if withBranches {
 		opts.TrackSymbolic = true
 		opts.SymbolicBytes = h.relevantBytes(t)

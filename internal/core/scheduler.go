@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"hash/fnv"
 	"time"
@@ -51,22 +52,42 @@ func (s *Scheduler) Parallelism() int { return s.opts.parallelism() }
 // RunAll analyzes the application and hunts every target site on the worker
 // pool.
 func (s *Scheduler) RunAll() (*AppResult, error) {
+	return s.RunAllContext(context.Background())
+}
+
+// RunAllContext is RunAll with cancellation. Analysis and every site hunt
+// check ctx (hunts at each Figure 7 iteration boundary, guest executions
+// through the interpreter's Cancel hook). When ctx is cancelled mid-sweep the
+// partial result is returned together with ctx.Err(): completed sites keep
+// their verdicts, interrupted or never-started sites read VerdictUnknown.
+// A cancellation during analysis returns (nil, ctx.Err()).
+func (s *Scheduler) RunAllContext(ctx context.Context) (*AppResult, error) {
 	start := time.Now()
-	targets, err := NewAnalyzer(s.app, s.opts).Analyze()
+	targets, err := NewAnalyzer(s.app, s.opts).AnalyzeContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res := &AppResult{App: s.app, Analysis: time.Since(start)}
-	res.Sites = s.HuntAll(targets)
-	return res, nil
+	res.Sites = s.HuntAllContext(ctx, targets)
+	return res, ctx.Err()
 }
 
 // HuntAll hunts every target concurrently (bounded by Parallelism), each on
 // a freshly seeded Hunter, and returns results in target order.
 func (s *Scheduler) HuntAll(targets []*Target) []*SiteResult {
+	return s.HuntAllContext(context.Background(), targets)
+}
+
+// HuntAllContext is HuntAll with cancellation: targets whose hunt never
+// started when ctx was cancelled come back as VerdictUnknown results with
+// zero runs, so the returned slice always lines up with targets.
+func (s *Scheduler) HuntAllContext(ctx context.Context, targets []*Target) []*SiteResult {
 	return queue.Map(s.opts.parallelism(), targets, func(t *Target) *SiteResult {
+		if ctx.Err() != nil {
+			return &SiteResult{Target: t, Verdict: VerdictUnknown}
+		}
 		h := NewHunter(s.app, s.opts.ForSite(t.Site))
-		sr := h.Hunt(t)
+		sr := h.HuntContext(ctx, t)
 		s.stats.Add(h.SolverStats())
 		return sr
 	})

@@ -1,0 +1,73 @@
+package dispatch
+
+import "context"
+
+// Backend executes batches of jobs. Implementations differ only in placement
+// — same-process goroutines (Local), spawned worker processes (Exec), or a
+// future networked queue — never in results: a job's outcome is a pure
+// function of the job record.
+type Backend interface {
+	// Run dispatches the jobs and returns a channel streaming one Result per
+	// completed job, in completion order. The channel is closed when every
+	// job has completed or ctx is cancelled; after a cancellation the stream
+	// ends early, carrying only the jobs that finished (partial results).
+	// The returned error covers dispatch setup only — per-job failures come
+	// back as Results with Err set, so one lost job cannot abort a sweep.
+	Run(ctx context.Context, jobs []Job) (<-chan Result, error)
+}
+
+// EventType classifies progress events.
+type EventType string
+
+// Progress event types.
+const (
+	// EventStarted fires when a worker picks the job up.
+	EventStarted EventType = "started"
+	// EventIteration fires at each Figure 7 enforcement iteration of a hunt
+	// job (rides core.Options.Progress).
+	EventIteration EventType = "iteration"
+	// EventFinished fires when the job's Result is final.
+	EventFinished EventType = "finished"
+)
+
+// Event is one progress observation. Events are advisory: backends emit them
+// best-effort for live output (site started / iteration / verdict lines in
+// the cmds) and they never influence results. Only jobs that actually begin
+// executing emit events — a job that fails before work starts (validation,
+// unknown application, worker loss) produces an error Result and no events,
+// identically on every backend, so started/finished counts always pair.
+type Event struct {
+	Type EventType
+	Job  Job
+	// Iteration is the 0-based enforcement iteration (EventIteration only).
+	Iteration int
+	// Result is the job's final result (EventFinished only).
+	Result *Result
+}
+
+// Sink receives progress events. A Sink must be safe for concurrent calls
+// (backends run jobs concurrently) and fast — it runs on worker goroutines.
+// nil disables progress reporting.
+type Sink func(Event)
+
+// emit forwards an event to a possibly-nil sink.
+func (s Sink) emit(ev Event) {
+	if s != nil {
+		s(ev)
+	}
+}
+
+// Collect runs the jobs on the backend and gathers the streamed results. On
+// cancellation it returns the partial results together with ctx.Err(); the
+// per-job Err fields still need checking either way.
+func Collect(ctx context.Context, b Backend, jobs []Job) ([]Result, error) {
+	ch, err := b.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(jobs))
+	for r := range ch {
+		results = append(results, r)
+	}
+	return results, ctx.Err()
+}

@@ -1,0 +1,186 @@
+// Package dispatch is the job-based execution surface of the system — the
+// paper's §4 distributed work-queue role made an API. The batch-synchronous
+// entry points (core.Scheduler.RunAll, the harness sweep) decompose into
+// serializable per-site Jobs: a hunt, a §5.4 same-path experiment or a
+// §5.5/§5.6 success-rate experiment is one unit of work, identified by
+// (application, site, derived seed) and therefore executable by any worker —
+// a goroutine of the Local backend or a spawned diode-worker process of the
+// Exec backend — with byte-identical results. Backends stream Results as jobs
+// complete; context cancellation stops a sweep mid-flight with partial
+// results.
+//
+// The Job/Result records have a stable JSON codec (the wire format of the
+// diode-worker stdin/stdout protocol and the natural storage format for a
+// future networked queue); determinism rests on the same seam the in-process
+// Scheduler uses — every job carries its full derived seed, so neither
+// placement nor completion order influences verdicts.
+package dispatch
+
+import (
+	"fmt"
+
+	"diode/internal/core"
+	"diode/internal/solver"
+)
+
+// Kind discriminates the units of work a worker knows how to execute.
+type Kind string
+
+// Job kinds.
+const (
+	// KindHunt runs the Figure 7 goal-directed branch enforcement loop for
+	// one target site.
+	KindHunt Kind = "hunt"
+	// KindSamePath decides the §5.4 same-path satisfiability experiment for
+	// one target site.
+	KindSamePath Kind = "same-path"
+	// KindSuccessRate runs one §5.5/§5.6 success-rate experiment: sample up
+	// to SampleN models of the target constraint (conjoined with the branch
+	// constraints named by Enforced, if any) and count triggering inputs.
+	KindSuccessRate Kind = "success-rate"
+)
+
+// Options is the serializable subset of core.Options a job carries: the
+// pipeline knobs that influence verdicts. Seed is excluded (it travels on the
+// Job, fully derived), Parallelism is excluded (a job is one site's work) and
+// Progress is excluded (a live callback cannot cross a process boundary; the
+// Sink carries progress instead). The zero value means core defaults.
+type Options struct {
+	InitialAttempts        int         `json:"initialAttempts,omitempty"`
+	MaxEnforce             int         `json:"maxEnforce,omitempty"`
+	Fuel                   int64       `json:"fuel,omitempty"`
+	SolverMode             solver.Mode `json:"solverMode,omitempty"`
+	OneShotSolver          bool        `json:"oneShotSolver,omitempty"`
+	OneShotExecution       bool        `json:"oneShotExecution,omitempty"`
+	DisableCompression     bool        `json:"disableCompression,omitempty"`
+	DisableRelevanceFilter bool        `json:"disableRelevanceFilter,omitempty"`
+}
+
+// OptionsFrom extracts the serializable subset from engine options.
+func OptionsFrom(o core.Options) Options {
+	return Options{
+		InitialAttempts:        o.InitialAttempts,
+		MaxEnforce:             o.MaxEnforce,
+		Fuel:                   o.Fuel,
+		SolverMode:             o.SolverMode,
+		OneShotSolver:          o.OneShotSolver,
+		OneShotExecution:       o.OneShotExecution,
+		DisableCompression:     o.DisableCompression,
+		DisableRelevanceFilter: o.DisableRelevanceFilter,
+	}
+}
+
+// Core expands the subset back into engine options with the given seed.
+func (o Options) Core(seed int64) core.Options {
+	return core.Options{
+		Seed:                   seed,
+		InitialAttempts:        o.InitialAttempts,
+		MaxEnforce:             o.MaxEnforce,
+		Fuel:                   o.Fuel,
+		SolverMode:             o.SolverMode,
+		OneShotSolver:          o.OneShotSolver,
+		OneShotExecution:       o.OneShotExecution,
+		DisableCompression:     o.DisableCompression,
+		DisableRelevanceFilter: o.DisableRelevanceFilter,
+	}
+}
+
+// Job is one serializable unit of work. Jobs are self-contained: the worker
+// re-derives everything else (the analyzed Target, the enforced constraint)
+// deterministically from these fields, so a job can run in any process on any
+// machine and produce the same Result.
+type Job struct {
+	// ID identifies the job within one Backend.Run call; Results carry it
+	// back so streams can be folded in any completion order.
+	ID int `json:"id"`
+	// Kind selects the unit of work.
+	Kind Kind `json:"kind"`
+	// App is the benchmark application's short registry name.
+	App string `json:"app"`
+	// Site is the target allocation-site name.
+	Site string `json:"site"`
+	// Seed is the fully derived per-site hunt seed (the planner applies
+	// core.SiteSeed; workers use it verbatim).
+	Seed int64 `json:"seed"`
+	// SampleN is the sample budget of a success-rate job.
+	SampleN int `json:"sampleN,omitempty"`
+	// Enforced lists enforced branch labels, in enforcement order, for the
+	// §5.6 variant of a success-rate job: the worker rebuilds φ′∧β with
+	// core.EnforcedConstraintFor. Empty means the §5.5 target-only variant.
+	Enforced []string `json:"enforced,omitempty"`
+	// Opts carries the engine options subset.
+	Opts Options `json:"opts"`
+}
+
+// Validate checks the fields a worker depends on. Backends surface a
+// validation failure as a Result with Err set rather than executing the job.
+func (j Job) Validate() error {
+	switch j.Kind {
+	case KindHunt, KindSamePath:
+		if j.SampleN != 0 {
+			return fmt.Errorf("dispatch: %s job has sampleN %d (only success-rate jobs sample)", j.Kind, j.SampleN)
+		}
+		if len(j.Enforced) != 0 {
+			return fmt.Errorf("dispatch: %s job carries enforced labels (only success-rate jobs do)", j.Kind)
+		}
+	case KindSuccessRate:
+		if j.SampleN <= 0 {
+			return fmt.Errorf("dispatch: success-rate job needs a positive sampleN, got %d", j.SampleN)
+		}
+	default:
+		return fmt.Errorf("dispatch: unknown job kind %q", j.Kind)
+	}
+	if j.App == "" {
+		return fmt.Errorf("dispatch: job has no application")
+	}
+	if j.Site == "" {
+		return fmt.Errorf("dispatch: job has no site")
+	}
+	return nil
+}
+
+// Result is the serializable outcome of one job. Exactly one of the
+// kind-specific field groups is populated (hunt / same-path / success-rate);
+// Err reports a job that could not run at all (unknown application, analysis
+// failure, worker loss) — never a negative verdict, which is ordinary data.
+type Result struct {
+	JobID int    `json:"jobID"`
+	Kind  Kind   `json:"kind"`
+	App   string `json:"app"`
+	Site  string `json:"site"`
+	Err   string `json:"err,omitempty"`
+
+	// Hunt fields.
+	Verdict         string   `json:"verdict,omitempty"`
+	ErrorType       string   `json:"errorType,omitempty"`
+	Enforced        []string `json:"enforced,omitempty"`
+	Runs            int      `json:"runs,omitempty"`
+	DynamicBranches int      `json:"dynamicBranches,omitempty"`
+	Input           []byte   `json:"input,omitempty"`
+	DiscoveryMS     int64    `json:"discoveryMS,omitempty"`
+
+	// SamePathSat is the §5.4 verdict ("sat", "unsat", "unknown").
+	SamePathSat string `json:"samePathSat,omitempty"`
+
+	// Success-rate fields: Hits triggering inputs out of Total generated;
+	// GenFailures counts sampled models the input-reconstruction layer lost.
+	Hits        int `json:"hits,omitempty"`
+	Total       int `json:"total,omitempty"`
+	GenFailures int `json:"genFailures,omitempty"`
+
+	// Stats are the job's solver work counters (the per-hunter snapshot the
+	// Scheduler used to aggregate in-process).
+	Stats solver.Stats `json:"stats"`
+}
+
+// CoreVerdict maps the wire verdict string back to the engine enumeration.
+func (r *Result) CoreVerdict() (core.Verdict, bool) {
+	for _, v := range []core.Verdict{
+		core.VerdictExposed, core.VerdictUnsat, core.VerdictPrevented, core.VerdictUnknown,
+	} {
+		if v.String() == r.Verdict {
+			return v, true
+		}
+	}
+	return core.VerdictUnknown, false
+}

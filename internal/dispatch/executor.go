@@ -1,0 +1,179 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"diode/internal/apps"
+	"diode/internal/core"
+)
+
+// Cache memoizes per-application analysis (stages 1–3) across the jobs of one
+// worker: every job is per-site, but the Analyzer produces all of an
+// application's Targets in one pass, so the first job of an application pays
+// for analysis and the rest look their Target up. Analysis output depends on
+// the options subset (fuel, compression/relevance ablations), hence the
+// composite key. Safe for concurrent use; concurrent first lookups of the
+// same key block on one analysis rather than duplicating it.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	app  string
+	opts Options
+}
+
+type cacheEntry struct {
+	mu      sync.Mutex
+	app     *apps.App
+	targets []*core.Target
+	err     error
+}
+
+// NewCache returns an empty analysis cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Prime seeds the cache with already-computed analysis output, so a caller
+// that analyzed an application itself (the harness planner needs the site
+// lists before it can cut jobs) does not pay for the backend re-deriving it.
+// The targets must come from an Analyzer run at the same options subset;
+// they are immutable and shared freely by design.
+func (c *Cache) Prime(app *apps.App, opts Options, targets []*core.Target) {
+	key := cacheKey{app: app.Short, opts: opts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = &cacheEntry{app: app, targets: targets}
+	}
+}
+
+// targets resolves the application and returns its analyzed targets,
+// analyzing on first use. A cancellation during analysis is returned but not
+// memoized, so a later lookup (under a live context) retries — including a
+// concurrent waiter whose own context is live while the analyzing goroutine's
+// was cancelled (backends and their caches outlive a single Run).
+func (c *Cache) targets(ctx context.Context, short string, opts Options) (*apps.App, []*core.Target, error) {
+	key := cacheKey{app: short, opts: opts}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if ok {
+			c.mu.Unlock()
+			e.mu.Lock()
+			app, targets, err := e.app, e.targets, e.err
+			e.mu.Unlock()
+			if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				// The goroutine that analyzed had its context cancelled (and
+				// deleted the entry before releasing e.mu); ours is live, so
+				// retry — the next lookup re-analyzes.
+				continue
+			}
+			return app, targets, err
+		}
+		e = &cacheEntry{}
+		e.mu.Lock()
+		c.entries[key] = e
+		c.mu.Unlock()
+
+		app, err := apps.ByName(short)
+		if err != nil {
+			e.err = err
+			e.mu.Unlock()
+			return nil, nil, err
+		}
+		e.app = app
+		// Analysis ignores the seed; zero keeps the cache key small.
+		e.targets, e.err = core.NewAnalyzer(app, opts.Core(0)).AnalyzeContext(ctx)
+		if e.err != nil && ctx.Err() != nil {
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+		}
+		app, targets, err := e.app, e.targets, e.err
+		e.mu.Unlock()
+		return app, targets, err
+	}
+}
+
+// Execute runs one job to completion and is the single executor every
+// backend funnels through: the Local backend calls it on pool goroutines,
+// WorkerMain calls it inside spawned diode-worker processes. The returned
+// error is non-nil only when ctx was cancelled before the job finished (the
+// job has no final Result then); every other failure — invalid job, unknown
+// application, analysis error, missing site — comes back as a Result with
+// Err set, so a backend can keep streaming.
+//
+// The sink receives EventStarted before work begins, EventIteration per
+// enforcement iteration of a hunt, and EventFinished with the final Result
+// (valid only for the duration of the callback).
+func Execute(ctx context.Context, job Job, cache *Cache, sink Sink) (Result, error) {
+	res := Result{JobID: job.ID, Kind: job.Kind, App: job.App, Site: job.Site}
+	if err := job.Validate(); err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	app, targets, err := cache.targets(ctx, job.App, job.Opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		res.Err = err.Error()
+		return res, nil
+	}
+	var t *core.Target
+	for _, cand := range targets {
+		if cand.Site == job.Site {
+			t = cand
+			break
+		}
+	}
+	if t == nil {
+		res.Err = fmt.Sprintf("dispatch: application %q has no target site %q", job.App, job.Site)
+		return res, nil
+	}
+
+	sink.emit(Event{Type: EventStarted, Job: job})
+	opts := job.Opts.Core(job.Seed)
+	if sink != nil && job.Kind == KindHunt {
+		opts.Progress = func(i int) {
+			sink(Event{Type: EventIteration, Job: job, Iteration: i})
+		}
+	}
+	// One fresh hunter per job: its private solver is seeded by the job's
+	// derived seed alone, which is the whole determinism story — no state
+	// crosses jobs, so placement and order cannot matter.
+	h := core.NewHunter(app, opts)
+	switch job.Kind {
+	case KindHunt:
+		sr := h.HuntContext(ctx, t)
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		res.Verdict = sr.Verdict.String()
+		res.ErrorType = sr.ErrorType
+		res.Enforced = sr.Enforced
+		res.Runs = sr.Runs
+		res.DynamicBranches = t.DynamicBranches
+		res.Input = sr.Input
+		res.DiscoveryMS = sr.Discovery.Milliseconds()
+	case KindSamePath:
+		res.SamePathSat = h.SamePathSatisfiable(t).String()
+	case KindSuccessRate:
+		constraint := core.EnforcedConstraintFor(t, job.Enforced)
+		hits, total := h.SuccessRateContext(ctx, t, constraint, job.SampleN)
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		res.Hits, res.Total = hits, total
+		res.GenFailures = h.SolverStats().GenFailures
+	}
+	res.Stats = h.SolverStats()
+	sink.emit(Event{Type: EventFinished, Job: job, Result: &res})
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+
+	"diode/internal/apps"
+	"diode/internal/core"
+)
+
+// Local executes jobs on a bounded goroutine pool inside the calling process
+// — the dispatch-layer packaging of the machinery Scheduler.RunAll drives,
+// and the zero-setup default backend. One analysis Cache is shared across
+// every Run of the backend (analysis is a pure function of application +
+// options), so a multi-wave sweep — the harness runs hunts, then same-path +
+// target-only, then enforced rates on one backend — analyzes each
+// application once, not once per wave.
+type Local struct {
+	// Workers bounds pool concurrency; <1 means one worker.
+	Workers int
+	// Sink receives progress events (started / iteration / finished) from
+	// the pool goroutines.
+	Sink Sink
+
+	cacheOnce sync.Once
+	cache     *Cache
+}
+
+// Prime seeds the backend's analysis cache with targets the caller already
+// computed at the same options subset (see Cache.Prime). The harness planner
+// uses this so the in-process default path analyzes each application exactly
+// once — jobs stay self-contained for workers that genuinely lack the
+// analysis (the Exec backend's processes), while the process that just did
+// it does not pay twice.
+func (l *Local) Prime(app *apps.App, opts Options, targets []*core.Target) {
+	l.cacheOnce.Do(func() { l.cache = NewCache() })
+	l.cache.Prime(app, opts, targets)
+}
+
+// Run dispatches the jobs on the pool. Results stream in completion order;
+// the channel closes when all jobs finished or ctx was cancelled. After a
+// cancellation, jobs not yet started are skipped and in-flight jobs abort at
+// their next cancellation point (iteration boundary or mid-run interpreter
+// poll), so the stream drains promptly with partial results.
+func (l *Local) Run(ctx context.Context, jobs []Job) (<-chan Result, error) {
+	workers := l.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make(chan Result)
+	l.cacheOnce.Do(func() { l.cache = NewCache() })
+	cache := l.cache
+	go func() {
+		defer close(out)
+		if len(jobs) == 0 {
+			return
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain: unstarted jobs are skipped
+					}
+					r, err := Execute(ctx, jobs[i], cache, l.Sink)
+					if err != nil {
+						continue // cancelled mid-job: no final result
+					}
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+			}
+		}
+		close(next)
+		wg.Wait()
+	}()
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The diode-worker wire protocol: the parent writes one JSON Job per line to
+// the worker's stdin and closes it; the worker writes one JSON wireMsg per
+// line to stdout — interleaved progress events as they happen, and exactly
+// one result message per job. Lines are self-delimiting JSON, so the
+// protocol survives reordering of workers, partial batches and being stored
+// as-is in a results log.
+type wireMsg struct {
+	Type string `json:"type"` // "result" | "event"
+	// Result is the final outcome of a job (Type "result").
+	Result *Result `json:"result,omitempty"`
+	// Event is a progress observation (Type "event").
+	Event *wireEvent `json:"event,omitempty"`
+}
+
+// wireEvent is the serializable projection of an Event: jobs are identified
+// by ID (the parent holds the Job records and re-attaches them).
+type wireEvent struct {
+	Type      EventType `json:"type"`
+	JobID     int       `json:"jobID"`
+	Iteration int       `json:"iteration,omitempty"`
+}
+
+// WriteJobs encodes jobs as JSON lines — the worker stdin format.
+func WriteJobs(w io.Writer, jobs []Job) error {
+	enc := json.NewEncoder(w)
+	for _, j := range jobs {
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("dispatch: encoding job %d: %w", j.ID, err)
+		}
+	}
+	return nil
+}
+
+// ReadJobs decodes a JSON-lines job batch — the inverse of WriteJobs.
+func ReadJobs(r io.Reader) ([]Job, error) {
+	dec := json.NewDecoder(r)
+	var jobs []Job
+	for {
+		var j Job
+		if err := dec.Decode(&j); err != nil {
+			if errors.Is(err, io.EOF) {
+				return jobs, nil
+			}
+			return jobs, fmt.Errorf("dispatch: corrupt job stream: %w", err)
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// WorkerMain is the body of the diode-worker process (cmd/diode-worker wraps
+// it around stdin/stdout; tests embed it behind an env-var switch so the
+// Exec backend can be exercised without building a separate binary). It
+// executes jobs sequentially in arrival order — process-level parallelism is
+// the Exec backend's job — sharing one analysis Cache across the batch, and
+// flushes every message immediately so the parent observes progress live.
+// It returns when the job stream ends, or with ctx.Err() after a
+// cancellation (in-flight work aborts through the usual cancellation
+// points).
+func WorkerMain(ctx context.Context, r io.Reader, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	emit := func(msg wireMsg) error {
+		if err := enc.Encode(msg); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	var sinkErr error
+	sink := Sink(func(ev Event) {
+		if ev.Type == EventFinished {
+			return // the result message carries the final state
+		}
+		we := &wireEvent{Type: ev.Type, JobID: ev.Job.ID, Iteration: ev.Iteration}
+		if err := emit(wireMsg{Type: "event", Event: we}); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	})
+
+	cache := NewCache()
+	dec := json.NewDecoder(r)
+	for {
+		var job Job
+		if err := dec.Decode(&job); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("dispatch: worker: corrupt job stream: %w", err)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		res, err := Execute(ctx, job, cache, sink)
+		if err != nil {
+			return err
+		}
+		if sinkErr != nil {
+			return fmt.Errorf("dispatch: worker: writing event: %w", sinkErr)
+		}
+		if err := emit(wireMsg{Type: "result", Result: &res}); err != nil {
+			return fmt.Errorf("dispatch: worker: writing result: %w", err)
+		}
+	}
+}

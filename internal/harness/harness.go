@@ -1,40 +1,72 @@
-// Package harness orchestrates the paper's full evaluation: it runs the
-// DIODE pipeline over every benchmark application on a worker pool (the §4
-// work-queue role), optionally runs the §5.4 same-path experiment and the
-// §5.5/§5.6 success-rate experiments, and produces the records the table
-// renderers consume.
+// Package harness orchestrates the paper's full evaluation: it plans the
+// sweep — every benchmark application's per-site hunts, the §5.4 same-path
+// experiment and the §5.5/§5.6 success-rate experiments — as dispatch Jobs,
+// runs them on a Backend (in-process pool or spawned worker processes; the §4
+// work-queue role), and folds the streamed Results into the records the table
+// renderers consume. Verdicts and rates are a pure function of the job
+// records, so every backend and worker count renders byte-identical tables.
 package harness
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"diode/internal/apps"
-	"diode/internal/bv"
 	"diode/internal/core"
+	"diode/internal/dispatch"
 	"diode/internal/queue"
 	"diode/internal/report"
 )
 
 // Config controls an evaluation sweep.
 type Config struct {
-	// Seed seeds every engine (one per application, offset by index).
+	// Seed is the run seed. Each application derives its own base seed as
+	// core.SiteSeed(Seed, app.Short) — the same FNV derivation the Scheduler
+	// uses per site — so an application's verdicts do not depend on which
+	// other applications are in the sweep or in what order they appear.
 	Seed int64
 	// SampleN is the number of generated inputs per success-rate experiment
 	// (the paper uses 200). Zero disables the experiments.
 	SampleN int
 	// SamePath enables the §5.4 same-path satisfiability experiment.
 	SamePath bool
-	// Workers bounds evaluation parallelism (one application per worker).
-	// Zero means one worker per application.
+	// Workers bounds analysis parallelism and sizes the default Local
+	// backend (see Backend). Zero means one worker per application.
 	Workers int
-	// Parallelism bounds concurrent site hunts *within* each application
-	// (the scheduler's worker pool), so a sweep runs apps × sites
-	// concurrently. Zero means sequential hunts; verdicts are identical at
-	// any setting thanks to per-site seed derivation.
+	// Parallelism multiplies the default Local backend's pool so a sweep
+	// runs apps × sites concurrently, matching the pre-dispatch scheduler
+	// behavior. Verdicts are identical at any setting.
 	Parallelism int
-	// Engine carries additional engine options (ablation hooks); Seed and
-	// Parallelism are overridden per application.
+	// Engine carries additional engine options (ablation hooks); Seed is
+	// derived per job.
 	Engine core.Options
+	// Backend executes the planned jobs. Nil means a dispatch.Local pool
+	// sized Workers × Parallelism (with the zero-value defaults above).
+	Backend dispatch.Backend
+	// Sink receives progress events from the default Local backend. It is
+	// ignored when Backend is set — construct that backend with its own
+	// sink.
+	Sink dispatch.Sink
+}
+
+// backend resolves the configured or default backend. The second return is
+// non-nil when the backend is the default Local pool this call created — the
+// planner then primes its analysis cache with the targets it computes.
+func (cfg Config) backend(apps int) (dispatch.Backend, *dispatch.Local) {
+	if cfg.Backend != nil {
+		return cfg.Backend, nil
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = apps
+	}
+	sites := cfg.Parallelism
+	if sites < 1 {
+		sites = 1
+	}
+	local := &dispatch.Local{Workers: workers * sites, Sink: cfg.Sink}
+	return local, local
 }
 
 // AppOutcome bundles an application's engine result with its render record.
@@ -53,81 +85,222 @@ func EvaluateAll(cfg Config) []AppOutcome {
 
 // Evaluate runs the configured evaluation over the given applications.
 func Evaluate(cfg Config, list []*apps.App) []AppOutcome {
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = len(list)
+	return EvaluateContext(context.Background(), cfg, list)
+}
+
+// appPlan is the planner's working state for one application: the locally
+// analyzed targets (the job planner needs the site list and the folder needs
+// the Targets for reconstructed results) plus the folded outputs.
+type appPlan struct {
+	app      *apps.App
+	seed     int64 // per-app base seed; hunt seeds derive per site from it
+	targets  []*core.Target
+	analysis time.Duration
+	err      error
+
+	result *core.AppResult
+	record *report.AppRecord
+}
+
+// siteRef addresses one site of one planned application.
+type siteRef struct {
+	plan *appPlan
+	site int
+}
+
+// EvaluateContext plans the sweep as dispatch jobs, runs them on the
+// configured backend in three waves — hunts; same-path + target-only rates;
+// enforced rates (which depend on the target-only outcome, §5.6) — and folds
+// the results. On cancellation it returns promptly with partial outcomes:
+// folded sites keep their verdicts, unfinished sites read as unknown with
+// empty experiment fields, and ctx.Err() tells the caller the sweep was cut
+// short.
+func EvaluateContext(ctx context.Context, cfg Config, list []*apps.App) []AppOutcome {
+	backend, defaultLocal := cfg.backend(len(list))
+	analysisWorkers := cfg.Workers
+	if analysisWorkers <= 0 {
+		analysisWorkers = len(list)
 	}
-	return queue.Map(workers, indexed(list), func(it item) AppOutcome {
-		return evaluateApp(cfg, it.app, cfg.Seed+int64(it.idx))
+
+	// Stages 1–3 run in-process: the planner needs each application's site
+	// list to cut per-site jobs (out-of-process workers re-derive the same
+	// analysis from the job records; the default Local backend is primed
+	// with these targets below, so the in-process path analyzes once).
+	plans := queue.Map(analysisWorkers, list, func(app *apps.App) *appPlan {
+		p := &appPlan{app: app, seed: core.SiteSeed(cfg.Seed, app.Short)}
+		start := time.Now()
+		opts := cfg.Engine
+		opts.Seed = p.seed
+		p.targets, p.err = core.NewAnalyzer(app, opts).AnalyzeContext(ctx)
+		p.analysis = time.Since(start)
+		if p.err != nil {
+			p.err = fmt.Errorf("harness: %s: %w", app.Short, p.err)
+		}
+		return p
 	})
-}
-
-type item struct {
-	idx int
-	app *apps.App
-}
-
-func indexed(list []*apps.App) []item {
-	out := make([]item, len(list))
-	for i, a := range list {
-		out[i] = item{idx: i, app: a}
+	engineOpts := dispatch.OptionsFrom(cfg.Engine)
+	if defaultLocal != nil {
+		for _, p := range plans {
+			if p.err == nil {
+				defaultLocal.Prime(p.app, engineOpts, p.targets)
+			}
+		}
 	}
-	return out
-}
 
-func evaluateApp(cfg Config, app *apps.App, seed int64) AppOutcome {
-	opts := cfg.Engine
-	opts.Seed = seed
-	opts.Parallelism = cfg.Parallelism
-	sched := core.NewScheduler(app, opts)
-	res, err := sched.RunAll()
-	if err != nil {
-		return AppOutcome{App: app, Err: fmt.Errorf("harness: %s: %w", app.Short, err)}
-	}
-	rec := report.FromResult(res)
-	experiments := make([]func(), 0, len(res.Sites))
-	for _, sr := range res.Sites {
-		sr, srec := sr, rec.SiteFor(sr.Target.Site)
-		if !cfg.SamePath && (cfg.SampleN == 0 || sr.Verdict != core.VerdictExposed) {
+	// Wave 1: one hunt job per (application, site).
+	var jobs []dispatch.Job
+	var refs []siteRef
+	for _, p := range plans {
+		if p.err != nil {
 			continue
 		}
-		experiments = append(experiments, func() {
-			// Experiments run on a hunter seeded like the site's hunt, so
-			// rates are reproducible and independent of experiment order. All
-			// hunters of one application execute the app's shared compiled
-			// program (apps.App.Compiled) on private machines, so a sweep at
-			// any Config.Parallelism compiles each guest exactly once.
-			hunter := core.NewHunter(app, opts.ForSite(sr.Target.Site))
-			if cfg.SamePath {
-				srec.SamePathSat = hunter.SamePathSatisfiable(sr.Target).String()
+		p.result = &core.AppResult{App: p.app, Analysis: p.analysis, Sites: make([]*core.SiteResult, len(p.targets))}
+		for i, t := range p.targets {
+			p.result.Sites[i] = &core.SiteResult{Target: t, Verdict: core.VerdictUnknown}
+			jobs = append(jobs, dispatch.Job{
+				ID:   len(refs),
+				Kind: dispatch.KindHunt,
+				App:  p.app.Short,
+				Site: t.Site,
+				Seed: core.SiteSeed(p.seed, t.Site),
+				Opts: engineOpts,
+			})
+			refs = append(refs, siteRef{plan: p, site: i})
+		}
+	}
+	for _, res := range runWave(ctx, backend, jobs) {
+		ref := refs[res.JobID]
+		if res.Err != "" {
+			if ref.plan.err == nil {
+				ref.plan.err = fmt.Errorf("harness: %s: %s", ref.plan.app.Short, res.Err)
 			}
-			if cfg.SampleN > 0 && sr.Verdict == core.VerdictExposed {
-				srec.TargetOnly = successRate(hunter, sr, sr.Target.Beta, cfg.SampleN)
-				// The paper only runs the enforced experiment when the
-				// target-alone rate is low (§5.6): skip it when the majority of
-				// target-only inputs already trigger.
-				if sr.EnforcedCount() > 0 && srec.TargetOnly.Hits*2 < srec.TargetOnly.Total {
-					srec.TargetEnforced = successRate(hunter, sr, core.EnforcedConstraint(sr), cfg.SampleN)
+			continue
+		}
+		sr := ref.plan.result.Sites[ref.site]
+		verdict, _ := res.CoreVerdict()
+		sr.Verdict = verdict
+		sr.Input = res.Input
+		sr.ErrorType = res.ErrorType
+		sr.Enforced = res.Enforced
+		sr.Runs = res.Runs
+		sr.Discovery = time.Duration(res.DiscoveryMS) * time.Millisecond
+	}
+	for _, p := range plans {
+		if p.err == nil && p.result != nil {
+			p.record = report.FromResult(p.result)
+		}
+	}
+
+	// Wave 2: the §5.4 same-path experiment for every site, and the §5.5
+	// target-only success rate for exposed sites. Experiment jobs carry the
+	// same derived seed as the site's hunt, so rates are reproducible and
+	// independent of experiment placement.
+	if ctx.Err() == nil && (cfg.SamePath || cfg.SampleN > 0) {
+		jobs, refs = jobs[:0], refs[:0]
+		for _, p := range plans {
+			if p.err != nil {
+				continue
+			}
+			for i, t := range p.targets {
+				seed := core.SiteSeed(p.seed, t.Site)
+				if cfg.SamePath {
+					jobs = append(jobs, dispatch.Job{
+						ID: len(refs), Kind: dispatch.KindSamePath,
+						App: p.app.Short, Site: t.Site, Seed: seed, Opts: engineOpts,
+					})
+					refs = append(refs, siteRef{plan: p, site: i})
+				}
+				if cfg.SampleN > 0 && p.result.Sites[i].Verdict == core.VerdictExposed {
+					jobs = append(jobs, dispatch.Job{
+						ID: len(refs), Kind: dispatch.KindSuccessRate,
+						App: p.app.Short, Site: t.Site, Seed: seed,
+						SampleN: cfg.SampleN, Opts: engineOpts,
+					})
+					refs = append(refs, siteRef{plan: p, site: i})
 				}
 			}
-		})
+		}
+		for _, res := range runWave(ctx, backend, jobs) {
+			ref := refs[res.JobID]
+			srec := ref.plan.record.SiteFor(ref.plan.targets[ref.site].Site)
+			switch {
+			case res.Err != "":
+				if ref.plan.err == nil {
+					ref.plan.err = fmt.Errorf("harness: %s: %s", ref.plan.app.Short, res.Err)
+				}
+			case res.Kind == dispatch.KindSamePath:
+				srec.SamePathSat = res.SamePathSat
+			default:
+				srec.TargetOnly = report.Rate{Hits: res.Hits, Total: res.Total, Failures: res.GenFailures}
+			}
+		}
 	}
-	queue.Each(max(cfg.Parallelism, 1), experiments)
-	return AppOutcome{App: app, Result: res, Record: rec}
+
+	// Wave 3: the §5.6 enforced-constraint success rate. The paper only runs
+	// it when enforcement did work and the target-alone rate is low, so this
+	// wave is planned from wave 2's folded results.
+	if ctx.Err() == nil && cfg.SampleN > 0 {
+		jobs, refs = jobs[:0], refs[:0]
+		for _, p := range plans {
+			if p.err != nil {
+				continue
+			}
+			for i, t := range p.targets {
+				sr := p.result.Sites[i]
+				srec := p.record.SiteFor(t.Site)
+				if sr.Verdict != core.VerdictExposed || sr.EnforcedCount() == 0 ||
+					srec.TargetOnly.Hits*2 >= srec.TargetOnly.Total {
+					continue
+				}
+				jobs = append(jobs, dispatch.Job{
+					ID: len(refs), Kind: dispatch.KindSuccessRate,
+					App: p.app.Short, Site: t.Site, Seed: core.SiteSeed(p.seed, t.Site),
+					SampleN: cfg.SampleN, Enforced: sr.Enforced, Opts: engineOpts,
+				})
+				refs = append(refs, siteRef{plan: p, site: i})
+			}
+		}
+		for _, res := range runWave(ctx, backend, jobs) {
+			ref := refs[res.JobID]
+			if res.Err != "" {
+				if ref.plan.err == nil {
+					ref.plan.err = fmt.Errorf("harness: %s: %s", ref.plan.app.Short, res.Err)
+				}
+				continue
+			}
+			srec := ref.plan.record.SiteFor(ref.plan.targets[ref.site].Site)
+			srec.TargetEnforced = report.Rate{Hits: res.Hits, Total: res.Total, Failures: res.GenFailures}
+		}
+	}
+
+	outcomes := make([]AppOutcome, len(plans))
+	for i, p := range plans {
+		if p.err != nil {
+			outcomes[i] = AppOutcome{App: p.app, Err: p.err}
+			continue
+		}
+		outcomes[i] = AppOutcome{App: p.app, Result: p.result, Record: p.record}
+	}
+	return outcomes
 }
 
-// successRate runs one §5.5/§5.6 experiment and packages the result as a
-// render-ready Rate, bracketing the hunter's solver stats so generation
-// failures for this experiment are carried into the record (and from there
-// into the table output's debugging column).
-func successRate(hunter *core.Hunter, sr *core.SiteResult, constraint *bv.Bool, n int) report.Rate {
-	before := hunter.SolverStats().GenFailures
-	hits, total := hunter.SuccessRate(sr.Target, constraint, n)
-	return report.Rate{
-		Hits:     hits,
-		Total:    total,
-		Failures: hunter.SolverStats().GenFailures - before,
+// runWave runs one job wave on the backend and returns the streamed results
+// (any order; callers resolve by JobID). A backend setup failure is folded
+// into per-job error results so the sweep degrades instead of panicking.
+func runWave(ctx context.Context, backend dispatch.Backend, jobs []dispatch.Job) []dispatch.Result {
+	if len(jobs) == 0 {
+		return nil
 	}
+	results, err := dispatch.Collect(ctx, backend, jobs)
+	if err != nil && ctx.Err() == nil {
+		results = results[:0]
+		for _, j := range jobs {
+			results = append(results, dispatch.Result{
+				JobID: j.ID, Kind: j.Kind, App: j.App, Site: j.Site, Err: err.Error(),
+			})
+		}
+	}
+	return results
 }
 
 // Records extracts the render records from a sweep, skipping failures.

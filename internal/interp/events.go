@@ -10,12 +10,13 @@ type OutcomeKind int
 
 // Execution outcomes.
 const (
-	OutOK       OutcomeKind = iota // main returned normally
-	OutRejected                    // the program aborted (sanity check rejected the input)
-	OutSegv                        // simulated SIGSEGV: access far outside any block
-	OutAbrt                        // simulated SIGABRT: allocator detected heap corruption
-	OutFuel                        // step budget exhausted
-	OutError                       // guest-program runtime error (authoring bug)
+	OutOK        OutcomeKind = iota // main returned normally
+	OutRejected                     // the program aborted (sanity check rejected the input)
+	OutSegv                         // simulated SIGSEGV: access far outside any block
+	OutAbrt                         // simulated SIGABRT: allocator detected heap corruption
+	OutFuel                         // step budget exhausted
+	OutError                        // guest-program runtime error (authoring bug)
+	OutCancelled                    // the run was cancelled via Options.Cancel
 )
 
 func (k OutcomeKind) String() string {
@@ -30,6 +31,8 @@ func (k OutcomeKind) String() string {
 		return "SIGABRT"
 	case OutFuel:
 		return "fuel-exhausted"
+	case OutCancelled:
+		return "cancelled"
 	}
 	return "runtime-error"
 }

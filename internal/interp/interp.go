@@ -51,10 +51,26 @@ type Options struct {
 	SymbolicBytes func(offset int) bool
 	// Fuel bounds interpreter steps; 0 means DefaultFuel.
 	Fuel int64
+	// Cancel, when non-nil, aborts the run once the channel is closed: the
+	// interpreter polls it on the branch hot path (every conditional
+	// evaluation, rate-limited to once per cancelPollInterval fuel-charged
+	// branches) — the same periodic boundary the fuel budget is enforced on —
+	// and ends the run with OutCancelled. Any long-running guest execution
+	// passes through a loop-head branch every iteration, so cancellation is
+	// observed promptly without taxing straight-line execution. This is how
+	// context cancellation reaches mid-run guest executions (the core derives
+	// it from ctx.Done()).
+	Cancel <-chan struct{}
 	// InputVarName returns the symbolic variable name for input byte i.
 	// Nil means the default "in[i]".
 	InputVarName func(offset int) string
 }
+
+// cancelPollInterval is how many branch evaluations pass between polls of
+// Options.Cancel. Polling a channel costs a few nanoseconds; rate-limiting
+// keeps the branch hot path unaffected while still observing cancellation
+// within microseconds of guest time.
+const cancelPollInterval = 1024
 
 // value is the ⟨v, w⟩ pair of the semantics: a concrete machine integer with
 // width, its symbolic expression (nil when the value does not depend on
@@ -324,14 +340,19 @@ type machine struct {
 	returning bool
 	retVal    value
 	hasRet    bool
+
+	// cancelPoll counts down branch evaluations until the next poll of
+	// opts.Cancel (see cancelPollInterval).
+	cancelPoll int
 }
 
 // Control-flow sentinels distinguished from real errors.
 var (
-	errAbort = errors.New("abort")
-	errSegv  = errors.New("segv")
-	errAbrt  = errors.New("abrt")
-	errFuel  = errors.New("fuel")
+	errAbort  = errors.New("abort")
+	errSegv   = errors.New("segv")
+	errAbrt   = errors.New("abrt")
+	errFuel   = errors.New("fuel")
+	errCancel = errors.New("cancelled")
 )
 
 // Run executes prog on input under opts and returns the observed outcome.
@@ -389,6 +410,8 @@ func RunTree(prog *lang.Program, input []byte, opts Options) *Outcome {
 		m.out.Kind = OutAbrt
 	case errors.Is(err, errFuel):
 		m.out.Kind = OutFuel
+	case errors.Is(err, errCancel):
+		m.out.Kind = OutCancelled
 	default:
 		m.out.Kind = OutError
 		m.out.Err = err
@@ -864,8 +887,20 @@ func convert(w uint8, signed bool, a value) value {
 // --- boolean evaluation and branch recording ---
 
 // evalCondBranch evaluates a branch condition, appends to φ when the
-// condition is input-dependent, and returns the direction taken.
+// condition is input-dependent, and returns the direction taken. It is the
+// cancellation point: every loop iteration passes through here, so a closed
+// Options.Cancel channel is observed within cancelPollInterval branches.
 func (m *machine) evalCondBranch(label string, c lang.BoolExpr) (bool, error) {
+	if m.opts.Cancel != nil {
+		if m.cancelPoll--; m.cancelPoll <= 0 {
+			m.cancelPoll = cancelPollInterval
+			select {
+			case <-m.opts.Cancel:
+				return false, errCancel
+			default:
+			}
+		}
+	}
 	taken, sym, _, err := m.evalBool(c)
 	if err != nil {
 		return false, err

@@ -57,6 +57,10 @@ type Machine struct {
 	// default "in[i]" naming) interned symbolic variables.
 	inTaints []*taint.Set
 	inTerms  []*bv.Term
+
+	// cancelPoll counts down branch evaluations until the next poll of
+	// opts.Cancel (see cancelPollInterval).
+	cancelPoll int
 }
 
 // vmError is the panic sentinel carrying an exceptional machine exit: one of
@@ -162,6 +166,7 @@ func (m *Machine) Reset(input []byte, opts Options) {
 	m.returning = false
 	m.hasRet = false
 	m.plain = !opts.TrackTaint
+	m.cancelPoll = 0
 	m.ready = true
 }
 
@@ -188,6 +193,8 @@ func (m *Machine) Run() *Outcome {
 		m.out.Kind = OutAbrt
 	case errors.Is(err, errFuel):
 		m.out.Kind = OutFuel
+	case errors.Is(err, errCancel):
+		m.out.Kind = OutCancelled
 	default:
 		m.out.Kind = OutError
 		m.out.Err = err
@@ -675,8 +682,22 @@ func (m *Machine) inputTerm(i int) *bv.Term {
 // --- boolean evaluation and branch recording ---
 
 // condBranch evaluates a branch condition, appends to φ when the condition is
-// input-dependent, and returns the direction taken.
+// input-dependent, and returns the direction taken. It is the cancellation
+// point: every loop iteration passes through here, so a closed Options.Cancel
+// channel is observed within cancelPollInterval branches. (Polling rides the
+// same periodic boundary as the fuel budget, without consuming fuel, so
+// Outcomes of uncancelled runs stay byte-identical to the tree-walker's.)
 func (m *Machine) condBranch(label string, c cBool) bool {
+	if m.opts.Cancel != nil {
+		if m.cancelPoll--; m.cancelPoll <= 0 {
+			m.cancelPoll = cancelPollInterval
+			select {
+			case <-m.opts.Cancel:
+				throw(errCancel)
+			default:
+			}
+		}
+	}
 	taken, sym, _ := c.evalBool(m)
 	if m.opts.TrackSymbolic && sym != nil {
 		cond := sym

@@ -1,6 +1,6 @@
-// Package queue is the evaluation harness's work queue — the in-process
-// counterpart of the distributed work-queue system §4 of the paper describes
-// for running per-site experiments. Jobs run on a bounded worker pool and
+// Package queue is the in-process worker-pool primitive under the scheduler
+// and the dispatch layer's Local backend (the job-based work-queue surface
+// itself lives in internal/dispatch). Items run on a bounded pool and
 // results keep their input order, so table rows come out deterministic.
 package queue
 
@@ -36,12 +36,4 @@ func Map[T, R any](workers int, items []T, f func(T) R) []R {
 	close(next)
 	wg.Wait()
 	return out
-}
-
-// Each runs every job on at most workers goroutines and waits for all.
-func Each(workers int, jobs []func()) {
-	Map(workers, jobs, func(j func()) struct{} {
-		j()
-		return struct{}{}
-	})
 }

@@ -20,10 +20,9 @@ func TestMapPreservesOrder(t *testing.T) {
 
 func TestMapRunsEverything(t *testing.T) {
 	var n atomic.Int64
-	Each(4, []func(){
-		func() { n.Add(1) },
-		func() { n.Add(10) },
-		func() { n.Add(100) },
+	Map(4, []int{1, 10, 100}, func(x int) struct{} {
+		n.Add(int64(x))
+		return struct{}{}
 	})
 	if n.Load() != 111 {
 		t.Fatalf("sum = %d", n.Load())
