@@ -6,7 +6,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race lint vet staticcheck check bench-smoke fuzz-smoke worker-smoke
+.PHONY: all build test race lint vet staticcheck check bench-smoke bench-json cache-smoke fuzz-smoke worker-smoke
 
 all: check test
 
@@ -43,6 +43,36 @@ check: lint build
 # whose one-shot-vs-batched row-parity assertions run even at 1x.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark artifact: one iteration of the headline
+# benchmarks (table regeneration, dispatch overhead, incremental solving,
+# warm-vs-cold caching), parsed into BENCH_SMOKE.json by cmd/benchjson. CI
+# uploads the JSON so metric history survives as build artifacts.
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' \
+	  -bench '^(BenchmarkTable1|BenchmarkDispatchLocal|BenchmarkHuntIncremental|BenchmarkSweepWarmVsCold)$$' \
+	  -benchtime=1x . > BENCH_SMOKE.txt
+	cat BENCH_SMOKE.txt
+	./bin/benchjson -o BENCH_SMOKE.json < BENCH_SMOKE.txt
+	@echo "wrote BENCH_SMOKE.json"
+
+# Cross-process cache smoke: run diode-tables twice against one shared
+# -cache-dir and assert the warm run's stdout is byte-identical while every
+# job was served from the cache (hits>0, misses=0 on the stderr stats line).
+# Table 1 has no wall-clock columns, so byte-equality is exact.
+cache-smoke:
+	$(GO) build -o bin/diode-tables ./cmd/diode-tables
+	@dir=$$(mktemp -d); out=$$(mktemp -d); \
+	./bin/diode-tables -table 1 -cache-dir "$$dir" >"$$out/cold.txt" 2>"$$out/cold.err" || { cat "$$out/cold.err"; exit 1; }; \
+	./bin/diode-tables -table 1 -cache-dir "$$dir" >"$$out/warm.txt" 2>"$$out/warm.err" || { cat "$$out/warm.err"; exit 1; }; \
+	cmp "$$out/cold.txt" "$$out/warm.txt" || { echo "cache smoke failed: warm tables differ from cold"; exit 1; }; \
+	grep -q 'cache: hits=0 ' "$$out/cold.err" || { echo "cache smoke failed: cold run reported hits"; cat "$$out/cold.err"; exit 1; }; \
+	warm_line=$$(grep 'cache:' "$$out/warm.err"); \
+	case "$$warm_line" in *" misses=0 "*) ;; *) echo "cache smoke failed: warm run executed jobs: $$warm_line"; exit 1;; esac; \
+	case "$$warm_line" in *"cache: hits=0 "*) echo "cache smoke failed: warm run had no hits: $$warm_line"; exit 1;; esac; \
+	echo "cache smoke ok: $$warm_line"; \
+	rm -rf "$$dir" "$$out"
 
 # Short live-fuzz pass: the per-format fix-up invariant targets, the
 # cross-layer FuzzHunt engine-robustness target, and the dispatch-layer

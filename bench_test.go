@@ -520,11 +520,14 @@ func BenchmarkSuccessRateBatched(b *testing.B) {
 // BenchmarkDispatchLocal measures what the job-based dispatch layer costs
 // over driving the same machinery directly: the full dillo site sweep hunted
 // by a Scheduler on pre-analyzed targets versus the identical batch planned
-// as hunt jobs and run through the Local backend (whose analysis cache
-// persists across Run calls — the first iteration derives the analysis once,
-// the steady state streams results over a channel with a cache lookup per
-// job, as in the harness path). Verdict parity is asserted each iteration.
-// Reported metrics:
+// as hunt jobs and run through the Local backend. The backend's JobCache is
+// pinned to NoResults so every iteration really executes the hunts — with
+// result caching on, the steady state would measure cache lookups instead
+// (that speedup is BenchmarkSweepWarmVsCold's subject). Analysis memoization
+// stays: the first iteration derives the analysis once, the steady state
+// streams results over a channel with a memoized-analysis lookup per job, as
+// in the harness path. Verdict parity is asserted each iteration. Reported
+// metrics:
 //
 //	dispatch-vs-direct — wall-clock ratio (≈1 means the job layer is free)
 //	overhead-us/job    — absolute per-job cost of job records, the analysis
@@ -548,7 +551,10 @@ func BenchmarkDispatchLocal(b *testing.B) {
 			Seed: core.SiteSeed(opts.Seed, t.Site),
 		}
 	}
-	backend := &dispatch.Local{Workers: workers}
+	backend := &dispatch.Local{
+		Workers: workers,
+		Cache:   dispatch.NewJobCache(dispatch.CacheConfig{NoResults: true}),
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
@@ -576,6 +582,82 @@ func BenchmarkDispatchLocal(b *testing.B) {
 		}
 		b.ReportMetric(dispatchTime.Seconds()/directTime.Seconds(), "dispatch-vs-direct")
 		b.ReportMetric((dispatchTime-directTime).Seconds()*1e6/float64(len(jobs)), "overhead-us/job")
+	}
+}
+
+// benchNormalize zeroes the measured wall-clock fields so cold and warm
+// sweeps compare on content (a cached result replays its stored DiscoveryMS,
+// but the per-sweep AnalysisMS is always measured fresh).
+func benchNormalize(recs []*AppRecord) []*AppRecord {
+	out := make([]*AppRecord, len(recs))
+	for i, r := range recs {
+		c := *r
+		c.AnalysisMS = 0
+		c.Sites = append([]SiteRecord(nil), r.Sites...)
+		for j := range c.Sites {
+			c.Sites[j].DiscoveryMS = 0
+		}
+		out[i] = &c
+	}
+	return out
+}
+
+// BenchmarkSweepWarmVsCold measures what the content-addressed result cache
+// buys on repeated sweeps: the full suite — Table 1 classification, Table 2
+// experiments, same-path, extended apps — run cold on a fresh JobCache and
+// then warm on the same cache. The warm sweep must perform zero executions
+// and zero Analyzer runs (asserted via the cache counters) and render Table
+// 1, Table 2 and the extended table byte-identical to the cold run. Reported
+// metrics:
+//
+//	cold-vs-warm — wall-clock ratio (how many times faster the warm sweep is)
+//	warm-ms      — absolute warm sweep time (the floor repeated sweeps pay)
+func BenchmarkSweepWarmVsCold(b *testing.B) {
+	list := apps.All()
+	for i := 0; i < b.N; i++ {
+		jc := dispatch.NewJobCache(dispatch.CacheConfig{})
+		cfg := harness.Config{Seed: int64(i + 1), SampleN: 10, SamePath: true, Cache: jc}
+
+		t0 := time.Now()
+		coldOut := harness.Evaluate(cfg, list)
+		cold := time.Since(t0)
+		for _, o := range coldOut {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+		coldStats := jc.Stats()
+
+		t0 = time.Now()
+		warmOut := harness.Evaluate(cfg, list)
+		warm := time.Since(t0)
+		for _, o := range warmOut {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+		warmStats := jc.Stats()
+		if got := warmStats.Misses - coldStats.Misses; got != 0 {
+			b.Fatalf("warm sweep executed %d jobs, want 0", got)
+		}
+		if got := warmStats.AnalysisRuns - coldStats.AnalysisRuns; got != 0 {
+			b.Fatalf("warm sweep ran the Analyzer %d times, want 0", got)
+		}
+
+		coldRecs := benchNormalize(harness.Records(coldOut))
+		warmRecs := benchNormalize(harness.Records(warmOut))
+		if a, g := Table1(apps.Paper(), coldRecs), Table1(apps.Paper(), warmRecs); a != g {
+			b.Fatalf("warm Table 1 differs from cold:\n%s\nvs\n%s", a, g)
+		}
+		if a, g := Table2(apps.Paper(), coldRecs), Table2(apps.Paper(), warmRecs); a != g {
+			b.Fatalf("warm Table 2 differs from cold:\n%s\nvs\n%s", a, g)
+		}
+		if a, g := TableExtended(apps.Extended(), coldRecs), TableExtended(apps.Extended(), warmRecs); a != g {
+			b.Fatalf("warm extended table differs from cold:\n%s\nvs\n%s", a, g)
+		}
+
+		b.ReportMetric(cold.Seconds()/warm.Seconds(), "cold-vs-warm")
+		b.ReportMetric(warm.Seconds()*1e3, "warm-ms")
 	}
 }
 

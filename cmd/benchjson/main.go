@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive benchmark runs as
+// artifacts and tooling can diff metrics across commits without scraping the
+// human-oriented format.
+//
+// It reads the benchmark output on stdin and writes one JSON object:
+// environment headers (goos, goarch, cpu), then one entry per benchmark
+// line with the iteration count and every reported metric — the standard
+// ns/op, B/op, allocs/op and all custom b.ReportMetric units (such as this
+// repository's cold-vs-warm, dispatch-vs-direct and speedup metrics).
+// Benchmark names keep their sub-benchmark path but drop the trailing
+// -GOMAXPROCS suffix, which is reported separately.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . > bench.txt
+//	benchjson -o bench.json < bench.txt
+//
+// A FAIL marker in the input (a benchmark assertion tripped) makes benchjson
+// exit non-zero after writing what it parsed, so pipelines cannot mistake a
+// failed run for a clean artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// -GOMAXPROCS suffix; sub-benchmark paths are preserved.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 0 if the line carried none.
+	Procs int `json:"procs,omitempty"`
+	// Pkg is the package the benchmark ran in.
+	Pkg string `json:"pkg,omitempty"`
+	// N is the iteration count.
+	N int64 `json:"n"`
+	// Metrics maps unit → value for every reported metric (ns/op included).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark[^\s]*)\s+(\d+)\s+(.+)$`)
+	procsTail = regexp.MustCompile(`-(\d+)$`)
+)
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// non-benchmark lines (headers, PASS/ok trailers, test chatter).
+func parseLine(line, pkg string) (Bench, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Bench{}, false
+	}
+	n, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: strings.TrimPrefix(m[1], "Benchmark"), Pkg: pkg, N: n, Metrics: map[string]float64{}}
+	// The -GOMAXPROCS suffix attaches to the last path segment only.
+	if t := procsTail.FindStringSubmatch(b.Name); t != nil {
+		if p, err := strconv.Atoi(t[1]); err == nil {
+			b.Procs = p
+			b.Name = strings.TrimSuffix(b.Name, t[0])
+		}
+	}
+	fields := strings.Fields(m[3])
+	if len(fields)%2 != 0 {
+		return Bench{}, false
+	}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q (input is read from stdin)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	var doc Output
+	var pkg string
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL"):
+			failed = true
+		default:
+			if b, ok := parseLine(line, pkg); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contains FAIL — benchmark run was not clean")
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSweepWarmVsCold \t 1\t 837294692 ns/op\t 1316 cold-vs-warm\t 0.6344 warm-ms", "diode")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "SweepWarmVsCold" || b.N != 1 || b.Pkg != "diode" {
+		t.Fatalf("parsed %+v", b)
+	}
+	want := map[string]float64{"ns/op": 837294692, "cold-vs-warm": 1316, "warm-ms": 0.6344}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineSubBenchAndProcs(t *testing.T) {
+	b, ok := parseLine("BenchmarkSuccessRateTargetOnly/vlc-8   5   123456 ns/op", "diode")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "SuccessRateTargetOnly/vlc" || b.Procs != 8 || b.N != 5 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestParseLineRejectsChatter(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tdiode\t0.937s",
+		"",
+		"BenchmarkBroken 1 not-a-number ns/op",
+		"BenchmarkOdd 1 12 ns/op trailing",
+	} {
+		if _, ok := parseLine(line, ""); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}

@@ -16,7 +16,11 @@
 //
 //	diode-tables [-table all|1|2|samepath|extended] [-n 200] [-seed 1]
 //	             [-parallel N] [-workers N] [-backend local|exec] [-worker BIN]
-//	             [-json] [-progress] [-db out.json]
+//	             [-cache-dir DIR] [-no-cache] [-json] [-progress] [-db out.json]
+//
+// -cache-dir points at a shared on-disk result cache: a repeated sweep
+// against the same directory serves every job from the cache (byte-identical
+// tables, near-zero work) and reports hit/miss counters on stderr.
 package main
 
 import (
@@ -46,6 +50,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one report.AppRecord JSON line per application instead of tables")
 	progress := flag.Bool("progress", false, "stream live job progress to stderr")
 	dbOut := flag.String("db", "", "also write the results database to this file")
+	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory shared across runs (empty = memory only)")
+	noCache := flag.Bool("no-cache", false, "disable result caching (analysis is still memoized in-process)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		// Fail loudly rather than silently ignoring arguments — in
@@ -58,7 +64,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := harness.Config{Seed: *seed, Parallelism: *parallel, Workers: *workers}
+	// One job cache for the whole sweep: the planner's analyses and the
+	// local backend's hunts share it, and -cache-dir makes results persist
+	// so a repeated sweep is served without re-running any hunt.
+	jc := diode.NewJobCache(diode.JobCacheConfig{Dir: *cacheDir, NoResults: *noCache})
+	cfg := harness.Config{Seed: *seed, Parallelism: *parallel, Workers: *workers, Cache: jc}
 	var appList []*diode.App
 	switch *table {
 	case "1":
@@ -92,9 +102,13 @@ func main() {
 			case diode.JobFinished:
 				fmt.Fprintf(os.Stderr, "[diode-tables] %s %s done (%d jobs finished)\n",
 					ev.Job.Kind, ev.Job.Site, done.Add(1))
+			case diode.JobCacheHit:
+				fmt.Fprintf(os.Stderr, "[diode-tables] %s %s cached (%d jobs finished)\n",
+					ev.Job.Kind, ev.Job.Site, done.Add(1))
 			}
 		}
 	}
+	var execBackend *diode.ExecBackend
 	switch *backendName {
 	case "local":
 		cfg.Sink = sink
@@ -103,13 +117,24 @@ func main() {
 		if execWorkers == 0 {
 			execWorkers = runtime.GOMAXPROCS(0)
 		}
-		cfg.Backend = &diode.ExecBackend{Binary: *workerBin, Workers: execWorkers, Sink: sink}
+		execBackend = &diode.ExecBackend{Binary: *workerBin, Workers: execWorkers, Sink: sink,
+			CacheDir: *cacheDir, NoCache: *noCache}
+		cfg.Backend = execBackend
 	default:
 		fmt.Fprintf(os.Stderr, "unknown backend %q (local, exec)\n", *backendName)
 		os.Exit(2)
 	}
 
 	outcomes := harness.EvaluateContext(ctx, cfg, appList)
+	if *cacheDir != "" || *progress {
+		cs := jc.Stats()
+		if execBackend != nil {
+			// Workers run their own caches; fold their counters in.
+			cs = cs.Plus(execBackend.CacheStats())
+		}
+		fmt.Fprintf(os.Stderr, "[diode-tables] cache: hits=%d misses=%d stores=%d corrupt=%d analysisRuns=%d analysisHits=%d\n",
+			cs.Hits, cs.Misses, cs.Stores, cs.CorruptEntries, cs.AnalysisRuns, cs.AnalysisHits)
+	}
 	failed := false
 	for _, o := range outcomes {
 		if o.Err != nil {

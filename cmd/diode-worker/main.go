@@ -23,6 +23,7 @@ package main
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -32,9 +33,21 @@ import (
 )
 
 func main() {
+	envCfg := dispatch.WorkerConfigFromEnv()
+	cacheDir := flag.String("cache-dir", envCfg.CacheDir,
+		"shared on-disk result cache directory (also $"+dispatch.WorkerCacheDirEnv+"); empty = memory only")
+	noCache := flag.Bool("no-cache", envCfg.NoCache,
+		"disable result caching (also $"+dispatch.WorkerNoCacheEnv+"=1)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "diode-worker: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := dispatch.WorkerMain(ctx, os.Stdin, os.Stdout); err != nil {
+	cfg := dispatch.WorkerConfig{CacheDir: *cacheDir, NoCache: *noCache}
+	if err := dispatch.WorkerMain(ctx, os.Stdin, os.Stdout, cfg); err != nil {
 		if !errors.Is(err, ctx.Err()) || ctx.Err() == nil {
 			fmt.Fprintln(os.Stderr, "diode-worker:", err)
 		}

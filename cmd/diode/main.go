@@ -12,7 +12,12 @@
 //
 // Usage:
 //
-//	diode -app dillo [-seed 1] [-parallel N] [-backend local|exec] [-worker BIN] [-expr] [-v] [-json] [-progress]
+//	diode -app dillo [-seed 1] [-parallel N] [-backend local|exec] [-worker BIN]
+//	      [-cache-dir DIR] [-no-cache] [-expr] [-v] [-json] [-progress]
+//
+// -cache-dir points at a shared on-disk result cache: a repeated run against
+// the same directory serves every hunt from the cache (byte-identical
+// output, near-zero work) and reports hit/miss counters on stderr.
 package main
 
 import (
@@ -42,6 +47,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print relevant input bytes, path statistics and solver counters")
 	jsonOut := flag.Bool("json", false, "emit one report.SiteRecord JSON line per site instead of the text report")
 	progress := flag.Bool("progress", false, "stream live job progress (started/iteration/verdict) to stderr")
+	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory shared across runs (empty = memory only)")
+	noCache := flag.Bool("no-cache", false, "disable result caching (analysis is still memoized in-process)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
@@ -57,7 +64,10 @@ func main() {
 	defer stop()
 
 	opts := diode.Options{Seed: *seed}
-	targets, err := diode.NewAnalyzer(app, opts).AnalyzeContext(ctx)
+	// The job cache memoizes the analysis and, with -cache-dir, serves whole
+	// job results from disk so repeated runs skip the hunts entirely.
+	jc := diode.NewJobCache(diode.JobCacheConfig{Dir: *cacheDir, NoResults: *noCache})
+	targets, err := jc.Targets(ctx, app, diode.JobOptionsFrom(opts))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analysis failed:", err)
 		os.Exit(1)
@@ -77,15 +87,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "[diode] %s: enforcement iteration %d\n", ev.Job.Site, ev.Iteration)
 			case diode.JobFinished:
 				fmt.Fprintf(os.Stderr, "[diode] %s: %s\n", ev.Job.Site, ev.Result.Verdict)
+			case diode.JobCacheHit:
+				fmt.Fprintf(os.Stderr, "[diode] %s: %s (cached)\n", ev.Job.Site, ev.Result.Verdict)
 			}
 		}
 	}
 	var backend diode.Backend
+	var execBackend *diode.ExecBackend
 	switch *backendName {
 	case "local":
-		backend = &diode.LocalBackend{Workers: *parallel, Sink: sink}
+		backend = &diode.LocalBackend{Workers: *parallel, Sink: sink, Cache: jc}
 	case "exec":
-		backend = &diode.ExecBackend{Binary: *workerBin, Workers: *parallel, Sink: sink}
+		execBackend = &diode.ExecBackend{Binary: *workerBin, Workers: *parallel, Sink: sink,
+			CacheDir: *cacheDir, NoCache: *noCache}
+		backend = execBackend
 	default:
 		fmt.Fprintf(os.Stderr, "unknown backend %q (local, exec)\n", *backendName)
 		os.Exit(2)
@@ -109,6 +124,16 @@ func main() {
 			failed = true
 			fmt.Fprintf(os.Stderr, "%s: %s\n", r.Site, r.Err)
 		}
+	}
+
+	if *verbose || *cacheDir != "" {
+		cs := jc.Stats()
+		if execBackend != nil {
+			// Workers run their own caches; fold their counters in.
+			cs = cs.Plus(execBackend.CacheStats())
+		}
+		fmt.Fprintf(os.Stderr, "[diode] cache: hits=%d misses=%d stores=%d corrupt=%d analysisRuns=%d analysisHits=%d\n",
+			cs.Hits, cs.Misses, cs.Stores, cs.CorruptEntries, cs.AnalysisRuns, cs.AnalysisHits)
 	}
 
 	if *jsonOut {

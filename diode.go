@@ -54,6 +54,7 @@ import (
 	"context"
 
 	"diode/internal/apps"
+	"diode/internal/cache"
 	"diode/internal/core"
 	"diode/internal/dispatch"
 	"diode/internal/report"
@@ -195,6 +196,9 @@ const (
 	JobStarted   = dispatch.EventStarted
 	JobIteration = dispatch.EventIteration
 	JobFinished  = dispatch.EventFinished
+	// JobCacheHit fires instead of the started/finished pair when a job's
+	// result is served from the job cache without executing.
+	JobCacheHit = dispatch.EventCacheHit
 )
 
 // JobResult is the serializable outcome of one Job.
@@ -216,6 +220,33 @@ type JobEvent = dispatch.Event
 
 // JobSink receives progress events; it must be safe for concurrent calls.
 type JobSink = dispatch.Sink
+
+// JobCache is the content-addressed cache of the execution surface: it
+// memoizes analysis Targets per (program fingerprint, options subset) and
+// serves whole job Results — from memory, and from an optional on-disk store
+// shared across processes — so repeated and incremental sweeps skip analysis
+// and hunts entirely. Share one JobCache across backends and runs to make
+// warm sweeps near-free; cached results are byte-identical to executed ones.
+type JobCache = dispatch.JobCache
+
+// JobCacheConfig configures a JobCache (on-disk store directory, bounds,
+// or disabling result caching).
+type JobCacheConfig = dispatch.CacheConfig
+
+// CacheStats is a snapshot of cache activity: result hits/misses, disk
+// stores, corrupt-entry rejections, and analysis runs vs memoized hits.
+type CacheStats = cache.Stats
+
+// NewJobCache returns a job cache for the given configuration; the zero
+// configuration is a pure in-memory cache. Construction cannot fail — an
+// unusable cache directory degrades to memory-only behavior.
+func NewJobCache(cfg JobCacheConfig) *JobCache { return dispatch.NewJobCache(cfg) }
+
+// JobOptions is the serializable engine-options subset a Job carries.
+type JobOptions = dispatch.Options
+
+// JobOptionsFrom extracts the serializable subset from engine options.
+func JobOptionsFrom(o Options) JobOptions { return dispatch.OptionsFrom(o) }
 
 // RunJobs runs the jobs on the backend and collects the streamed results
 // (completion order; resolve by JobID). On cancellation it returns the

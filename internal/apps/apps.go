@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"diode/internal/cache"
 	"diode/internal/formats"
 	"diode/internal/interp"
 	"diode/internal/lang"
@@ -88,6 +89,9 @@ type App struct {
 
 	compileOnce sync.Once
 	compiled    *interp.Compiled
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // Compiled returns the application's guest program in slot-resolved compiled
@@ -99,6 +103,16 @@ type App struct {
 func (a *App) Compiled() *interp.Compiled {
 	a.compileOnce.Do(func() { a.compiled = interp.Compile(a.Program) })
 	return a.compiled
+}
+
+// Fingerprint returns the application's canonical content hash — the cache
+// identity of its guest program and input format, computed once per instance
+// under sync.Once like Compiled(). Registry constructors build applications
+// deterministically, so every instance of an application fingerprints equal,
+// in every process: the dispatch layer keys shared caches on it.
+func (a *App) Fingerprint() string {
+	a.fpOnce.Do(func() { a.fp = cache.Fingerprint(a.Program, a.Format) })
+	return a.fp
 }
 
 // PaperFor returns the paper expectations for a site.

@@ -1,0 +1,66 @@
+package apps
+
+import "testing"
+
+// goldenFingerprints pins the content fingerprint of every registered
+// application. These change exactly when an application's guest program or
+// input format changes — which is the cache-invalidation contract: an edited
+// app must stop hitting stale cached results, and an untouched app must keep
+// hitting them across commits. If a fingerprint here changes unexpectedly,
+// the app's content changed; if you edited the app, update the golden value
+// (cached results for it are correctly invalidated).
+var goldenFingerprints = map[string]string{
+	"dillo":       "ef0d8f9365db9a12775eabad0c86b2b206e3e1b5235311a94d0015345d0bbd65",
+	"vlc":         "4014d3178c42dc7370fbd961628b7af2e41a6aa1008942721468732650936e8a",
+	"swfplay":     "23561e9aa8e0ba07dd586a3894653ee675a3014ce56cd8eeafe275da2fdf9d56",
+	"cwebp":       "733aae712dac3ec9016e4b3afff5c221fbf1f672be0a3dd6945125df6dd91eba",
+	"imagemagick": "46505d53e88ca9e4584ed87457d8f3eab29c22e24b70b65d876e488d16f8a1d9",
+	"gifview":     "10524f4b5e3f7d76d28faa8b59043633485ec9098f4e6affd72671d42a063dbf",
+	"tifthumb":    "5ee2596d9103fbfac6a65b2602c202287a26b59a3c44c1be0a9d9bfb671bd251",
+}
+
+func TestGoldenFingerprints(t *testing.T) {
+	list := All()
+	if len(list) != len(goldenFingerprints) {
+		t.Fatalf("%d registered applications but %d golden fingerprints — add the new app's golden value",
+			len(list), len(goldenFingerprints))
+	}
+	seen := map[string]string{}
+	for _, a := range list {
+		fp := a.Fingerprint()
+		if want := goldenFingerprints[a.Short]; fp != want {
+			t.Errorf("%s: fingerprint %s, golden %s (content changed? update the golden value)",
+				a.Short, fp, want)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share a fingerprint", a.Short, prev)
+		}
+		seen[fp] = a.Short
+	}
+}
+
+// TestFingerprintStableAcrossInstances checks that independently constructed
+// instances of the same application fingerprint identically (the registry
+// builds a fresh *App per call) and that the memoized value is consistent
+// with a fresh computation.
+func TestFingerprintStableAcrossInstances(t *testing.T) {
+	for _, short := range Shorts(All()) {
+		a1, err := ByName(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := ByName(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1 == a2 {
+			t.Fatalf("%s: registry returned a shared instance; test assumes fresh ones", short)
+		}
+		if f1, f2 := a1.Fingerprint(), a2.Fingerprint(); f1 != f2 {
+			t.Errorf("%s: instance fingerprints differ: %s vs %s", short, f1, f2)
+		}
+		if a1.Fingerprint() != a1.Fingerprint() {
+			t.Errorf("%s: memoized fingerprint is unstable", short)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package cache is the content-addressed caching layer under the dispatch
+// surface: canonical fingerprints for guest programs and their input formats,
+// a singleflight-deduplicating in-memory LRU, an optional on-disk store with
+// corruption-as-miss semantics, and the hit/miss counters the stats surfaces
+// report. Every job Result is a pure function of its serialized record plus
+// the guest program (the dispatch layer's determinism seam), which is what
+// makes outputs safe to key by content: a cache key changes exactly when a
+// result could.
+package cache
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of cache activity. It is serializable
+// (diode-worker processes report theirs to the parent over the wire protocol)
+// and additive across caches via Plus.
+type Stats struct {
+	// Hits counts job results served without executing: in-memory LRU hits,
+	// disk-store hits, and singleflight waiters that shared another job's
+	// execution.
+	Hits int64 `json:"hits,omitempty"`
+	// Misses counts job results that had to execute.
+	Misses int64 `json:"misses,omitempty"`
+	// Stores counts results written to the on-disk store.
+	Stores int64 `json:"stores,omitempty"`
+	// CorruptEntries counts on-disk entries rejected as truncated, corrupt or
+	// version-mismatched; each was treated as a miss, never an error.
+	CorruptEntries int64 `json:"corruptEntries,omitempty"`
+	// AnalysisRuns counts Analyzer executions (stages 1–3); AnalysisHits
+	// counts analysis lookups served from memoized targets.
+	AnalysisRuns int64 `json:"analysisRuns,omitempty"`
+	AnalysisHits int64 `json:"analysisHits,omitempty"`
+}
+
+// Plus returns the field-wise sum of two snapshots.
+func (s Stats) Plus(o Stats) Stats {
+	return Stats{
+		Hits:           s.Hits + o.Hits,
+		Misses:         s.Misses + o.Misses,
+		Stores:         s.Stores + o.Stores,
+		CorruptEntries: s.CorruptEntries + o.CorruptEntries,
+		AnalysisRuns:   s.AnalysisRuns + o.AnalysisRuns,
+		AnalysisHits:   s.AnalysisHits + o.AnalysisHits,
+	}
+}
+
+// Counters accumulates cache activity; safe for concurrent use. The zero
+// value is ready.
+type Counters struct {
+	hits, misses, stores, corrupt, analysisRuns, analysisHits atomic.Int64
+}
+
+// Hit records a result served from the cache.
+func (c *Counters) Hit() { c.hits.Add(1) }
+
+// Miss records a result that had to execute.
+func (c *Counters) Miss() { c.misses.Add(1) }
+
+// Store records a result written to the disk store.
+func (c *Counters) Store() { c.stores.Add(1) }
+
+// Corrupt records a rejected on-disk entry.
+func (c *Counters) Corrupt() { c.corrupt.Add(1) }
+
+// AnalysisRun records an Analyzer execution.
+func (c *Counters) AnalysisRun() { c.analysisRuns.Add(1) }
+
+// AnalysisHit records an analysis lookup served from memoized targets.
+func (c *Counters) AnalysisHit() { c.analysisHits.Add(1) }
+
+// Snapshot returns the current totals.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Stores:         c.stores.Load(),
+		CorruptEntries: c.corrupt.Load(),
+		AnalysisRuns:   c.analysisRuns.Load(),
+		AnalysisHits:   c.analysisHits.Load(),
+	}
+}
+
+// Add folds a snapshot into the totals (merging a worker process's reported
+// stats into the parent's).
+func (c *Counters) Add(s Stats) {
+	c.hits.Add(s.Hits)
+	c.misses.Add(s.Misses)
+	c.stores.Add(s.Stores)
+	c.corrupt.Add(s.CorruptEntries)
+	c.analysisRuns.Add(s.AnalysisRuns)
+	c.analysisHits.Add(s.AnalysisHits)
+}

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore(t.TempDir())
+	key := Key("result", "1", "abc")
+	payload := []byte(`{"verdict":"exposed"}`)
+	if _, status := s.Get(key); status != DiskMiss {
+		t.Fatalf("empty store Get = %v, want DiskMiss", status)
+	}
+	if !s.Put(key, payload) {
+		t.Fatal("Put failed")
+	}
+	got, status := s.Get(key)
+	if status != DiskHit || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q/%v, want payload/DiskHit", got, status)
+	}
+}
+
+func TestStoreShardLayout(t *testing.T) {
+	s := NewStore("/tmp/cache-root")
+	key := Key("x")
+	p := s.Path(key)
+	want := filepath.Join("/tmp/cache-root", key[:2], key+".entry")
+	if p != want {
+		t.Fatalf("Path = %q, want %q", p, want)
+	}
+	if s.Path("k") != filepath.Join("/tmp/cache-root", "xx", "k.entry") {
+		t.Fatalf("short-key Path = %q, want xx shard", s.Path("k"))
+	}
+}
+
+// corrupt applies a mutation to the stored entry file and asserts the next
+// Get classifies it as DiskCorrupt — never a hit, never an error.
+func corruptCase(t *testing.T, name string, mutate func(t *testing.T, path string)) {
+	t.Run(name, func(t *testing.T) {
+		s := NewStore(t.TempDir())
+		key := Key("result", name)
+		payload := []byte("payload-" + name + "-0123456789")
+		if !s.Put(key, payload) {
+			t.Fatal("Put failed")
+		}
+		mutate(t, s.Path(key))
+		if got, status := s.Get(key); status != DiskCorrupt || got != nil {
+			t.Fatalf("Get after %s = %q/%v, want nil/DiskCorrupt", name, got, status)
+		}
+	})
+}
+
+func TestStoreCorruption(t *testing.T) {
+	corruptCase(t, "truncated-payload", func(t *testing.T, path string) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "truncated-header", func(t *testing.T, path string) {
+		if err := os.Truncate(path, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "bit-flip", func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "version-mismatch", func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := strings.Replace(string(data), fmt.Sprintf("%s %d ", diskMagic, diskVersion),
+			fmt.Sprintf("%s %d ", diskMagic, diskVersion+1), 1)
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "wrong-magic", func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := strings.Replace(string(data), diskMagic, "other-cache", 1)
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "garbage", func(t *testing.T, path string) {
+		if err := os.WriteFile(path, []byte("not a cache entry at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "empty-file", func(t *testing.T, path string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestStoreWrongKey checks the key-binding property of the header: an entry
+// copied or renamed under a different key must read as corrupt, not as the
+// other key's answer.
+func TestStoreWrongKey(t *testing.T) {
+	s := NewStore(t.TempDir())
+	k1, k2 := Key("one"), Key("two")
+	if !s.Put(k1, []byte("one's payload")) {
+		t.Fatal("Put failed")
+	}
+	data, err := os.ReadFile(s.Path(k1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.Path(k2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, status := s.Get(k2); status != DiskCorrupt || got != nil {
+		t.Fatalf("mis-keyed Get = %q/%v, want nil/DiskCorrupt", got, status)
+	}
+}
+
+// TestStoreUnusableDir checks best-effort degradation: a store rooted in an
+// impossible location misses everything and stores nothing, without errors.
+func TestStoreUnusableDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "a-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(filepath.Join(file, "cannot-exist"))
+	if s.Put(Key("k"), []byte("p")) {
+		t.Error("Put into unusable dir reported success")
+	}
+	if _, status := s.Get(Key("k")); status != DiskMiss {
+		t.Errorf("Get from unusable dir = %v, want DiskMiss", status)
+	}
+}
+
+func TestStorePutOverwrite(t *testing.T) {
+	s := NewStore(t.TempDir())
+	key := Key("k")
+	s.Put(key, []byte("old"))
+	s.Put(key, []byte("new"))
+	got, status := s.Get(key)
+	if status != DiskHit || string(got) != "new" {
+		t.Fatalf("Get = %q/%v, want new/DiskHit", got, status)
+	}
+}

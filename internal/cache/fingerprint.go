@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"diode/internal/formats"
+	"diode/internal/lang"
+)
+
+// Key derives a cache key from its parts: the hex SHA-256 over the
+// length-prefixed concatenation, so no arrangement of part boundaries can
+// collide with another. The same parts produce the same key in any process.
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint returns the canonical content hash of a guest program and its
+// input format — the identity half of every cache key. Two (program, format)
+// pairs fingerprint equal exactly when they are structurally identical:
+// functions are walked in sorted name order, every AST node writes a tagged
+// unambiguous encoding, and the format contributes its name, seed bytes and
+// field dictionary. The program must be finalized (branch labels assigned —
+// labels are part of enforcement semantics, so they are part of identity).
+//
+// Known limitation: a format's fix-up passes are Go functions and cannot be
+// hashed; only their count contributes. Changing a fixup's behavior without
+// changing anything else requires bumping the key version (see the dispatch
+// layer's keyVersion).
+func Fingerprint(prog *lang.Program, format *formats.Format) string {
+	h := sha256.New()
+	w := bufio.NewWriter(h)
+	writeProgram(w, prog)
+	writeFormat(w, format)
+	w.Flush()
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeProgram(w *bufio.Writer, p *lang.Program) {
+	fmt.Fprintf(w, "program %q\n", p.Name)
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := p.Funcs[n]
+		fmt.Fprintf(w, "func %q %q\n", f.Name, f.Params)
+		writeBlock(w, f.Body)
+	}
+}
+
+func writeBlock(w *bufio.Writer, b lang.Block) {
+	fmt.Fprintf(w, "block %d\n", len(b))
+	for _, s := range b {
+		writeStmt(w, s)
+	}
+}
+
+func writeStmt(w *bufio.Writer, s lang.Stmt) {
+	switch x := s.(type) {
+	case lang.Assign:
+		fmt.Fprintf(w, "assign %q\n", x.Var)
+		writeExpr(w, x.E)
+	case lang.Alloc:
+		fmt.Fprintf(w, "alloc %q %q\n", x.Var, x.Site)
+		writeExpr(w, x.Size)
+	case lang.Store:
+		fmt.Fprint(w, "store\n")
+		writeExpr(w, x.Ptr)
+		writeExpr(w, x.Off)
+		writeExpr(w, x.Val)
+	case lang.If:
+		fmt.Fprintf(w, "if %q\n", x.Label)
+		writeBool(w, x.Cond)
+		writeBlock(w, x.Then)
+		writeBlock(w, x.Else)
+	case lang.While:
+		fmt.Fprintf(w, "while %q\n", x.Label)
+		writeBool(w, x.Cond)
+		writeBlock(w, x.Body)
+	case lang.ExprStmt:
+		fmt.Fprint(w, "expr\n")
+		writeExpr(w, x.E)
+	case lang.Return:
+		if x.E == nil {
+			fmt.Fprint(w, "return-void\n")
+		} else {
+			fmt.Fprint(w, "return\n")
+			writeExpr(w, x.E)
+		}
+	case lang.AbortStmt:
+		fmt.Fprintf(w, "abort %q\n", x.Msg)
+	case lang.WarnStmt:
+		fmt.Fprintf(w, "warn %q\n", x.Msg)
+	default:
+		panic(fmt.Sprintf("cache: cannot fingerprint statement type %T", s))
+	}
+}
+
+func writeExpr(w *bufio.Writer, e lang.Expr) {
+	switch x := e.(type) {
+	case lang.Lit:
+		fmt.Fprintf(w, "lit %d %d\n", x.W, x.V)
+	case lang.VarRef:
+		fmt.Fprintf(w, "var %q\n", x.Name)
+	case lang.Bin:
+		fmt.Fprintf(w, "bin %s\n", x.Op)
+		writeExpr(w, x.A)
+		writeExpr(w, x.B)
+	case lang.Un:
+		fmt.Fprintf(w, "un %t\n", x.Neg)
+		writeExpr(w, x.A)
+	case lang.Cvt:
+		fmt.Fprintf(w, "cvt %d %t\n", x.W, x.Signed)
+		writeExpr(w, x.A)
+	case lang.InByte:
+		fmt.Fprint(w, "inbyte\n")
+		writeExpr(w, x.Idx)
+	case lang.InLen:
+		fmt.Fprint(w, "inlen\n")
+	case lang.LoadExpr:
+		fmt.Fprint(w, "load\n")
+		writeExpr(w, x.Ptr)
+		writeExpr(w, x.Off)
+	case lang.CallExpr:
+		fmt.Fprintf(w, "call %q %d\n", x.Fn, len(x.Args))
+		for _, a := range x.Args {
+			writeExpr(w, a)
+		}
+	default:
+		panic(fmt.Sprintf("cache: cannot fingerprint expression type %T", e))
+	}
+}
+
+func writeBool(w *bufio.Writer, b lang.BoolExpr) {
+	switch x := b.(type) {
+	case lang.BoolLit:
+		fmt.Fprintf(w, "blit %t\n", x.V)
+	case lang.Cmp:
+		fmt.Fprintf(w, "cmp %s\n", x.Op)
+		writeExpr(w, x.A)
+		writeExpr(w, x.B)
+	case lang.NotE:
+		fmt.Fprint(w, "not\n")
+		writeBool(w, x.A)
+	case lang.AndE:
+		fmt.Fprint(w, "and\n")
+		writeBool(w, x.A)
+		writeBool(w, x.B)
+	case lang.OrE:
+		fmt.Fprint(w, "or\n")
+		writeBool(w, x.A)
+		writeBool(w, x.B)
+	default:
+		panic(fmt.Sprintf("cache: cannot fingerprint boolean expression type %T", b))
+	}
+}
+
+func writeFormat(w *bufio.Writer, f *formats.Format) {
+	if f == nil {
+		fmt.Fprint(w, "format-none\n")
+		return
+	}
+	fmt.Fprintf(w, "format %q seed %d %x\n", f.Name, len(f.Seed), f.Seed)
+	if f.Fields != nil {
+		for _, spec := range f.Fields.Specs() {
+			fmt.Fprintf(w, "field %q %d %d %d\n", spec.Name, spec.Offset, spec.Size, spec.Order)
+		}
+	}
+	fmt.Fprintf(w, "fixups %d\n", len(f.Fixups))
+}

@@ -28,14 +28,20 @@ const (
 	EventIteration EventType = "iteration"
 	// EventFinished fires when the job's Result is final.
 	EventFinished EventType = "finished"
+	// EventCacheHit fires instead of the started/finished pair when a job's
+	// Result is served from the cache without executing; the Result rides
+	// the event, as in EventFinished.
+	EventCacheHit EventType = "cache-hit"
 )
 
 // Event is one progress observation. Events are advisory: backends emit them
 // best-effort for live output (site started / iteration / verdict lines in
 // the cmds) and they never influence results. Only jobs that actually begin
-// executing emit events — a job that fails before work starts (validation,
-// unknown application, worker loss) produces an error Result and no events,
-// identically on every backend, so started/finished counts always pair.
+// executing emit the started/iteration/finished sequence — a job that fails
+// before work starts (validation, unknown application, worker loss) produces
+// an error Result and no events, and a job served from the cache emits a
+// single EventCacheHit, identically on every backend, so started/finished
+// counts always pair.
 type Event struct {
 	Type EventType
 	Job  Job

@@ -1,0 +1,194 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strconv"
+
+	"diode/internal/apps"
+	"diode/internal/cache"
+	"diode/internal/core"
+)
+
+// keyVersion versions the cache-key derivation itself: the key layout, the
+// canonical options encoding, and everything a fingerprint cannot see (format
+// fix-up behavior, Analyzer/Hunter semantics). Bump it whenever a result
+// could change for unchanged inputs; every existing key then misses at once.
+const keyVersion = "1"
+
+// CacheConfig configures a JobCache. The zero value is a pure in-memory
+// cache with default bounds.
+type CacheConfig struct {
+	// Dir enables the on-disk Result store rooted at this directory. Worker
+	// processes and repeated runs pointing at the same directory share it.
+	// Empty keeps results in memory only.
+	Dir string
+	// NoResults disables result caching entirely — in-memory and disk — so
+	// every job executes. Analysis memoization remains: it is what keeps a
+	// single sweep from re-deriving targets per site, cache or no cache.
+	NoResults bool
+	// MaxResults and MaxAnalyses bound the in-memory LRUs (entries, not
+	// bytes); zero means the defaults (4096 results, 64 analyses).
+	MaxResults  int
+	MaxAnalyses int
+}
+
+// JobCache is the content-addressed cache the whole execution surface
+// threads through: Execute consults it before constructing a Hunter, the
+// Local backend shares one across Runs, worker processes build one from
+// -cache-dir, and the harness planner resolves analysis through it. Keys are
+// derived from content fingerprints (JobKey), never from registry names, so
+// a cache shared across processes — or surviving a program edit — can never
+// serve a stale result. Construction cannot fail: an unusable directory
+// degrades to a cache that misses and stores nothing on disk.
+type JobCache struct {
+	instances *cache.LRU // app short name → appOut (resolved *apps.App)
+	analyses  *cache.LRU // analysis key → analysisOut (targets)
+	results   *cache.LRU // job key → flight (nil when NoResults)
+	store     *cache.Store
+	counters  cache.Counters
+}
+
+// NewJobCache returns a cache for the given configuration.
+func NewJobCache(cfg CacheConfig) *JobCache {
+	maxResults := cfg.MaxResults
+	if maxResults <= 0 {
+		maxResults = 4096
+	}
+	maxAnalyses := cfg.MaxAnalyses
+	if maxAnalyses <= 0 {
+		maxAnalyses = 64
+	}
+	jc := &JobCache{
+		instances: cache.NewLRU(32),
+		analyses:  cache.NewLRU(maxAnalyses),
+	}
+	if !cfg.NoResults {
+		jc.results = cache.NewLRU(maxResults)
+		if cfg.Dir != "" {
+			jc.store = cache.NewStore(cfg.Dir)
+		}
+	}
+	return jc
+}
+
+// Stats returns a snapshot of the cache's activity counters.
+func (c *JobCache) Stats() cache.Stats { return c.counters.Snapshot() }
+
+// appOut and analysisOut embed errors in LRU values so a singleflight waiter
+// can distinguish real outcomes from cancellations (see LRU.Do).
+type appOut struct {
+	app *apps.App
+	err error
+}
+
+type analysisOut struct {
+	targets []*core.Target
+	err     error
+}
+
+// App resolves a short registry name to an application, memoizing the
+// instance so its sync.Once-guarded compiled form and fingerprint warm up
+// once per cache rather than once per job (registry constructors build fresh
+// instances per call).
+func (c *JobCache) App(short string) (*apps.App, error) {
+	v, _ := c.instances.Do(short, func() (any, bool) {
+		a, err := apps.ByName(short)
+		return appOut{app: a, err: err}, err == nil
+	})
+	out := v.(appOut)
+	return out.app, out.err
+}
+
+// Targets returns the application's analyzed target sites, running the
+// Analyzer (stages 1–3) on first use per (program fingerprint, options
+// subset) and memoizing across every caller of the cache — pool goroutines,
+// sweep waves, the harness planner. Analysis ignores the job seed, so one
+// entry serves every site and seed. A cancellation is returned but never
+// memoized: a later call under a live context re-analyzes, including a
+// singleflight waiter whose own context outlived the analyzing goroutine's.
+func (c *JobCache) Targets(ctx context.Context, app *apps.App, opts Options) ([]*core.Target, error) {
+	// Register the caller's instance so subsequent by-name resolution (jobs
+	// naming the same application) reuses it and its warmed sync.Once state.
+	c.instances.Do(app.Short, func() (any, bool) { return appOut{app: app}, true })
+	key := cache.Key("analysis", keyVersion, app.Fingerprint(), canonicalOpts(opts))
+	for {
+		v, hit := c.analyses.Do(key, func() (any, bool) {
+			c.counters.AnalysisRun()
+			targets, err := core.NewAnalyzer(app, opts.Core(0)).AnalyzeContext(ctx)
+			return analysisOut{targets: targets, err: err}, err == nil
+		})
+		out := v.(analysisOut)
+		if hit {
+			if out.err != nil && isCtxErr(out.err) && ctx.Err() == nil {
+				continue
+			}
+			if out.err == nil {
+				c.counters.AnalysisHit()
+			}
+		}
+		return out.targets, out.err
+	}
+}
+
+// JobKey derives the content-addressed cache key for a job: the application
+// fingerprint plus every job field that can influence its Result — kind,
+// site, derived seed, sample budget, the enforced-label list in order, and
+// the canonical encoding of the options subset. Job.ID (a batch-local
+// handle) and the application's registry name (the fingerprint is the real
+// identity) are deliberately excluded.
+func JobKey(fingerprint string, job Job) string {
+	parts := []string{
+		"result", keyVersion, fingerprint,
+		string(job.Kind), job.Site,
+		strconv.FormatInt(job.Seed, 10),
+		strconv.Itoa(job.SampleN),
+		strconv.Itoa(len(job.Enforced)),
+	}
+	parts = append(parts, job.Enforced...)
+	parts = append(parts, canonicalOpts(job.Opts))
+	return cache.Key(parts...)
+}
+
+// canonicalOpts is the canonical encoding of the options subset:
+// encoding/json writes struct fields in declaration order with deterministic
+// scalar formatting, so equal subsets encode identically in every process.
+func canonicalOpts(o Options) string {
+	b, err := json.Marshal(o)
+	if err != nil {
+		panic("dispatch: options subset not serializable: " + err.Error())
+	}
+	return string(b)
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// lookupDisk consults the on-disk store, counting a corrupt entry and
+// treating it as a miss.
+func (c *JobCache) lookupDisk(key string) ([]byte, bool) {
+	if c.store == nil {
+		return nil, false
+	}
+	payload, status := c.store.Get(key)
+	if status == cache.DiskCorrupt {
+		c.counters.Corrupt()
+	}
+	return payload, status == cache.DiskHit
+}
+
+// storeDisk writes a successful Result to the on-disk store, best-effort.
+func (c *JobCache) storeDisk(key string, res Result) {
+	if c.store == nil {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	if c.store.Put(key, payload) {
+		c.counters.Store()
+	}
+}

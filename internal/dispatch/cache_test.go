@@ -1,0 +1,382 @@
+package dispatch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"diode/internal/solver"
+)
+
+// TestJobKeySensitivity checks the cache-key contract: every job field that
+// can influence a Result changes the key, and the batch-local ID does not.
+func TestJobKeySensitivity(t *testing.T) {
+	// Guard against silently missing a future Options field: each field below
+	// gets an explicit flip case.
+	if n := reflect.TypeOf(Options{}).NumField(); n != 8 {
+		t.Fatalf("dispatch.Options has %d fields; update the flip cases and this guard", n)
+	}
+	base := Job{
+		ID: 1, Kind: KindSuccessRate, App: "dillo", Site: "png.c@125",
+		Seed: 77, SampleN: 10, Enforced: []string{"a", "b"},
+		Opts: Options{InitialAttempts: 2, MaxEnforce: 3, Fuel: 1000},
+	}
+	const fp = "0123abcd"
+	baseKey := JobKey(fp, base)
+	if baseKey != JobKey(fp, base) {
+		t.Fatal("JobKey is not deterministic")
+	}
+
+	mutate := func(name string, f func(j *Job)) (string, string) {
+		j := base
+		j.Enforced = append([]string(nil), base.Enforced...)
+		f(&j)
+		return name, JobKey(fp, j)
+	}
+	cases := map[string]string{}
+	add := func(name, key string) { cases[name] = key }
+	add(mutate("kind", func(j *Job) { j.Kind = KindHunt }))
+	add(mutate("site", func(j *Job) { j.Site = "png.c@126" }))
+	add(mutate("seed", func(j *Job) { j.Seed = 78 }))
+	add(mutate("sampleN", func(j *Job) { j.SampleN = 11 }))
+	add(mutate("enforced-drop", func(j *Job) { j.Enforced = j.Enforced[:1] }))
+	add(mutate("enforced-order", func(j *Job) { j.Enforced[0], j.Enforced[1] = j.Enforced[1], j.Enforced[0] }))
+	add(mutate("opts.InitialAttempts", func(j *Job) { j.Opts.InitialAttempts++ }))
+	add(mutate("opts.MaxEnforce", func(j *Job) { j.Opts.MaxEnforce++ }))
+	add(mutate("opts.Fuel", func(j *Job) { j.Opts.Fuel++ }))
+	add(mutate("opts.SolverMode", func(j *Job) { j.Opts.SolverMode = solver.Mode(1) }))
+	add(mutate("opts.OneShotSolver", func(j *Job) { j.Opts.OneShotSolver = true }))
+	add(mutate("opts.OneShotExecution", func(j *Job) { j.Opts.OneShotExecution = true }))
+	add(mutate("opts.DisableCompression", func(j *Job) { j.Opts.DisableCompression = true }))
+	add(mutate("opts.DisableRelevanceFilter", func(j *Job) { j.Opts.DisableRelevanceFilter = true }))
+	add(mutate("fingerprint", func(j *Job) {})) // handled below
+	cases["fingerprint"] = JobKey("ffff0000", base)
+
+	seen := map[string]string{baseKey: "base"}
+	for name, key := range cases {
+		if key == baseKey {
+			t.Errorf("%s flip did not change the key", name)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[key] = name
+	}
+
+	// The batch-local handle and the registry name are excluded: the same
+	// content under a different ID must hit.
+	idFlip := base
+	idFlip.ID = 99
+	if JobKey(fp, idFlip) != baseKey {
+		t.Error("Job.ID leaked into the key; identical content under a new ID would miss")
+	}
+}
+
+// eventLog is a concurrency-safe sink recorder.
+type eventLog struct {
+	mu     sync.Mutex
+	counts map[EventType]int
+}
+
+func newEventLog() *eventLog { return &eventLog{counts: map[EventType]int{}} }
+
+func (l *eventLog) sink() Sink {
+	return func(ev Event) {
+		l.mu.Lock()
+		l.counts[ev.Type]++
+		l.mu.Unlock()
+	}
+}
+
+func (l *eventLog) count(t EventType) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[t]
+}
+
+// TestLocalWarmRun checks the warm path on a shared Local backend: a second
+// Collect of the same batch executes nothing — every result is served from
+// the in-memory cache, marked Cached, byte-identical to the cold run, and
+// announced by EventCacheHit instead of the started/finished pair.
+func TestLocalWarmRun(t *testing.T) {
+	jobs, _ := huntBatch(t, "dillo", 7)
+	jc := NewJobCache(CacheConfig{})
+	coldLog := newEventLog()
+	backend := &Local{Workers: runtime.GOMAXPROCS(0), Cache: jc, Sink: coldLog.sink()}
+	cold, err := Collect(context.Background(), backend, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats := jc.Stats()
+	if coldStats.Misses != int64(len(jobs)) || coldStats.AnalysisRuns != 1 {
+		t.Fatalf("cold stats %+v, want %d misses and 1 analysis run", coldStats, len(jobs))
+	}
+	if coldLog.count(EventCacheHit) != 0 {
+		t.Fatalf("cold run emitted %d cache-hit events", coldLog.count(EventCacheHit))
+	}
+	for _, r := range cold {
+		if r.Cached {
+			t.Fatalf("cold result for job %d marked Cached", r.JobID)
+		}
+	}
+
+	warmLog := newEventLog()
+	backend.Sink = warmLog.sink()
+	warm, err := Collect(context.Background(), backend, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStats := jc.Stats()
+	if warmStats.Misses != coldStats.Misses {
+		t.Errorf("warm run executed %d jobs, want 0", warmStats.Misses-coldStats.Misses)
+	}
+	if got := warmStats.Hits - coldStats.Hits; got != int64(len(jobs)) {
+		t.Errorf("warm run had %d hits, want %d", got, len(jobs))
+	}
+	if warmStats.AnalysisRuns != coldStats.AnalysisRuns {
+		t.Errorf("warm run re-ran analysis (%d runs)", warmStats.AnalysisRuns)
+	}
+	if got := warmLog.count(EventCacheHit); got != len(jobs) {
+		t.Errorf("warm run emitted %d cache-hit events, want %d", got, len(jobs))
+	}
+	if got := warmLog.count(EventStarted) + warmLog.count(EventFinished); got != 0 {
+		t.Errorf("warm run emitted %d started/finished events, want 0", got)
+	}
+	for i := range warm {
+		if !warm[i].Cached {
+			t.Errorf("warm result for job %d not marked Cached", warm[i].JobID)
+		}
+	}
+	a, b := normalizeResults(cold), normalizeResults(warm)
+	for i := range b {
+		b[i].Cached = false
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("warm results diverged from cold:\ncold: %+v\nwarm: %+v", a, b)
+	}
+}
+
+// TestSingleflightDedup checks that identical jobs inside one batch share a
+// single execution: duplicates either join the in-flight computation or hit
+// the completed entry, so exactly one miss is counted and every duplicate's
+// result is restamped with its own batch ID.
+func TestSingleflightDedup(t *testing.T) {
+	jobs, _ := huntBatch(t, "dillo", 3)
+	one := jobs[0]
+	batch := make([]Job, 4)
+	for i := range batch {
+		batch[i] = one
+		batch[i].ID = i
+	}
+	jc := NewJobCache(CacheConfig{})
+	results, err := Collect(context.Background(), &Local{Workers: 4, Cache: jc}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := jc.Stats()
+	if stats.Misses != 1 {
+		t.Errorf("%d executions for 4 identical jobs, want 1", stats.Misses)
+	}
+	if stats.Hits != 3 {
+		t.Errorf("%d hits, want 3", stats.Hits)
+	}
+	ids := map[int]bool{}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("job %d: %s", r.JobID, r.Err)
+		}
+		ids[r.JobID] = true
+		if r.Verdict != results[0].Verdict {
+			t.Errorf("duplicate jobs diverged: %q vs %q", r.Verdict, results[0].Verdict)
+		}
+	}
+	if len(ids) != 4 {
+		t.Errorf("results restamped onto %d distinct IDs, want 4", len(ids))
+	}
+}
+
+// TestDiskCorruptionMidSuite is the resilience acceptance test: entries
+// truncated or bit-flipped between runs count as misses with CorruptEntries
+// incremented — the affected jobs re-execute to identical results and the
+// suite never sees an error.
+func TestDiskCorruptionMidSuite(t *testing.T) {
+	dir := t.TempDir()
+	jobs, _ := huntBatch(t, "dillo", 7)
+	if len(jobs) < 3 {
+		t.Fatalf("need ≥3 jobs to corrupt a subset, have %d", len(jobs))
+	}
+	cold, err := Collect(context.Background(),
+		&Local{Workers: 2, Cache: NewJobCache(CacheConfig{Dir: dir})}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var entries []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".entry" {
+			entries = append(entries, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(jobs) {
+		t.Fatalf("%d disk entries for %d jobs", len(entries), len(jobs))
+	}
+	// Truncate one entry and bit-flip another; leave the rest intact.
+	if err := os.Truncate(entries[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(entries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(entries[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process (fresh JobCache, same directory) re-runs the suite.
+	jc := NewJobCache(CacheConfig{Dir: dir})
+	warm, err := Collect(context.Background(), &Local{Workers: 2, Cache: jc}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := jc.Stats()
+	if stats.CorruptEntries != 2 {
+		t.Errorf("CorruptEntries = %d, want 2", stats.CorruptEntries)
+	}
+	if stats.Misses != 2 {
+		t.Errorf("Misses = %d, want the 2 corrupted jobs re-executed", stats.Misses)
+	}
+	if want := int64(len(jobs) - 2); stats.Hits != want {
+		t.Errorf("Hits = %d, want %d intact entries served", stats.Hits, want)
+	}
+	if stats.Stores != 2 {
+		t.Errorf("Stores = %d, want the 2 re-executed results re-written", stats.Stores)
+	}
+	a, b := normalizeResults(cold), normalizeResults(warm)
+	for i := range a {
+		a[i].Cached, b[i].Cached = false, false
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("results diverged after corruption recovery:\ncold: %+v\nwarm: %+v", a, b)
+	}
+}
+
+// TestNoResultsDisablesCaching checks -no-cache semantics: every job
+// executes every time, nothing is marked Cached, and analysis memoization
+// still prevents per-job re-analysis.
+func TestNoResultsDisablesCaching(t *testing.T) {
+	jobs, _ := huntBatch(t, "dillo", 7)
+	jobs = jobs[:3]
+	jc := NewJobCache(CacheConfig{NoResults: true})
+	backend := &Local{Workers: 2, Cache: jc}
+	for round := 1; round <= 2; round++ {
+		results, err := Collect(context.Background(), backend, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Cached {
+				t.Errorf("round %d: job %d marked Cached under NoResults", round, r.JobID)
+			}
+		}
+		stats := jc.Stats()
+		if want := int64(round * len(jobs)); stats.Misses != want {
+			t.Errorf("round %d: Misses = %d, want %d", round, stats.Misses, want)
+		}
+		if stats.Hits != 0 {
+			t.Errorf("round %d: Hits = %d, want 0", round, stats.Hits)
+		}
+		if stats.AnalysisRuns != 1 {
+			t.Errorf("round %d: AnalysisRuns = %d, want 1 (memoized)", round, stats.AnalysisRuns)
+		}
+	}
+}
+
+// TestErrorResultsNotCached checks that failure Results never poison the
+// cache: a job naming a missing site re-executes on every attempt and is
+// never marked Cached.
+func TestErrorResultsNotCached(t *testing.T) {
+	job := Job{ID: 0, Kind: KindHunt, App: "dillo", Site: "no/such/site@1", Seed: 1}
+	jc := NewJobCache(CacheConfig{Dir: t.TempDir()})
+	for round := 1; round <= 2; round++ {
+		res, err := Execute(context.Background(), job, jc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err == "" {
+			t.Fatal("expected a missing-site error result")
+		}
+		if res.Cached {
+			t.Errorf("round %d: error result marked Cached", round)
+		}
+		stats := jc.Stats()
+		if want := int64(round); stats.Misses != want {
+			t.Errorf("round %d: Misses = %d, want %d (error results re-execute)", round, stats.Misses, want)
+		}
+		if stats.Hits != 0 || stats.Stores != 0 {
+			t.Errorf("round %d: error result cached: %+v", round, stats)
+		}
+	}
+}
+
+// TestExecWarmSharedDir checks the cross-process cache: two Exec runs over a
+// shared -cache-dir produce identical results, and the second run's worker
+// processes serve every job from disk (all hits, zero misses, cache-hit
+// events synthesized in the parent).
+func TestExecWarmSharedDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	dir := t.TempDir()
+	jobs, _ := huntBatch(t, "dillo", 7)
+
+	cold := testExec(2, nil)
+	cold.CacheDir = dir
+	coldRes, err := Collect(context.Background(), cold, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cold.CacheStats()
+	if cs.Misses != int64(len(jobs)) || cs.Stores != int64(len(jobs)) {
+		t.Fatalf("cold exec stats %+v, want %d misses and stores", cs, len(jobs))
+	}
+
+	warmLog := newEventLog()
+	warm := testExec(2, warmLog.sink())
+	warm.CacheDir = dir
+	warmRes, err := Collect(context.Background(), warm, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := warm.CacheStats()
+	if ws.Misses != 0 {
+		t.Errorf("warm exec executed %d jobs, want 0", ws.Misses)
+	}
+	if ws.Hits != int64(len(jobs)) {
+		t.Errorf("warm exec hits = %d, want %d", ws.Hits, len(jobs))
+	}
+	if got := warmLog.count(EventCacheHit); got != len(jobs) {
+		t.Errorf("parent saw %d cache-hit events, want %d", got, len(jobs))
+	}
+	if got := warmLog.count(EventFinished); got != 0 {
+		t.Errorf("parent saw %d finished events on a fully-cached run, want 0", got)
+	}
+	a, b := normalizeResults(coldRes), normalizeResults(warmRes)
+	for i := range b {
+		if !b[i].Cached {
+			t.Errorf("warm exec result %d not marked Cached", b[i].JobID)
+		}
+		b[i].Cached = false
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("warm exec diverged from cold:\ncold: %+v\nwarm: %+v", a, b)
+	}
+}

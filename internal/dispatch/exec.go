@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"diode/internal/cache"
 )
 
 // Exec executes jobs by sharding them across spawned worker processes
@@ -33,7 +35,21 @@ type Exec struct {
 	// Sink receives progress events forwarded from the workers' event
 	// stream.
 	Sink Sink
+	// CacheDir is the shared on-disk result store handed to every worker
+	// process (as the -cache-dir flag and the DIODE_WORKER_CACHE_DIR
+	// environment variable): sibling workers and repeated runs pointing at
+	// the same directory serve each other's results. Empty leaves each
+	// worker with a private in-memory cache.
+	CacheDir string
+	// NoCache disables result caching in the workers.
+	NoCache bool
+
+	counters cache.Counters
 }
+
+// CacheStats returns the cache counters aggregated from the stats messages
+// of every worker process this backend ran, cumulative across Runs.
+func (e *Exec) CacheStats() cache.Stats { return e.counters.Snapshot() }
 
 // workerScanBuffer bounds one protocol line (a Result carries a base64
 // triggering input, so lines can exceed bufio.Scanner's 64KB default).
@@ -105,8 +121,18 @@ func (e *Exec) runShard(ctx context.Context, bin string, shard []Job, jobByID ma
 	if len(shard) == 0 {
 		return
 	}
-	cmd := exec.CommandContext(ctx, bin, e.Args...)
-	cmd.Env = append(os.Environ(), e.Env...)
+	args := append([]string{}, e.Args...)
+	env := append(os.Environ(), e.Env...)
+	if e.CacheDir != "" {
+		args = append(args, "-cache-dir", e.CacheDir)
+		env = append(env, WorkerCacheDirEnv+"="+e.CacheDir)
+	}
+	if e.NoCache {
+		args = append(args, "-no-cache")
+		env = append(env, WorkerNoCacheEnv+"=1")
+	}
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Env = env
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	stdin, err := cmd.StdinPipe()
@@ -142,19 +168,27 @@ func (e *Exec) runShard(ctx context.Context, bin string, shard []Job, jobByID ma
 		case msg.Type == "result" && msg.Result != nil:
 			seen[msg.Result.JobID] = true
 			if e.Sink != nil && msg.Result.Err == "" {
-				// The worker suppresses its own finished events (the result
-				// message carries the final state), so the parent synthesizes
-				// them — keeping the Sink contract identical across backends:
-				// jobs that never began executing (validation/resolution
-				// failures, lost workers) emit no events on any backend.
+				// The worker suppresses its own finished/cache-hit events
+				// (the result message carries the final state), so the parent
+				// synthesizes them — keeping the Sink contract identical
+				// across backends: jobs that never began executing
+				// (validation/resolution failures, lost workers) emit no
+				// events on any backend, and cache-served jobs emit a single
+				// cache-hit event.
 				if job, ok := jobByID[msg.Result.JobID]; ok {
-					e.Sink(Event{Type: EventFinished, Job: job, Result: msg.Result})
+					evType := EventFinished
+					if msg.Result.Cached {
+						evType = EventCacheHit
+					}
+					e.Sink(Event{Type: evType, Job: job, Result: msg.Result})
 				}
 			}
 			select {
 			case out <- *msg.Result:
 			case <-ctx.Done():
 			}
+		case msg.Type == "stats" && msg.Stats != nil:
+			e.counters.Add(*msg.Stats)
 		case msg.Type == "event" && msg.Event != nil && e.Sink != nil:
 			job, ok := jobByID[msg.Event.JobID]
 			if !ok {

@@ -2,123 +2,115 @@ package dispatch
 
 import (
 	"context"
-	"errors"
+	"encoding/json"
 	"fmt"
-	"sync"
 
 	"diode/internal/apps"
 	"diode/internal/core"
 )
 
-// Cache memoizes per-application analysis (stages 1–3) across the jobs of one
-// worker: every job is per-site, but the Analyzer produces all of an
-// application's Targets in one pass, so the first job of an application pays
-// for analysis and the rest look their Target up. Analysis output depends on
-// the options subset (fuel, compression/relevance ablations), hence the
-// composite key. Safe for concurrent use; concurrent first lookups of the
-// same key block on one analysis rather than duplicating it.
-type Cache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
-}
-
-type cacheKey struct {
-	app  string
-	opts Options
-}
-
-type cacheEntry struct {
-	mu      sync.Mutex
-	app     *apps.App
-	targets []*core.Target
-	err     error
-}
-
-// NewCache returns an empty analysis cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
-}
-
-// Prime seeds the cache with already-computed analysis output, so a caller
-// that analyzed an application itself (the harness planner needs the site
-// lists before it can cut jobs) does not pay for the backend re-deriving it.
-// The targets must come from an Analyzer run at the same options subset;
-// they are immutable and shared freely by design.
-func (c *Cache) Prime(app *apps.App, opts Options, targets []*core.Target) {
-	key := cacheKey{app: app.Short, opts: opts}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; !ok {
-		c.entries[key] = &cacheEntry{app: app, targets: targets}
-	}
-}
-
-// targets resolves the application and returns its analyzed targets,
-// analyzing on first use. A cancellation during analysis is returned but not
-// memoized, so a later lookup (under a live context) retries — including a
-// concurrent waiter whose own context is live while the analyzing goroutine's
-// was cancelled (backends and their caches outlive a single Run).
-func (c *Cache) targets(ctx context.Context, short string, opts Options) (*apps.App, []*core.Target, error) {
-	key := cacheKey{app: short, opts: opts}
-	for {
-		c.mu.Lock()
-		e, ok := c.entries[key]
-		if ok {
-			c.mu.Unlock()
-			e.mu.Lock()
-			app, targets, err := e.app, e.targets, e.err
-			e.mu.Unlock()
-			if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
-				// The goroutine that analyzed had its context cancelled (and
-				// deleted the entry before releasing e.mu); ours is live, so
-				// retry — the next lookup re-analyzes.
-				continue
-			}
-			return app, targets, err
-		}
-		e = &cacheEntry{}
-		e.mu.Lock()
-		c.entries[key] = e
-		c.mu.Unlock()
-
-		app, err := apps.ByName(short)
-		if err != nil {
-			e.err = err
-			e.mu.Unlock()
-			return nil, nil, err
-		}
-		e.app = app
-		// Analysis ignores the seed; zero keeps the cache key small.
-		e.targets, e.err = core.NewAnalyzer(app, opts.Core(0)).AnalyzeContext(ctx)
-		if e.err != nil && ctx.Err() != nil {
-			c.mu.Lock()
-			delete(c.entries, key)
-			c.mu.Unlock()
-		}
-		app, targets, err := e.app, e.targets, e.err
-		e.mu.Unlock()
-		return app, targets, err
-	}
+// flight is the result cache's value type: the Result of one singleflight
+// execution, with err non-nil only for a context cancellation mid-run (the
+// flight then declines retention — see LRU.Do) and cached marking a Result
+// replayed from the on-disk store.
+type flight struct {
+	res    Result
+	err    error
+	cached bool
 }
 
 // Execute runs one job to completion and is the single executor every
 // backend funnels through: the Local backend calls it on pool goroutines,
-// WorkerMain calls it inside spawned diode-worker processes. The returned
-// error is non-nil only when ctx was cancelled before the job finished (the
-// job has no final Result then); every other failure — invalid job, unknown
-// application, analysis error, missing site — comes back as a Result with
-// Err set, so a backend can keep streaming.
+// WorkerMain calls it inside spawned diode-worker processes. Before
+// constructing a Hunter it consults the JobCache — an in-memory hit, a disk
+// hit, or a concurrent identical job's flight returns the finished Result
+// (marked Cached, with EventCacheHit emitted) without executing anything:
+// no analysis, no hunt. The returned error is non-nil only when ctx was
+// cancelled before the job finished (the job has no final Result then);
+// every other failure — invalid job, unknown application, analysis error,
+// missing site — comes back as a Result with Err set, so a backend can keep
+// streaming. Error results are never cached.
 //
 // The sink receives EventStarted before work begins, EventIteration per
-// enforcement iteration of a hunt, and EventFinished with the final Result
-// (valid only for the duration of the callback).
-func Execute(ctx context.Context, job Job, cache *Cache, sink Sink) (Result, error) {
+// enforcement iteration of a hunt, and EventFinished with the final Result —
+// or a single EventCacheHit instead when the result was served from the
+// cache (event payloads are valid only for the duration of the callback).
+func Execute(ctx context.Context, job Job, jc *JobCache, sink Sink) (Result, error) {
 	res := Result{JobID: job.ID, Kind: job.Kind, App: job.App, Site: job.Site}
 	if err := job.Validate(); err != nil {
 		res.Err = err.Error()
 		return res, nil
 	}
-	app, targets, err := cache.targets(ctx, job.App, job.Opts)
+	if jc == nil {
+		jc = NewJobCache(CacheConfig{NoResults: true})
+	}
+	app, err := jc.App(job.App)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	if jc.results == nil {
+		jc.counters.Miss()
+		return run(ctx, job, app, jc, sink)
+	}
+
+	key := JobKey(app.Fingerprint(), job)
+	for {
+		v, hit := jc.results.Do(key, func() (any, bool) {
+			if payload, ok := jc.lookupDisk(key); ok {
+				var r Result
+				if json.Unmarshal(payload, &r) == nil && r.Err == "" {
+					jc.counters.Hit()
+					return flight{res: r, cached: true}, true
+				}
+				// Decoded garbage behind a valid frame: same defect class as
+				// a torn frame, so count it and fall through to executing.
+				jc.counters.Corrupt()
+			}
+			jc.counters.Miss()
+			r, err := run(ctx, job, app, jc, sink)
+			if err != nil {
+				return flight{res: r, err: err}, false
+			}
+			if r.Err != "" {
+				return flight{res: r}, false
+			}
+			jc.storeDisk(key, r)
+			return flight{res: r}, true
+		})
+		fl := v.(flight)
+		if fl.err != nil {
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
+			if hit {
+				continue // joined a flight whose executor was cancelled; ours is live — retry
+			}
+			return res, fl.err
+		}
+		r := fl.res
+		// Restamp the batch-local identity: a result replayed from disk (or
+		// another flight) carries the producing job's ID.
+		r.JobID, r.App, r.Site = job.ID, job.App, job.Site
+		if hit && fl.res.Err == "" {
+			jc.counters.Hit()
+		}
+		if (hit || fl.cached) && r.Err == "" {
+			r.Cached = true
+			sink.emit(Event{Type: EventCacheHit, Job: job, Result: &r})
+		}
+		return r, nil
+	}
+}
+
+// run executes the job for real: resolve the analyzed Target through the
+// cache, then drive a fresh Hunter. One fresh hunter per job: its private
+// solver is seeded by the job's derived seed alone, which is the whole
+// determinism story — no state crosses jobs, so placement and order cannot
+// matter (and results stay safe to cache by content).
+func run(ctx context.Context, job Job, app *apps.App, jc *JobCache, sink Sink) (Result, error) {
+	res := Result{JobID: job.ID, Kind: job.Kind, App: job.App, Site: job.Site}
+	targets, err := jc.Targets(ctx, app, job.Opts)
 	if err != nil {
 		if ctx.Err() != nil {
 			return res, ctx.Err()
@@ -145,9 +137,6 @@ func Execute(ctx context.Context, job Job, cache *Cache, sink Sink) (Result, err
 			sink(Event{Type: EventIteration, Job: job, Iteration: i})
 		}
 	}
-	// One fresh hunter per job: its private solver is seeded by the job's
-	// derived seed alone, which is the whole determinism story — no state
-	// crosses jobs, so placement and order cannot matter.
 	h := core.NewHunter(app, opts)
 	switch job.Kind {
 	case KindHunt:

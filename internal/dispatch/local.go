@@ -4,38 +4,43 @@ import (
 	"context"
 	"sync"
 
-	"diode/internal/apps"
-	"diode/internal/core"
+	"diode/internal/cache"
 )
 
 // Local executes jobs on a bounded goroutine pool inside the calling process
 // — the dispatch-layer packaging of the machinery Scheduler.RunAll drives,
-// and the zero-setup default backend. One analysis Cache is shared across
-// every Run of the backend (analysis is a pure function of application +
-// options), so a multi-wave sweep — the harness runs hunts, then same-path +
-// target-only, then enforced rates on one backend — analyzes each
-// application once, not once per wave.
+// and the zero-setup default backend. One JobCache is shared across every
+// Run of the backend (a job's Result is a pure function of its record plus
+// the guest program), so a multi-wave sweep — the harness runs hunts, then
+// same-path + target-only, then enforced rates on one backend — analyzes
+// each application once, and a repeated batch is served from the result
+// cache without hunting at all.
 type Local struct {
 	// Workers bounds pool concurrency; <1 means one worker.
 	Workers int
-	// Sink receives progress events (started / iteration / finished) from
-	// the pool goroutines.
+	// Sink receives progress events (started / iteration / finished, or
+	// cache-hit) from the pool goroutines.
 	Sink Sink
+	// Cache is the job cache Execute consults; shared caches make repeated
+	// and concurrent sweeps warm. Nil means a private in-memory cache,
+	// created on first use and kept for the backend's lifetime.
+	Cache *JobCache
 
 	cacheOnce sync.Once
-	cache     *Cache
 }
 
-// Prime seeds the backend's analysis cache with targets the caller already
-// computed at the same options subset (see Cache.Prime). The harness planner
-// uses this so the in-process default path analyzes each application exactly
-// once — jobs stay self-contained for workers that genuinely lack the
-// analysis (the Exec backend's processes), while the process that just did
-// it does not pay twice.
-func (l *Local) Prime(app *apps.App, opts Options, targets []*core.Target) {
-	l.cacheOnce.Do(func() { l.cache = NewCache() })
-	l.cache.Prime(app, opts, targets)
+// jobCache resolves the backend's cache, defaulting a private in-memory one.
+func (l *Local) jobCache() *JobCache {
+	l.cacheOnce.Do(func() {
+		if l.Cache == nil {
+			l.Cache = NewJobCache(CacheConfig{})
+		}
+	})
+	return l.Cache
 }
+
+// CacheStats returns a snapshot of the backend's cache counters.
+func (l *Local) CacheStats() cache.Stats { return l.jobCache().Stats() }
 
 // Run dispatches the jobs on the pool. Results stream in completion order;
 // the channel closes when all jobs finished or ctx was cancelled. After a
@@ -51,8 +56,7 @@ func (l *Local) Run(ctx context.Context, jobs []Job) (<-chan Result, error) {
 		workers = len(jobs)
 	}
 	out := make(chan Result)
-	l.cacheOnce.Do(func() { l.cache = NewCache() })
-	cache := l.cache
+	jc := l.jobCache()
 	go func() {
 		defer close(out)
 		if len(jobs) == 0 {
@@ -68,7 +72,7 @@ func (l *Local) Run(ctx context.Context, jobs []Job) (<-chan Result, error) {
 					if ctx.Err() != nil {
 						continue // drain: unstarted jobs are skipped
 					}
-					r, err := Execute(ctx, jobs[i], cache, l.Sink)
+					r, err := Execute(ctx, jobs[i], jc, l.Sink)
 					if err != nil {
 						continue // cancelled mid-job: no final result
 					}

@@ -7,20 +7,26 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+
+	"diode/internal/cache"
 )
 
 // The diode-worker wire protocol: the parent writes one JSON Job per line to
 // the worker's stdin and closes it; the worker writes one JSON wireMsg per
-// line to stdout — interleaved progress events as they happen, and exactly
-// one result message per job. Lines are self-delimiting JSON, so the
-// protocol survives reordering of workers, partial batches and being stored
-// as-is in a results log.
+// line to stdout — interleaved progress events as they happen, exactly one
+// result message per job, and one final stats message summarizing the
+// worker's cache activity when the batch ends. Lines are self-delimiting
+// JSON, so the protocol survives reordering of workers, partial batches and
+// being stored as-is in a results log.
 type wireMsg struct {
-	Type string `json:"type"` // "result" | "event"
+	Type string `json:"type"` // "result" | "event" | "stats"
 	// Result is the final outcome of a job (Type "result").
 	Result *Result `json:"result,omitempty"`
 	// Event is a progress observation (Type "event").
 	Event *wireEvent `json:"event,omitempty"`
+	// Stats is the worker's cache-counter snapshot (Type "stats").
+	Stats *cache.Stats `json:"stats,omitempty"`
 }
 
 // wireEvent is the serializable projection of an Event: jobs are identified
@@ -58,16 +64,44 @@ func ReadJobs(r io.Reader) ([]Job, error) {
 	}
 }
 
+// WorkerConfig carries the cache settings of one worker process.
+type WorkerConfig struct {
+	// CacheDir is the shared on-disk result store (empty: memory only).
+	CacheDir string
+	// NoCache disables result caching.
+	NoCache bool
+}
+
+// Environment variables mirroring the diode-worker flags. The Exec backend
+// sets them alongside the flags so that worker stand-ins which never parse
+// argv — the test binaries behind the worker-mode TestMain trick — pick the
+// cache configuration up too.
+const (
+	WorkerCacheDirEnv = "DIODE_WORKER_CACHE_DIR"
+	WorkerNoCacheEnv  = "DIODE_WORKER_NO_CACHE"
+)
+
+// WorkerConfigFromEnv reads the worker cache configuration from the
+// environment (the flag defaults of cmd/diode-worker).
+func WorkerConfigFromEnv() WorkerConfig {
+	return WorkerConfig{
+		CacheDir: os.Getenv(WorkerCacheDirEnv),
+		NoCache:  os.Getenv(WorkerNoCacheEnv) == "1",
+	}
+}
+
 // WorkerMain is the body of the diode-worker process (cmd/diode-worker wraps
 // it around stdin/stdout; tests embed it behind an env-var switch so the
 // Exec backend can be exercised without building a separate binary). It
 // executes jobs sequentially in arrival order — process-level parallelism is
-// the Exec backend's job — sharing one analysis Cache across the batch, and
-// flushes every message immediately so the parent observes progress live.
-// It returns when the job stream ends, or with ctx.Err() after a
+// the Exec backend's job — sharing one JobCache across the batch (backed by
+// cfg.CacheDir when set, so sibling workers and repeated runs share
+// results), and flushes every message immediately so the parent observes
+// progress live. At end of batch it reports its cache counters as a stats
+// message. It returns when the job stream ends, or with ctx.Err() after a
 // cancellation (in-flight work aborts through the usual cancellation
 // points).
-func WorkerMain(ctx context.Context, r io.Reader, w io.Writer) error {
+func WorkerMain(ctx context.Context, r io.Reader, w io.Writer, cfg WorkerConfig) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	emit := func(msg wireMsg) error {
@@ -78,8 +112,8 @@ func WorkerMain(ctx context.Context, r io.Reader, w io.Writer) error {
 	}
 	var sinkErr error
 	sink := Sink(func(ev Event) {
-		if ev.Type == EventFinished {
-			return // the result message carries the final state
+		if ev.Type == EventFinished || ev.Type == EventCacheHit {
+			return // the result message carries the final state (incl. Cached)
 		}
 		we := &wireEvent{Type: ev.Type, JobID: ev.Job.ID, Iteration: ev.Iteration}
 		if err := emit(wireMsg{Type: "event", Event: we}); err != nil && sinkErr == nil {
@@ -87,12 +121,16 @@ func WorkerMain(ctx context.Context, r io.Reader, w io.Writer) error {
 		}
 	})
 
-	cache := NewCache()
+	jc := NewJobCache(CacheConfig{Dir: cfg.CacheDir, NoResults: cfg.NoCache})
 	dec := json.NewDecoder(r)
 	for {
 		var job Job
 		if err := dec.Decode(&job); err != nil {
 			if errors.Is(err, io.EOF) {
+				stats := jc.Stats()
+				if err := emit(wireMsg{Type: "stats", Stats: &stats}); err != nil {
+					return fmt.Errorf("dispatch: worker: writing stats: %w", err)
+				}
 				return nil
 			}
 			return fmt.Errorf("dispatch: worker: corrupt job stream: %w", err)
@@ -100,7 +138,7 @@ func WorkerMain(ctx context.Context, r io.Reader, w io.Writer) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		res, err := Execute(ctx, job, cache, sink)
+		res, err := Execute(ctx, job, jc, sink)
 		if err != nil {
 			return err
 		}

@@ -20,7 +20,7 @@ const workerModeEnv = "DIODE_TEST_WORKER_MODE"
 
 func TestMain(m *testing.M) {
 	if os.Getenv(workerModeEnv) == "1" {
-		if err := dispatch.WorkerMain(context.Background(), os.Stdin, os.Stdout); err != nil {
+		if err := dispatch.WorkerMain(context.Background(), os.Stdin, os.Stdout, dispatch.WorkerConfigFromEnv()); err != nil {
 			os.Exit(1)
 		}
 		os.Exit(0)

@@ -48,14 +48,27 @@ type Config struct {
 	// ignored when Backend is set — construct that backend with its own
 	// sink.
 	Sink dispatch.Sink
+	// Cache is the job cache shared by the planner's in-process analysis
+	// and the default Local backend; pass the same cache to repeated
+	// Evaluate calls to make warm sweeps near-free (zero Analyzer runs,
+	// zero hunts). Nil means a fresh cache built from CacheDir / NoCache
+	// per evaluation. It is not handed to an explicitly configured Backend
+	// — construct that backend with its own cache settings (the planner
+	// still analyzes through it in-process).
+	Cache *dispatch.JobCache
+	// CacheDir enables the on-disk result store when Cache is nil.
+	CacheDir string
+	// NoCache disables result caching when Cache is nil (analysis is still
+	// memoized within the evaluation).
+	NoCache bool
 }
 
-// backend resolves the configured or default backend. The second return is
-// non-nil when the backend is the default Local pool this call created — the
-// planner then primes its analysis cache with the targets it computes.
-func (cfg Config) backend(apps int) (dispatch.Backend, *dispatch.Local) {
+// backend resolves the configured or default backend; the default Local
+// pool shares the evaluation's job cache, so the planner's analysis and the
+// pool's job execution never derive the same targets twice.
+func (cfg Config) backend(apps int, jc *dispatch.JobCache) dispatch.Backend {
 	if cfg.Backend != nil {
-		return cfg.Backend, nil
+		return cfg.Backend
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -65,8 +78,7 @@ func (cfg Config) backend(apps int) (dispatch.Backend, *dispatch.Local) {
 	if sites < 1 {
 		sites = 1
 	}
-	local := &dispatch.Local{Workers: workers * sites, Sink: cfg.Sink}
-	return local, local
+	return &dispatch.Local{Workers: workers * sites, Sink: cfg.Sink, Cache: jc}
 }
 
 // AppOutcome bundles an application's engine result with its render record.
@@ -116,36 +128,34 @@ type siteRef struct {
 // empty experiment fields, and ctx.Err() tells the caller the sweep was cut
 // short.
 func EvaluateContext(ctx context.Context, cfg Config, list []*apps.App) []AppOutcome {
-	backend, defaultLocal := cfg.backend(len(list))
+	jc := cfg.Cache
+	if jc == nil {
+		jc = dispatch.NewJobCache(dispatch.CacheConfig{Dir: cfg.CacheDir, NoResults: cfg.NoCache})
+	}
+	backend := cfg.backend(len(list), jc)
+	engineOpts := dispatch.OptionsFrom(cfg.Engine)
 	analysisWorkers := cfg.Workers
 	if analysisWorkers <= 0 {
 		analysisWorkers = len(list)
 	}
 
-	// Stages 1–3 run in-process: the planner needs each application's site
-	// list to cut per-site jobs (out-of-process workers re-derive the same
-	// analysis from the job records; the default Local backend is primed
-	// with these targets below, so the in-process path analyzes once).
+	// Stages 1–3 run in-process, through the job cache: the planner needs
+	// each application's site list to cut per-site jobs. Analysis ignores
+	// the per-app seed (it travels on the jobs), so the cache entry the
+	// planner warms here is the one the default Local backend's jobs hit —
+	// and a shared cfg.Cache serves a repeated sweep without re-analyzing.
+	// Out-of-process workers still re-derive analysis from the job records
+	// alone (or their own shared cache directory).
 	plans := queue.Map(analysisWorkers, list, func(app *apps.App) *appPlan {
 		p := &appPlan{app: app, seed: core.SiteSeed(cfg.Seed, app.Short)}
 		start := time.Now()
-		opts := cfg.Engine
-		opts.Seed = p.seed
-		p.targets, p.err = core.NewAnalyzer(app, opts).AnalyzeContext(ctx)
+		p.targets, p.err = jc.Targets(ctx, app, engineOpts)
 		p.analysis = time.Since(start)
 		if p.err != nil {
 			p.err = fmt.Errorf("harness: %s: %w", app.Short, p.err)
 		}
 		return p
 	})
-	engineOpts := dispatch.OptionsFrom(cfg.Engine)
-	if defaultLocal != nil {
-		for _, p := range plans {
-			if p.err == nil {
-				defaultLocal.Prime(p.app, engineOpts, p.targets)
-			}
-		}
-	}
 
 	// Wave 1: one hunt job per (application, site).
 	var jobs []dispatch.Job
