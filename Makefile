@@ -46,12 +46,13 @@ bench-smoke:
 
 # Machine-readable benchmark artifact: one iteration of the headline
 # benchmarks (table regeneration, dispatch overhead, incremental solving,
-# warm-vs-cold caching), parsed into BENCH_SMOKE.json by cmd/benchjson. CI
-# uploads the JSON so metric history survives as build artifacts.
+# warm-vs-cold caching, sampling strategies, portfolio solving), parsed into
+# BENCH_SMOKE.json by cmd/benchjson. CI uploads the JSON so metric history
+# survives as build artifacts.
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' \
-	  -bench '^(BenchmarkTable1|BenchmarkDispatchLocal|BenchmarkHuntIncremental|BenchmarkSweepWarmVsCold)$$' \
+	  -bench '^(BenchmarkTable1|BenchmarkDispatchLocal|BenchmarkHuntIncremental|BenchmarkSweepWarmVsCold|BenchmarkSampleModels|BenchmarkPortfolioSolve)$$' \
 	  -benchtime=1x . > BENCH_SMOKE.txt
 	cat BENCH_SMOKE.txt
 	./bin/benchjson -o BENCH_SMOKE.json < BENCH_SMOKE.txt

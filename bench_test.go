@@ -698,3 +698,115 @@ func BenchmarkRunAllParallel(b *testing.B) {
 		b.ReportMetric(float64(workers), "workers")
 	}
 }
+
+// BenchmarkSampleModels measures what restart-based sampling buys the
+// §5.5/§5.6 model-enumeration workload: the real experiment constraints
+// (every exposed site's target constraint, plus the target∧enforced
+// conjunction where enforcement found one) are each sampled for 200 models
+// under the default restart strategy and under the blocking-clause ablation
+// (solver.SamplingBlocking), on identically seeded solvers. ModeSATOnly
+// forces every draw through the CDCL engine — the component the strategies
+// differ in; the hybrid default's concrete phase would serve most draws
+// before either strategy runs. Model counts are checked equal between the
+// strategies before the speedup is reported (both certify exhaustion, so on
+// exhaustible constraints the counts must agree exactly).
+func BenchmarkSampleModels(b *testing.B) {
+	type job struct {
+		f    *bv.Bool
+		seed int64
+	}
+	var jobs []job
+	for _, short := range []string{"dillo", "vlc", "gifview"} {
+		app, err := apps.ByName(short)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.NewScheduler(app, core.Options{Seed: 1, Parallelism: runtime.GOMAXPROCS(0)}).RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range res.Sites {
+			if sr.Verdict != core.VerdictExposed {
+				continue
+			}
+			seed := core.Options{Seed: 1}.ForSite(sr.Target.Site).Seed
+			jobs = append(jobs, job{sr.Target.Beta, seed})
+			if sr.EnforcedCount() > 0 {
+				jobs = append(jobs, job{core.EnforcedConstraint(sr), seed})
+			}
+		}
+	}
+	const k = 200
+	sample := func(strategy solver.Sampling) (time.Duration, []int) {
+		t0 := time.Now()
+		counts := make([]int, len(jobs))
+		for i, j := range jobs {
+			s := solver.New(solver.Options{Seed: j.seed, Mode: solver.ModeSATOnly, Sampling: strategy})
+			counts[i] = len(s.SampleModels(j.f, k))
+		}
+		return time.Since(t0), counts
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blockingTime, blockingCounts := sample(solver.SamplingBlocking)
+		restartTime, restartCounts := sample(solver.SamplingRestart)
+		models := 0
+		for j := range jobs {
+			if restartCounts[j] != blockingCounts[j] {
+				b.Fatalf("constraint %d: restart sampled %d models, blocking %d",
+					j, restartCounts[j], blockingCounts[j])
+			}
+			models += restartCounts[j]
+		}
+		b.ReportMetric(blockingTime.Seconds()/restartTime.Seconds(), "speedup")
+		b.ReportMetric(float64(len(jobs)), "constraints")
+		b.ReportMetric(float64(models), "models")
+	}
+}
+
+// BenchmarkPortfolioSolve measures portfolio racing on solves hard enough to
+// outlive the probe budget: 16-bit semiprime factoring (the hardest formula
+// shape the bit-blaster produces — no propagation shortcut reveals the
+// factors) under a conflict budget the single engine usually cannot meet.
+// Reported metrics are the decided fraction under each configuration — the
+// portfolio's value is turning budget-bound Unknowns into answers, not
+// making easy solves faster — and the volume of learnt clauses folded back.
+func BenchmarkPortfolioSolve(b *testing.B) {
+	semiprimes := []uint64{
+		1021 * 1019, 1031 * 1033, 1049 * 1051, 1061 * 1063,
+		1091 * 1087, 1097 * 1093, 1109 * 1103, 1123 * 1117,
+	}
+	formula := func(i int, c uint64) *bv.Bool {
+		x := bv.Var(16, fmt.Sprintf("bp_x%d", i))
+		y := bv.Var(16, fmt.Sprintf("bp_y%d", i))
+		prod := bv.Mul(bv.ZExt(32, x), bv.ZExt(32, y))
+		return bv.AndB(bv.Eq(prod, bv.Const(32, c)),
+			bv.AndB(bv.Ugt(x, bv.Const(16, 1)), bv.Ugt(y, bv.Const(16, 1))))
+	}
+	run := func(portfolio int) (time.Duration, int, solver.Stats) {
+		t0 := time.Now()
+		decided := 0
+		agg := solver.Stats{}
+		for i, c := range semiprimes {
+			s := solver.New(solver.Options{
+				Seed: int64(i + 1), Mode: solver.ModeSATOnly,
+				MaxConflicts: 1000, Portfolio: portfolio,
+			})
+			if _, v := s.Solve(formula(i, c)); v != solver.Unknown {
+				decided++
+			}
+			agg.Add(s.Snapshot())
+		}
+		return time.Since(t0), decided, agg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		singleTime, singleDecided, _ := run(0)
+		portfolioTime, portfolioDecided, st := run(4)
+		b.ReportMetric(float64(singleDecided)/float64(len(semiprimes)), "decided-single")
+		b.ReportMetric(float64(portfolioDecided)/float64(len(semiprimes)), "decided-portfolio")
+		b.ReportMetric(float64(st.PortfolioRaces), "races")
+		b.ReportMetric(float64(st.LearntsShared), "learnts-shared")
+		b.ReportMetric(portfolioTime.Seconds()/singleTime.Seconds(), "time-ratio")
+	}
+}

@@ -52,6 +52,8 @@ func main() {
 	dbOut := flag.String("db", "", "also write the results database to this file")
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory shared across runs (empty = memory only)")
 	noCache := flag.Bool("no-cache", false, "disable result caching (analysis is still memoized in-process)")
+	portfolio := flag.Int("portfolio", 0, "race this many solver configurations per hard CDCL solve (0/1 = single engine)")
+	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		// Fail loudly rather than silently ignoring arguments — in
@@ -68,7 +70,8 @@ func main() {
 	// local backend's hunts share it, and -cache-dir makes results persist
 	// so a repeated sweep is served without re-running any hunt.
 	jc := diode.NewJobCache(diode.JobCacheConfig{Dir: *cacheDir, NoResults: *noCache})
-	cfg := harness.Config{Seed: *seed, Parallelism: *parallel, Workers: *workers, Cache: jc}
+	cfg := harness.Config{Seed: *seed, Parallelism: *parallel, Workers: *workers, Cache: jc,
+		Engine: diode.Options{Portfolio: *portfolio, OneShotSampling: *blockingSampling}}
 	var appList []*diode.App
 	switch *table {
 	case "1":

@@ -49,6 +49,8 @@ func main() {
 	progress := flag.Bool("progress", false, "stream live job progress (started/iteration/verdict) to stderr")
 	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory shared across runs (empty = memory only)")
 	noCache := flag.Bool("no-cache", false, "disable result caching (analysis is still memoized in-process)")
+	portfolio := flag.Int("portfolio", 0, "race this many solver configurations per hard CDCL solve (0/1 = single engine)")
+	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
@@ -63,7 +65,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := diode.Options{Seed: *seed}
+	opts := diode.Options{Seed: *seed, Portfolio: *portfolio, OneShotSampling: *blockingSampling}
 	// The job cache memoizes the analysis and, with -cache-dir, serves whole
 	// job results from disk so repeated runs skip the hunts entirely.
 	jc := diode.NewJobCache(diode.JobCacheConfig{Dir: *cacheDir, NoResults: *noCache})

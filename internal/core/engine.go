@@ -57,6 +57,18 @@ type Options struct {
 	// pre-session behavior (benchmark/ablation hook — see
 	// BenchmarkHuntIncremental).
 	OneShotSolver bool
+	// OneShotSampling disables restart-based model sampling: SampleModels
+	// then enumerates via guard-literal blocking clauses on every draw, the
+	// pre-restart behavior (benchmark/ablation hook — see
+	// BenchmarkSampleModels). The default path re-randomizes decision
+	// polarities and activities on the persistent engine between samples and
+	// falls back to blocking only to certify exhaustion.
+	OneShotSampling bool
+	// Portfolio, when >1, races that many solver engine configurations on
+	// CDCL solves that survive a probe budget; the winner is picked by a
+	// deterministic tie-break and losers' learnt clauses are folded back into
+	// the persistent engine. Zero or one keeps single-engine solving.
+	Portfolio int
 	// OneShotExecution disables the compiled-program execution layer: every
 	// guest run then re-interprets the AST on a fresh tree-walking machine
 	// with string-keyed environments, the pre-compilation behavior

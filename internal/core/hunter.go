@@ -40,9 +40,11 @@ func NewHunter(app *apps.App, opts Options) *Hunter {
 		app:  app,
 		opts: opts,
 		sol: solver.New(solver.Options{
-			Seed:    opts.Seed,
-			Mode:    opts.SolverMode,
-			OneShot: opts.OneShotSolver,
+			Seed:      opts.Seed,
+			Mode:      opts.SolverMode,
+			OneShot:   opts.OneShotSolver,
+			Sampling:  samplingFor(opts),
+			Portfolio: opts.Portfolio,
 		}),
 		gen: app.Format.Generator(),
 	}
@@ -50,6 +52,15 @@ func NewHunter(app *apps.App, opts Options) *Hunter {
 		h.mach = interp.NewMachine(app.Compiled())
 	}
 	return h
+}
+
+// samplingFor maps the OneShotSampling ablation flag onto the solver's
+// sampling strategy enum.
+func samplingFor(opts Options) solver.Sampling {
+	if opts.OneShotSampling {
+		return solver.SamplingBlocking
+	}
+	return solver.SamplingRestart
 }
 
 // App returns the hunter's application.

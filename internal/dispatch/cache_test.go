@@ -17,7 +17,7 @@ import (
 func TestJobKeySensitivity(t *testing.T) {
 	// Guard against silently missing a future Options field: each field below
 	// gets an explicit flip case.
-	if n := reflect.TypeOf(Options{}).NumField(); n != 8 {
+	if n := reflect.TypeOf(Options{}).NumField(); n != 10 {
 		t.Fatalf("dispatch.Options has %d fields; update the flip cases and this guard", n)
 	}
 	base := Job{
@@ -50,6 +50,8 @@ func TestJobKeySensitivity(t *testing.T) {
 	add(mutate("opts.Fuel", func(j *Job) { j.Opts.Fuel++ }))
 	add(mutate("opts.SolverMode", func(j *Job) { j.Opts.SolverMode = solver.Mode(1) }))
 	add(mutate("opts.OneShotSolver", func(j *Job) { j.Opts.OneShotSolver = true }))
+	add(mutate("opts.OneShotSampling", func(j *Job) { j.Opts.OneShotSampling = true }))
+	add(mutate("opts.Portfolio", func(j *Job) { j.Opts.Portfolio = 4 }))
 	add(mutate("opts.OneShotExecution", func(j *Job) { j.Opts.OneShotExecution = true }))
 	add(mutate("opts.DisableCompression", func(j *Job) { j.Opts.DisableCompression = true }))
 	add(mutate("opts.DisableRelevanceFilter", func(j *Job) { j.Opts.DisableRelevanceFilter = true }))

@@ -51,6 +51,8 @@ type Options struct {
 	Fuel                   int64       `json:"fuel,omitempty"`
 	SolverMode             solver.Mode `json:"solverMode,omitempty"`
 	OneShotSolver          bool        `json:"oneShotSolver,omitempty"`
+	OneShotSampling        bool        `json:"oneShotSampling,omitempty"`
+	Portfolio              int         `json:"portfolio,omitempty"`
 	OneShotExecution       bool        `json:"oneShotExecution,omitempty"`
 	DisableCompression     bool        `json:"disableCompression,omitempty"`
 	DisableRelevanceFilter bool        `json:"disableRelevanceFilter,omitempty"`
@@ -64,6 +66,8 @@ func OptionsFrom(o core.Options) Options {
 		Fuel:                   o.Fuel,
 		SolverMode:             o.SolverMode,
 		OneShotSolver:          o.OneShotSolver,
+		OneShotSampling:        o.OneShotSampling,
+		Portfolio:              o.Portfolio,
 		OneShotExecution:       o.OneShotExecution,
 		DisableCompression:     o.DisableCompression,
 		DisableRelevanceFilter: o.DisableRelevanceFilter,
@@ -79,6 +83,8 @@ func (o Options) Core(seed int64) core.Options {
 		Fuel:                   o.Fuel,
 		SolverMode:             o.SolverMode,
 		OneShotSolver:          o.OneShotSolver,
+		OneShotSampling:        o.OneShotSampling,
+		Portfolio:              o.Portfolio,
 		OneShotExecution:       o.OneShotExecution,
 		DisableCompression:     o.DisableCompression,
 		DisableRelevanceFilter: o.DisableRelevanceFilter,

@@ -1,0 +1,272 @@
+package sat
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// randCNF generates a random small CNF over nVars variables.
+func randCNF(rng *rand.Rand, nVars, nClauses int) [][]Lit {
+	cnf := make([][]Lit, nClauses)
+	for i := range cnf {
+		width := 1 + rng.Intn(3)
+		cl := make([]Lit, width)
+		for j := range cl {
+			cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+		}
+		cnf[i] = cl
+	}
+	return cnf
+}
+
+// loadCNF adds a CNF to a fresh solver; the second result is false when a
+// clause conflicts at the root.
+func loadCNF(s *Solver, nVars int, cnf [][]Lit) bool {
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for _, cl := range cnf {
+		if !s.AddClause(cl...) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRerandomizeKeepsCorrectness cross-checks repeated solving with
+// Rerandomize between calls against brute force: re-seeding phases and
+// activities must never change satisfiability, and every model must still
+// satisfy the formula.
+func TestRerandomizeKeepsCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		nVars := 3 + rng.Intn(8)
+		cnf := randCNF(rng, nVars, 2+rng.Intn(5*nVars))
+		want := bruteForce(nVars, cnf)
+		s := New(Options{Seed: int64(trial)})
+		rootOK := loadCNF(s, nVars, cnf)
+		for round := 0; round < 4; round++ {
+			var got Result
+			if !rootOK {
+				got = Unsat
+			} else {
+				s.Rerandomize(rng, 1)
+				got = s.Solve()
+			}
+			if (got == Sat) != want {
+				t.Fatalf("trial %d round %d: solver=%v bruteforce_sat=%v", trial, round, got, want)
+			}
+			if got == Sat && !modelSatisfies(s.Model(), cnf) {
+				t.Fatalf("trial %d round %d: model does not satisfy formula", trial, round)
+			}
+		}
+	}
+}
+
+// TestRerandomizeModelDiversity is the restart-sampling primitive contract:
+// on an under-constrained formula, solving after Rerandomize must reach
+// several distinct models without any blocking clauses.
+func TestRerandomizeModelDiversity(t *testing.T) {
+	s := New(Options{Seed: 3})
+	rng := rand.New(rand.NewSource(9))
+	vars := make([]Var, 8)
+	lits := make([]Lit, len(vars))
+	for i := range vars {
+		vars[i] = s.NewVar()
+		lits[i] = PosLit(vars[i])
+	}
+	s.AddClause(lits...) // at least one variable true
+	distinct := make(map[[8]bool]bool)
+	for i := 0; i < 24; i++ {
+		s.Rerandomize(rng, 1)
+		if s.Solve() != Sat {
+			t.Fatal("expected sat")
+		}
+		var key [8]bool
+		for j, v := range vars {
+			key[j] = s.ModelValue(v)
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("24 rerandomized solves found only %d distinct models", len(distinct))
+	}
+}
+
+// TestExportLearntsCap checks that the length cap holds and that exported
+// slices are private copies.
+func TestExportLearntsCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := New(Options{Seed: 1})
+	nVars := 12
+	cnf := randCNF(rng, nVars, 50)
+	if !loadCNF(s, nVars, cnf) {
+		t.Skip("root conflict; regenerate")
+	}
+	s.Solve()
+	if s.NumLearnts() == 0 {
+		t.Fatal("test instance produced no learnt clauses; make it harder")
+	}
+	const maxLen = 3
+	out := s.ExportLearnts(maxLen)
+	for _, cl := range out {
+		if len(cl) > maxLen {
+			t.Fatalf("exported clause of length %d exceeds cap %d", len(cl), maxLen)
+		}
+	}
+	all := s.ExportLearnts(0)
+	if len(all) != s.NumLearnts() {
+		t.Fatalf("uncapped export returned %d clauses, solver holds %d", len(all), s.NumLearnts())
+	}
+	if len(all) > 0 && len(all[0]) > 0 {
+		orig := all[0][0]
+		all[0][0] = orig.Neg() // mutating the export must not touch the solver
+		again := s.ExportLearnts(0)
+		if again[0][0] != orig {
+			t.Fatal("ExportLearnts returned aliased clause storage")
+		}
+	}
+}
+
+// TestImportLearntsPreservesEquivalence moves learnts between two solvers
+// over the same formula and checks the receiver still agrees with brute
+// force — the portfolio learnt-sharing soundness property.
+func TestImportLearntsPreservesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 4 + rng.Intn(8)
+		cnf := randCNF(rng, nVars, 3+rng.Intn(5*nVars))
+		want := bruteForce(nVars, cnf)
+
+		a := New(Options{Seed: int64(trial)})
+		aOK := loadCNF(a, nVars, cnf)
+		if aOK {
+			a.Solve()
+		}
+		b := New(Options{Seed: int64(trial) + 1000})
+		bOK := loadCNF(b, nVars, cnf)
+		if aOK && bOK {
+			b.ImportLearnts(a.ExportLearnts(4))
+		}
+		var got Result
+		if !bOK {
+			got = Unsat
+		} else {
+			got = b.Solve()
+		}
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: after import solver=%v bruteforce_sat=%v", trial, got, want)
+		}
+		if got == Sat && !modelSatisfies(b.Model(), cnf) {
+			t.Fatalf("trial %d: model after import violates formula", trial)
+		}
+	}
+}
+
+// TestImportLearntEdgeCases pins the unit, empty and root-status handling of
+// clause import.
+func TestImportLearntEdgeCases(t *testing.T) {
+	s := New(Options{})
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	if n := s.ImportLearnts([][]Lit{{NegLit(a)}}); n != 1 {
+		t.Fatalf("unit import installed %d clauses, want 1", n)
+	}
+	if s.Solve() != Sat || s.ModelValue(a) || !s.ModelValue(b) {
+		t.Fatal("imported unit ¬a must force the b-model")
+	}
+	// A tautology and an already-satisfied clause are skipped, not installed.
+	if n := s.ImportLearnts([][]Lit{{PosLit(b), NegLit(b)}, {NegLit(a), PosLit(b)}}); n != 0 {
+		t.Fatalf("tautology/satisfied import installed %d clauses, want 0", n)
+	}
+	// An empty (all-false-at-root) clause marks the solver unsatisfiable.
+	s.ImportLearnts([][]Lit{{PosLit(a)}})
+	if s.Solve() != Unsat {
+		t.Fatal("contradictory import must yield unsat")
+	}
+}
+
+// TestCloneIndependence checks the portfolio cloning contract: a clone
+// answers like the original, and clauses added to the clone never leak back.
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 4 + rng.Intn(8)
+		cnf := randCNF(rng, nVars, 3+rng.Intn(5*nVars))
+		want := bruteForce(nVars, cnf)
+		s := New(Options{Seed: int64(trial)})
+		rootOK := loadCNF(s, nVars, cnf)
+		if rootOK {
+			s.Solve() // accumulate learnts and a root trail for the clone to copy
+		}
+		c := s.Clone(Options{Seed: int64(trial) + 500, RandomPolarity: 0.3, RestartBase: 50})
+		var got Result
+		if !rootOK {
+			got = c.Solve()
+			if got != Unsat {
+				t.Fatalf("trial %d: clone of root-unsat solver = %v", trial, got)
+			}
+			continue
+		}
+		got = c.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: clone solve=%v bruteforce_sat=%v", trial, got, want)
+		}
+		if got == Sat {
+			if !modelSatisfies(c.Model(), cnf) {
+				t.Fatalf("trial %d: clone model violates formula", trial)
+			}
+			// Poison the clone; the original must be unaffected.
+			m := c.Model()
+			block := make([]Lit, nVars)
+			for v := 0; v < nVars; v++ {
+				block[v] = MkLit(Var(v), m[v])
+			}
+			c.CancelToRoot()
+			c.AddClause(block...)
+			if s.Solve() != Sat || !modelSatisfies(s.Model(), cnf) {
+				t.Fatalf("trial %d: mutating the clone disturbed the original", trial)
+			}
+		}
+	}
+}
+
+// TestStopFlag checks cooperative cancellation: a pre-set stop flag makes the
+// next conflict abort with Unknown, and clearing it restores the solver.
+func TestStopFlag(t *testing.T) {
+	var stop atomic.Bool
+	stop.Store(true)
+	s := New(Options{})
+	s.SetStop(&stop)
+	// PHP(6,5): unsatisfiable, needs many conflicts — the stop must win first.
+	const pigeons, holes = 6, 5
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("solve with stop set = %v, want unknown", got)
+	}
+	stop.Store(false)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("solve after clearing stop = %v, want unsat", got)
+	}
+}

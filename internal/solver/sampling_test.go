@@ -1,0 +1,250 @@
+package solver
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"diode/internal/bv"
+)
+
+// factorCond encodes exact integer factoring — x·y = c with both operands
+// zero-extended to 2w bits so the product cannot wrap, and both factors
+// nontrivial. Semiprime values of c make this the hardest small formula the
+// bit-blaster produces, which is what portfolio tests need: a solve that
+// reliably outlives the portfolio probe budget.
+func factorCond(w uint8, c uint64, tag string) *bv.Bool {
+	x := bv.Var(w, "fx_"+tag)
+	y := bv.Var(w, "fy_"+tag)
+	w2 := uint8(2 * w)
+	prod := bv.Mul(bv.ZExt(w2, x), bv.ZExt(w2, y))
+	return bv.AndB(bv.Eq(prod, bv.Const(w2, c)),
+		bv.AndB(bv.Ugt(x, bv.Const(w, 1)), bv.Ugt(y, bv.Const(w, 1))))
+}
+
+// sampleWith draws k models with the given strategy on a fresh solver and
+// validates every model before returning them.
+func sampleWith(t *testing.T, seed int64, strategy Sampling, f *bv.Bool, k int) []bv.Assignment {
+	t.Helper()
+	s := New(Options{Seed: seed, Mode: ModeSATOnly, Sampling: strategy})
+	models := s.SampleModels(f, k)
+	seen := make(map[string]bool, len(models))
+	vars := bv.BoolVars(f)
+	for i, m := range models {
+		ok, err := m.EvalBool(f)
+		if err != nil || !ok {
+			t.Fatalf("strategy %v model %d does not satisfy the formula: %v (err %v)", strategy, i, m, err)
+		}
+		key := assignmentKey(m, vars)
+		if seen[key] {
+			t.Fatalf("strategy %v returned duplicate model %v", strategy, m)
+		}
+		seen[key] = true
+	}
+	return models
+}
+
+// TestSamplingStrategyEquivalence is the cross-strategy property test:
+// restart sampling and blocking enumeration must return valid, distinct
+// models everywhere, and on exhaustible formulas (either strategy certified
+// exhaustion by returning fewer than k models) they must agree on the exact
+// model count — restart sampling's blocking fallback is what makes its count
+// a certificate too.
+func TestSamplingStrategyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := bv.Var(8, "eq_x")
+	y := bv.Var(8, "eq_y")
+	for trial := 0; trial < 25; trial++ {
+		var f *bv.Bool
+		var k int
+		if trial%2 == 0 {
+			// Single 8-bit variable: at most 256 models, k pushes past them so
+			// both strategies must certify exhaustion.
+			f = randCond(rng, []*bv.Term{x})
+			k = 300
+		} else {
+			f = bv.AndB(randCond(rng, []*bv.Term{x, y}), randCond(rng, []*bv.Term{x, y}))
+			k = 25
+		}
+		restart := sampleWith(t, int64(trial), SamplingRestart, f, k)
+		blocking := sampleWith(t, int64(trial), SamplingBlocking, f, k)
+		if len(restart) < k || len(blocking) < k {
+			if len(restart) != len(blocking) {
+				t.Fatalf("trial %d: exhaustible formula %v: restart found %d models, blocking %d",
+					trial, f, len(restart), len(blocking))
+			}
+		}
+	}
+}
+
+// TestSampleModelsDeterministic pins the per-seed purity contract: for a
+// fixed seed the model *sequence* (values and order) is identical across
+// runs, and a different seed diverges.
+func TestSampleModelsDeterministic(t *testing.T) {
+	x := bv.Var(16, "det_x")
+	f := bv.Ult(bv.Mul(x, bv.Const(16, 2531)), bv.Const(16, 997))
+	vars := bv.BoolVars(f)
+	render := func(seed int64) []string {
+		s := New(Options{Seed: seed, Mode: ModeSATOnly})
+		var keys []string
+		for _, m := range s.SampleModels(f, 12) {
+			keys = append(keys, assignmentKey(m, vars))
+		}
+		return keys
+	}
+	a, b := render(7), render(7)
+	if len(a) == 0 {
+		t.Fatal("no models sampled")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at model %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := render(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical model sequence")
+	}
+}
+
+// TestRestartSamplingExhaustionStats is the DuplicateModels regression test:
+// on a single-model constraint, restart sampling rediscovers the model until
+// the staleness bound trips, counts every rediscovery, and falls back to
+// blocking exactly once to certify exhaustion — returning the one model, not
+// looping.
+func TestRestartSamplingExhaustionStats(t *testing.T) {
+	x := bv.Var(8, "ex_x")
+	f := bv.Eq(x, bv.Const(8, 42))
+	s := New(Options{Seed: 3, Mode: ModeSATOnly})
+	models := s.SampleModels(f, 5)
+	if len(models) != 1 || models[0]["ex_x"] != 42 {
+		t.Fatalf("sampled %v, want exactly {ex_x:42}", models)
+	}
+	st := s.Snapshot()
+	if st.DuplicateModels != restartSampleStale {
+		t.Errorf("DuplicateModels = %d, want %d (staleness bound)", st.DuplicateModels, restartSampleStale)
+	}
+	if st.BlockingFallbacks != 1 {
+		t.Errorf("BlockingFallbacks = %d, want 1", st.BlockingFallbacks)
+	}
+	if st.RestartSamples != restartSampleStale+1 {
+		t.Errorf("RestartSamples = %d, want %d", st.RestartSamples, restartSampleStale+1)
+	}
+
+	// Blocking enumeration on the same constraint needs no duplicates at all.
+	sb := New(Options{Seed: 3, Mode: ModeSATOnly, Sampling: SamplingBlocking})
+	if models := sb.SampleModels(f, 5); len(models) != 1 {
+		t.Fatalf("blocking sampled %d models, want 1", len(models))
+	}
+	if st := sb.Snapshot(); st.DuplicateModels != 0 {
+		t.Errorf("blocking DuplicateModels = %d, want 0", st.DuplicateModels)
+	}
+}
+
+// TestPortfolioDeterminism runs the same portfolio-mode solve repeatedly and
+// demands bit-identical outcomes: verdict, model and the learnt-sharing
+// volume. The configuration is tuned (16-bit semiprime factoring, conflict
+// budget below the instance's hardness) so the probe reliably exhausts and a
+// real race runs — PortfolioRaces confirms it — making this a test of the
+// deterministic (result, config index) tie-break, not of the easy probe path.
+func TestPortfolioDeterminism(t *testing.T) {
+	type outcome struct {
+		verdict Verdict
+		key     string
+		races   int
+		shared  int
+	}
+	f := factorCond(16, 1021*1019, "pd")
+	vars := bv.BoolVars(f)
+	run := func() outcome {
+		s := New(Options{Seed: 1, Mode: ModeSATOnly, Portfolio: 4, MaxConflicts: 1000})
+		m, v := s.Solve(f)
+		st := s.Snapshot()
+		o := outcome{verdict: v, races: st.PortfolioRaces, shared: st.LearntsShared}
+		if m != nil {
+			if ok, err := m.EvalBool(f); err != nil || !ok {
+				t.Fatalf("portfolio model does not satisfy the formula: %v (err %v)", m, err)
+			}
+			o.key = assignmentKey(m, vars)
+		}
+		return o
+	}
+	first := run()
+	if first.races == 0 {
+		t.Fatal("probe budget was enough: no portfolio race ran; lower MaxConflicts or harden the formula")
+	}
+	if first.verdict != Sat {
+		t.Fatalf("portfolio solve = %v, want sat", first.verdict)
+	}
+	for i := 1; i < 4; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, got, first)
+		}
+	}
+}
+
+// TestPortfolioConcurrentHammer exercises portfolio racing from many
+// goroutines at once — clone creation, stop-flag cancellation and learnt
+// folding all run concurrently, which is what `go test -race` inspects here.
+// Each goroutine owns its solver, as the core's per-site Hunters do.
+func TestPortfolioConcurrentHammer(t *testing.T) {
+	f := factorCond(16, 1021*1019, "ph")
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := New(Options{Seed: int64(g), Mode: ModeSATOnly, Portfolio: 4, MaxConflicts: 600})
+			m, v := s.Solve(f)
+			if v == Sat {
+				if ok, err := m.EvalBool(f); err != nil || !ok {
+					errs <- "invalid model under concurrency"
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestPortfolioSessionStaysUsable checks that a race does not poison the
+// persistent engine: after a portfolio solve the same session must keep
+// answering further Solve and SampleModels calls correctly on the grown
+// conjunction.
+func TestPortfolioSessionStaysUsable(t *testing.T) {
+	f := factorCond(16, 1021*1019, "pu")
+	s := New(Options{Seed: 1, Mode: ModeSATOnly, Portfolio: 4, MaxConflicts: 1000})
+	sess := s.NewSession(f)
+	m, v := sess.Solve()
+	if v != Sat {
+		t.Fatalf("portfolio solve = %v, want sat", v)
+	}
+	// Pin one factor: the conjunction grows and must stay solvable, and the
+	// new model must honor the added constraint.
+	sess.Assert(bv.Eq(bv.Var(16, "fx_pu"), bv.Const(16, m["fx_pu"])))
+	m2, v2 := sess.Solve()
+	if v2 != Sat || m2["fx_pu"] != m["fx_pu"] {
+		t.Fatalf("post-race solve = %v model %v, want sat with fx_pu=%d", v2, m2, m["fx_pu"])
+	}
+	if models := sess.SampleModels(3); len(models) == 0 {
+		t.Fatal("post-race sampling found nothing")
+	}
+	// Contradict the pinned factor: definitive unsat must come through.
+	sess.Assert(bv.Eq(bv.Var(16, "fy_pu"), bv.Const(16, 0)))
+	if _, v3 := sess.Solve(); v3 != Unsat {
+		t.Fatalf("contradicted conjunction = %v, want unsat", v3)
+	}
+}

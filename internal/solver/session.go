@@ -1,6 +1,10 @@
 package solver
 
 import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
 	"diode/internal/bitblast"
 	"diode/internal/bv"
 	"diode/internal/sat"
@@ -25,18 +29,22 @@ import (
 //     unchanged formula to get a *different* model (Hunt's crashed-early
 //     case) is never fed the same answer twice.
 //
-// Determinism: a Session draws all randomness (concrete sampling, the
-// engine seed) from its parent Solver's seeded stream in a data-determined
-// order, so session verdicts and models are a pure function of the parent's
-// seed and the Assert/Solve/SampleModels call sequence. The sampling phase
-// blocks found models through guard literals activated via
-// SolveUnderAssumptions rather than permanent clauses, so sampling never
-// narrows what later Solve calls may return.
+// Determinism: a Session draws all randomness (concrete sampling, engine
+// seeds, restart re-randomization, portfolio configuration seeds) from a
+// private stream derived from (parent seed, session ordinal), so session
+// verdicts and the per-seed model *sequence* are a pure function of the
+// parent's seed, the session's creation ordinal, and the
+// Assert/Solve/SampleModels call sequence — independent of what other
+// sessions do concurrently. Sampling never narrows what later Solve calls
+// may return: restart sampling adds no clauses at all, and the blocking
+// fallback's clauses are guarded by fresh literals activated only through
+// assumptions, so they evaporate after the call.
 //
 // A Session is not safe for concurrent use; create one per goroutine (the
 // core Hunter opens one per hunt).
 type Session struct {
 	sol  *Solver
+	rng  *rand.Rand      // private stream: sessionSeed(parent seed, ordinal)
 	cur  *bv.Bool        // conjunction of everything asserted so far
 	conj []*bv.Bool      // deduped conjuncts in assertion order
 	ids  map[uint64]bool // intern ids of conj entries
@@ -70,16 +78,61 @@ type cachedModel struct {
 const (
 	polarityFind   = 0.02 // first solve of a given conjunction state
 	polarityRetry  = 0.2  // re-solve of an unchanged conjunction
-	polaritySample = 0.2  // model enumeration
+	polaritySample = 0.2  // blocking-strategy model enumeration
+
+	// polarityRestartSample runs the engine fully greedy during restart
+	// sampling: every decision takes its saved phase, and all diversity comes
+	// from the explicit per-restart perturbation of the input-bit phases.
+	// Random decision polarity on top of that perturbation only adds
+	// conflicts — the perturbation already controls exactly the bits that
+	// distinguish models.
+	polarityRestartSample = 0.0
+
+	// restartFlipProb is the saved-phase flip rate a sampling restart applies
+	// to the input-variable bits freed by the backtrack
+	// (sat.Solver.PerturbPhases): the replaced suffix of the trail is
+	// re-decided with a perturbed projection while the kept prefix — the
+	// expensive part of re-solving — stays in place. Diversity accumulates
+	// across samples because every restart draws a new backtrack depth, so
+	// the walk eventually replaces every prefix.
+	restartFlipProb = 0.25
+
+	// restartSampleStale is how many consecutive restart samples may
+	// rediscover already-seen models before sampling falls back to blocking
+	// enumeration — the only strategy that can certify exhaustion. Restarts
+	// on a near-exhausted solution set are cheap (the engine re-derives a
+	// known model quickly), so a few wasted solves cost far less than
+	// carrying blocking clauses through every solve of a large sample.
+	restartSampleStale = 8
+
+	// restartFocusConflicts is the per-draw conflict budget of projection-first
+	// (input-bits-first) decisions during restart sampling. On dense solution
+	// sets a focused draw completes in a handful of conflicts and the flipped
+	// input phases translate directly into a fresh model; once a draw blows
+	// this budget the solution set is sparse and the focus is dropped — the
+	// activity order finds needles, the perturbed phases still diversify.
+	restartFocusConflicts = 32
+
+	// portfolioProbe is the conflict budget of the cheap single-engine
+	// attempt that precedes a portfolio race: solves that finish within it —
+	// the overwhelming majority — never pay for cloning.
+	portfolioProbe = 5000
+
+	// learntImportCap bounds the length of learnt clauses exchanged between
+	// portfolio engines (ExportLearnts). Short clauses prune the most search
+	// per watched literal; long ones mostly bloat watch lists, and a racer
+	// can produce tens of thousands of them.
+	learntImportCap = 8
 )
 
 // NewSession opens an incremental session whose initial constraint is beta
 // (the target constraint in a hunt). Further constraints are conjoined with
 // Assert. The CDCL engine is created lazily on the first solve that needs
-// it, drawing its seed from the parent solver's stream at that point.
+// it, drawing its seed from the session's private stream at that point.
 func (s *Solver) NewSession(beta *bv.Bool) *Session {
 	ss := &Session{
 		sol:  s,
+		rng:  rand.New(rand.NewSource(sessionSeed(s.opts.Seed, s.sessions.Add(1)))),
 		cur:  bv.True(),
 		ids:  make(map[uint64]bool),
 		vars: make(bv.VarSet),
@@ -144,7 +197,7 @@ func (ss *Session) Solve() (bv.Assignment, Verdict) {
 		}
 	}
 	if s.opts.Mode != ModeSATOnly {
-		if m := s.concreteSearch(f, ss.vars, s.opts.ConcreteTries); m != nil {
+		if m := concreteSearch(ss.rng, f, ss.vars, s.opts.ConcreteTries); m != nil {
 			s.stats.concreteHits.Add(1)
 			ss.remember(m)
 			return m, Sat
@@ -155,16 +208,22 @@ func (ss *Session) Solve() (bv.Assignment, Verdict) {
 		}
 	}
 	if s.opts.OneShot {
-		return s.satSolve(f, nil)
+		return s.satSolve(ss.rng, f, nil)
 	}
 	polarity := polarityFind
 	if ss.solvedGen == len(ss.conj)+1 {
 		polarity = polarityRetry // unchanged conjunction: the caller wants a different model
 	}
 	ss.ensureEngine(polarity)
-	switch ss.cdcl(nil) {
+	var res sat.Result
+	var m bv.Assignment
+	if s.opts.Portfolio > 1 {
+		m, res = ss.portfolioSolve()
+	} else if res = ss.cdcl(nil); res == sat.Sat {
+		m = ss.bl.Model()
+	}
+	switch res {
 	case sat.Sat:
-		m := ss.bl.Model()
 		ss.remember(m)
 		return m, Sat
 	case sat.Unsat:
@@ -177,11 +236,23 @@ func (ss *Session) Solve() (bv.Assignment, Verdict) {
 }
 
 // SampleModels returns up to k distinct models of the current conjunction
-// (Solver.SampleModels semantics, on the session's persistent engine). The
-// blocking clauses that force distinctness are guarded by fresh literals and
-// activated through assumptions, so they evaporate after the call: a later
-// Solve on the grown conjunction may still return any model, including ones
-// sampled here — which is exactly what the model cache then exploits.
+// (Solver.SampleModels semantics, on the session's persistent engine).
+//
+// The default strategy (Options.Sampling = SamplingRestart) draws each model
+// by a cheap randomized restart of the persistent engine — re-randomized
+// decision polarities and variable activities, backtrack to the root — so no
+// blocking clauses accumulate and every solve searches the unencumbered
+// formula. Once restartSampleStale consecutive restarts rediscover known
+// models, sampling falls back to guard-literal blocking enumeration, which
+// alone can certify that the solution set is exhausted (the §5.5 two-solution
+// constraints end here). Under SamplingBlocking the canonical
+// enumerate-and-block sequence runs from the start.
+//
+// Neither strategy narrows later solves: restarts add no clauses, and the
+// blocking clauses are guarded by fresh literals activated through
+// assumptions, so they evaporate after the call — a later Solve on the grown
+// conjunction may still return any model, including ones sampled here, which
+// is exactly what the model cache then exploits.
 func (ss *Session) SampleModels(k int) []bv.Assignment {
 	f := ss.cur
 	if f.Kind == bv.BConst {
@@ -192,35 +263,107 @@ func (ss *Session) SampleModels(k int) []bv.Assignment {
 	}
 	s := ss.sol
 	if s.opts.OneShot {
-		return s.sampleOneShot(f, k)
+		return s.sampleOneShot(ss.rng, f, k)
 	}
 
 	ms := newModelSet(ss.vars)
-	s.concretePhase(f, ms, k)
+	s.concretePhase(ss.rng, f, ms, k)
 	if len(ms.models) < k && s.opts.Mode != ModeConcreteOnly {
-		// Phase 2: complete enumeration on the persistent engine, high
-		// random polarity for diversity, guard-literal blocking.
-		ss.ensureEngine(polaritySample)
-		ss.assertPending()
-		var guards []sat.Lit
-		for _, m := range ms.models {
-			guards = append(guards, ss.guardBlock(m))
-		}
-		for len(ms.models) < k {
-			if ss.cdcl(guards) != sat.Sat {
-				break
-			}
-			m := ss.bl.Model()
-			if !ms.add(m) {
-				break // defensive: blocking should prevent repeats
-			}
-			guards = append(guards, ss.guardBlock(m))
+		if s.opts.Sampling == SamplingBlocking {
+			ss.ensureEngine(polaritySample)
+			ss.sampleBlocking(ms, k)
+		} else {
+			ss.ensureEngine(polarityRestartSample)
+			ss.sampleRestart(ms, k)
 		}
 	}
 	for _, m := range ms.models {
 		ss.remember(m)
 	}
 	return ms.models
+}
+
+// sampleRestart draws models by randomized partial restarts of the
+// persistent engine — backtrack to a random level of the previous model's
+// trail, flip the freed input-bit phases, resume the search with decisions
+// focused on the input bits — until the budget is filled or
+// restartSampleStale consecutive solves yield nothing new, then hands the
+// model set to blocking enumeration to certify exhaustion (or dig out
+// remaining needles the restarts kept missing). The first draw runs as a
+// plain solve (empty trail), so a session that never solved before still
+// works.
+func (ss *Session) sampleRestart(ms *modelSet, k int) {
+	s := ss.sol
+	ss.assertPending()
+	// Perturbation targets the input-variable bits: those are the projection
+	// models are deduped over, so a flip there is the only kind that can turn
+	// the next completion into a fresh model. The engine's auxiliary (Tseitin)
+	// variables keep their saved phases — flipping them buys conflicts, not
+	// diversity.
+	var bits []sat.Var
+	for _, name := range ss.vars.Names() {
+		for _, l := range ss.bl.Bits(ss.vars[name]) {
+			bits = append(bits, l.Var())
+		}
+	}
+	ss.engine.SetDecisionFocus(bits)
+	defer ss.engine.SetDecisionFocus(nil)
+	focused := true
+	stale := 0
+	for len(ms.models) < k && stale < restartSampleStale {
+		before := ss.engine.Conflicts
+		ss.engine.PartialRestart(ss.rng, 0)
+		ss.engine.PerturbPhases(ss.rng, restartFlipProb, bits)
+		if ss.cdclContinue() != sat.Sat {
+			return // unsat or budget exhausted: nothing more to find
+		}
+		if focused && ss.engine.Conflicts-before > restartFocusConflicts {
+			// Sparse solution set: projection-first decisions degenerate into
+			// refuting random input assignments one by one. Hand decisions back
+			// to the activity order, which finds the needles.
+			focused = false
+			ss.engine.SetDecisionFocus(nil)
+		}
+		s.stats.restartSamples.Add(1)
+		if ms.add(ss.bl.Model()) {
+			stale = 0
+		} else {
+			stale++
+			s.stats.duplicateModels.Add(1)
+		}
+	}
+	if len(ms.models) < k {
+		s.stats.blockingFallbacks.Add(1)
+		ss.sampleBlocking(ms, k)
+	}
+}
+
+// sampleBlocking is the guard-literal enumerate-and-block sequence: every
+// model in ms (and every model found here) is excluded by a clause guarded by
+// a fresh literal, and the engine solves under the guard assumptions until
+// the budget is filled or the guarded formula is unsatisfiable — which
+// certifies that ms holds every model of the conjunction.
+func (ss *Session) sampleBlocking(ms *modelSet, k int) {
+	s := ss.sol
+	ss.assertPending()
+	var guards []sat.Lit
+	for _, m := range ms.models {
+		guards = append(guards, ss.guardBlock(m))
+	}
+	for len(ms.models) < k {
+		if ss.cdcl(guards) != sat.Sat {
+			break
+		}
+		m := ss.bl.Model()
+		if !ms.add(m) {
+			// A model the guards should have excluded came back: a
+			// sampling-strategy bug. Count it so it surfaces in stats instead
+			// of silently truncating the sample, and stop rather than loop.
+			s.stats.duplicateModels.Add(1)
+			break
+		}
+		guards = append(guards, ss.guardBlock(m))
+	}
 }
 
 // remember records a model the session has returned, tagged with the current
@@ -240,7 +383,7 @@ func (ss *Session) remember(m bv.Assignment) {
 func (ss *Session) ensureEngine(polarity float64) {
 	if ss.engine == nil {
 		ss.engine = sat.New(sat.Options{
-			Seed:           ss.sol.randInt63(),
+			Seed:           ss.rng.Int63(),
 			RandomPolarity: polarity,
 			MaxConflicts:   ss.sol.opts.MaxConflicts,
 		})
@@ -248,6 +391,123 @@ func (ss *Session) ensureEngine(polarity float64) {
 		return
 	}
 	ss.engine.SetRandomPolarity(polarity)
+}
+
+// portfolioConfigs are the engine-configuration variants a portfolio race
+// cycles through: decision-polarity randomness, random-decision frequency and
+// Luby restart base. Seeds come from the session stream, so two racers with
+// the same table entry still search differently.
+var portfolioConfigs = []struct {
+	polarity     float64
+	decisionFreq float64
+	restartBase  float64
+}{
+	{0.02, 0, 100},
+	{0.2, 0, 50},
+	{0.5, 0.02, 200},
+	{0.05, 0.05, 25},
+	{0.3, 0, 400},
+	{0.1, 0.02, 70},
+}
+
+// portfolioSolve runs one CDCL decision on the session under portfolio mode:
+// first a cheap bounded probe on the persistent engine (most solves finish
+// there), then a race of Options.Portfolio cloned engine configurations over
+// the remaining conflict budget.
+//
+// Determinism: the winner is picked by a (result, config index) tie-break,
+// not wall-clock arrival. A racer is cancelled only when a lower-indexed
+// racer has already produced a decisive (Sat/Unsat) result, so every racer
+// with an index at or below the final winner runs to its natural, seed-pure
+// completion — the winning model and verdict are a pure function of the
+// session's stream. For the same reason only those uncancelled racers fold
+// their learnt clauses (length-capped at learntImportCap) back into the
+// persistent engine: a cancelled racer's learnt set depends on timing.
+func (ss *Session) portfolioSolve() (bv.Assignment, sat.Result) {
+	s := ss.sol
+	probe := int64(portfolioProbe)
+	if s.opts.MaxConflicts > 0 && s.opts.MaxConflicts < probe {
+		probe = s.opts.MaxConflicts
+	}
+	ss.engine.SetMaxConflicts(probe)
+	res := ss.cdcl(nil)
+	ss.engine.SetMaxConflicts(s.opts.MaxConflicts)
+	if res != sat.Unknown {
+		if res == sat.Sat {
+			return ss.bl.Model(), res
+		}
+		return nil, res
+	}
+
+	// The probe exhausted its budget: this is one of the hardest solves.
+	// Race n configurations over the remaining budget, split evenly so the
+	// total conflict work stays within MaxConflicts order.
+	n := s.opts.Portfolio
+	s.stats.portfolioRaces.Add(1)
+	perRacer := (s.opts.MaxConflicts - probe + int64(n) - 1) / int64(n)
+	if perRacer < probe {
+		perRacer = probe
+	}
+	racers := make([]*sat.Solver, n)
+	stops := make([]atomic.Bool, n)
+	for i := range racers {
+		cfg := portfolioConfigs[i%len(portfolioConfigs)]
+		racers[i] = ss.engine.Clone(sat.Options{
+			Seed:               ss.rng.Int63(),
+			RandomPolarity:     cfg.polarity,
+			RandomDecisionFreq: cfg.decisionFreq,
+			RestartBase:        cfg.restartBase,
+			MaxConflicts:       perRacer,
+			Stop:               &stops[i],
+		})
+	}
+	results := make([]sat.Result, n)
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		minDecided = n
+	)
+	for i := range racers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := racers[i].Solve()
+			mu.Lock()
+			results[i] = r
+			if r != sat.Unknown && i < minDecided {
+				minDecided = i
+				for j := i + 1; j < n; j++ {
+					stops[j].Store(true)
+				}
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	winner := -1
+	for i, r := range results {
+		if r != sat.Unknown {
+			winner = i
+			break
+		}
+	}
+	limit := n
+	if winner >= 0 {
+		limit = winner + 1
+	}
+	imported := 0
+	for i := 0; i < limit; i++ {
+		imported += ss.engine.ImportLearnts(racers[i].ExportLearnts(learntImportCap))
+	}
+	s.stats.learntsShared.Add(int64(imported))
+	if winner < 0 {
+		return nil, sat.Unknown
+	}
+	if results[winner] == sat.Sat {
+		return ss.bl.ModelOf(racers[winner].ModelValue), sat.Sat
+	}
+	return nil, sat.Unsat
 }
 
 // assertPending bit-blasts the conjuncts added since the last CDCL call.
@@ -285,6 +545,24 @@ func (ss *Session) cdcl(assumps []sat.Lit) sat.Result {
 	ss.cdclCalls++
 	ss.assertPending()
 	return ss.engine.SolveUnderAssumptions(assumps)
+}
+
+// cdclContinue is cdcl for a restart sample: same work counters, but the
+// engine resumes from the trail prefix PartialRestart kept instead of
+// re-solving from the root. The conjunction must already be encoded
+// (assertPending) — sampling never grows it mid-run.
+func (ss *Session) cdclContinue() sat.Result {
+	s := ss.sol
+	s.stats.satSolves.Add(1)
+	if ss.cdclCalls > 0 {
+		n := ss.engine.NumLearnts()
+		if n > ss.learntsSeen {
+			s.stats.clausesReused.Add(int64(n - ss.learntsSeen))
+		}
+		ss.learntsSeen = n
+	}
+	ss.cdclCalls++
+	return ss.engine.SolveContinue()
 }
 
 // guardBlock adds a blocking clause for m guarded by a fresh literal g:

@@ -205,7 +205,8 @@ func TestSessionDeterminism(t *testing.T) {
 
 // TestSessionStatsCounters exercises the incremental counters end to end:
 // repeated CDCL solves on one session must report retained learned clauses,
-// and sampling must report assumption solves.
+// and each sampling strategy must report its own draws — restart samples for
+// the default, assumption solves for the blocking ablation.
 func TestSessionStatsCounters(t *testing.T) {
 	s := New(Options{Seed: 23, Mode: ModeSATOnly})
 	w := bv.Var(32, "sc2_w")
@@ -215,11 +216,41 @@ func TestSessionStatsCounters(t *testing.T) {
 		t.Fatalf("sampled %d models, want 6", len(got))
 	}
 	st := s.Snapshot()
-	if st.AssumptionSolves == 0 {
-		t.Errorf("sampling never solved under assumptions: %+v", st)
+	if st.RestartSamples == 0 {
+		t.Errorf("default sampling drew no restart samples: %+v", st)
 	}
-	if st.ClausesReused == 0 {
+	// Learnt retention is observed across incremental *solves*: narrowing the
+	// conjunction forces real CDCL work (restart draws on this dense constraint
+	// are nearly conflict-free, so sampling alone retains nothing), and the
+	// growth of the learnt database is counted at the start of the next call.
+	sess.Assert(bv.Ult(w, bv.Const(32, 4)))
+	if _, v := sess.Solve(); v != Sat {
+		t.Fatalf("narrowed solve: %v", v)
+	}
+	sess.Assert(bv.Ult(h, bv.Const(32, 1<<16)))
+	if _, v := sess.Solve(); v != Unsat {
+		t.Fatalf("contradicted solve: %v", v)
+	}
+	if _, v := sess.Solve(); v != Unsat {
+		t.Fatalf("re-solve after unsat: %v", v)
+	}
+	if st = s.Snapshot(); st.ClausesReused == 0 {
 		t.Errorf("no learned clauses retained across incremental calls: %+v", st)
+	}
+
+	sb := New(Options{Seed: 23, Mode: ModeSATOnly, Sampling: SamplingBlocking})
+	bw := bv.Var(32, "sc2_bw")
+	bh := bv.Var(32, "sc2_bh")
+	bsess := sb.NewSession(bv.OverflowCond(bv.Mul(bw, bh)))
+	if got := bsess.SampleModels(6); len(got) != 6 {
+		t.Fatalf("blocking sampled %d models, want 6", len(got))
+	}
+	bst := sb.Snapshot()
+	if bst.AssumptionSolves == 0 {
+		t.Errorf("blocking sampling never solved under assumptions: %+v", bst)
+	}
+	if bst.RestartSamples != 0 {
+		t.Errorf("blocking sampling drew restart samples: %+v", bst)
 	}
 }
 

@@ -13,8 +13,12 @@
 // produce.
 //
 // SampleModels implements the §5.5/§5.6 experiments: up to k *distinct*
-// models of a constraint, obtained by blocking each found model and
-// re-solving with randomized decision polarity.
+// models of a constraint. The default strategy is restart sampling — between
+// models the persistent engine re-randomizes decision polarities and variable
+// activities and re-solves from the root, which keeps every solve cheap — and
+// guard-literal blocking enumeration remains as the fallback that certifies
+// exhaustion once restarts stop producing fresh models (and as an ablation
+// strategy, Options.Sampling).
 //
 // The unit of solving is the Session: an incremental context over a
 // monotonically growing conjunction, holding one persistent CDCL engine and
@@ -29,7 +33,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"diode/internal/bitblast"
 	"diode/internal/bv"
@@ -67,6 +71,26 @@ const (
 	ModeConcreteOnly             // only randomized concrete search (incomplete)
 )
 
+// Sampling selects the model-enumeration strategy SampleModels uses once the
+// concrete phase runs dry (the DESIGN.md ablation compares these).
+type Sampling int
+
+// Sampling strategies.
+const (
+	// SamplingRestart (the default) keeps one persistent engine and performs
+	// a cheap randomized restart between samples — re-randomized decision
+	// polarities and variable activities, backtrack to the root — instead of
+	// asserting a blocking clause and re-solving from scratch. Guard-literal
+	// blocking is still used, but only to *certify* exhaustion when restarts
+	// stop producing fresh models.
+	SamplingRestart Sampling = iota
+	// SamplingBlocking is the canonical enumerate-and-block sequence: every
+	// found model is blocked through a guard literal and the engine re-solves
+	// under the guard assumptions. Kept as the ablation baseline
+	// (BenchmarkSampleModels compares the two).
+	SamplingBlocking
+)
+
 // Options configure a Solver.
 type Options struct {
 	// Seed seeds all randomness. Identical inputs and seeds give identical
@@ -81,6 +105,16 @@ type Options struct {
 	MaxConflicts int64
 	// Mode selects the strategy; the zero value is ModeHybrid.
 	Mode Mode
+	// Sampling selects the SampleModels enumeration strategy; the zero value
+	// is SamplingRestart.
+	Sampling Sampling
+	// Portfolio, when > 1, races that many engine configurations (polarity /
+	// restart / seed variants, cloned from the session's persistent engine)
+	// on CDCL solves that survive a cheap probe, first decisive result wins
+	// by a deterministic (result, config index) tie-break, and learnt clauses
+	// from uncancelled losers are folded back into the persistent engine.
+	// Zero or one solves on the single persistent engine only.
+	Portfolio int
 	// OneShot disables incremental session state: every Session.Solve and
 	// Session.SampleModels then rebuilds the full conjunction on a fresh
 	// CDCL engine and blaster, the pre-session behavior. Kept as a
@@ -89,15 +123,16 @@ type Options struct {
 }
 
 // Solver solves bitvector formulas. It is safe for concurrent use: the work
-// counters are atomic and the random source is serialized behind a mutex.
-// Concurrent callers still share one random stream, so for reproducible runs
-// create one Solver per goroutine (as the core Hunter does) and give each a
-// derived seed.
+// counters are atomic and each Session owns a private random stream derived
+// from (Seed, session ordinal), so concurrent sessions never contend on
+// shared state. Session ordinals are handed out in NewSession call order, so
+// for reproducible runs create one Solver per goroutine (as the core Hunter
+// does) and give each a derived seed — concurrent NewSession calls on one
+// Solver are race-free but their ordinal order follows the scheduler.
 type Solver struct {
-	opts  Options
-	mu    sync.Mutex // guards rng
-	rng   *rand.Rand
-	stats Collector
+	opts     Options
+	sessions atomic.Int64 // ordinal source for per-session RNG derivation
+	stats    Collector
 }
 
 // New returns a Solver with the given options.
@@ -108,7 +143,18 @@ func New(opts Options) *Solver {
 	if opts.MaxConflicts == 0 {
 		opts.MaxConflicts = 500000
 	}
-	return &Solver{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	return &Solver{opts: opts}
+}
+
+// sessionSeed derives the private RNG seed of the ordinal-th session from the
+// solver seed (splitmix64 finalizer), so every session draws from a stream
+// that is a pure function of (solver seed, session ordinal) — no session ever
+// contends on, or perturbs, another session's randomness.
+func sessionSeed(seed, ordinal int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(ordinal)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Snapshot returns a point-in-time copy of the cumulative work counters.
@@ -119,26 +165,6 @@ func (s *Solver) Snapshot() Stats { return s.stats.Snapshot() }
 // core reports these so success-rate totals can document how many sampled
 // models were lost to generation rather than counted as non-triggering.
 func (s *Solver) NoteGenFailure() { s.stats.genFailures.Add(1) }
-
-// randIntn, randUint64 and randInt63 serialize access to the shared random
-// stream so concurrent Solve calls are race-free.
-func (s *Solver) randIntn(n int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rng.Intn(n)
-}
-
-func (s *Solver) randUint64() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rng.Uint64()
-}
-
-func (s *Solver) randInt63() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rng.Int63()
-}
 
 // Solve returns a model of f, or Unsat/Unknown. It is the stateless entry
 // point: each call runs on a throwaway Session. Callers that solve a growing
@@ -151,24 +177,24 @@ func (s *Solver) Solve(f *bv.Bool) (bv.Assignment, Verdict) {
 // concreteSearch samples random assignments, mixing uniform values with
 // boundary values (0, 1, all-ones, single bits) that are likely to matter for
 // overflow and comparison constraints. The formula is compiled once per call
-// (bv.CompileBool) so each try is a flat-array evaluation.
-func (s *Solver) concreteSearch(f *bv.Bool, vars bv.VarSet, tries int) bv.Assignment {
+// (bv.CompileBool) so each try is a flat-array evaluation. rng is the
+// caller's private stream (the session's, for session solves).
+func concreteSearch(rng *rand.Rand, f *bv.Bool, vars bv.VarSet, tries int) bv.Assignment {
 	names := vars.Names()
 	if len(names) == 0 {
 		return nil
 	}
-	return s.concreteTries(bv.CompileBool(f), vars, names, tries)
+	return concreteTries(rng, bv.CompileBool(f), vars, names, tries)
 }
 
 // concreteTries runs the random-assignment loop against a pre-compiled
-// formula. Randomness is drawn in exactly the order the pre-compilation
-// search did, so results (and therefore verdicts) are unchanged.
-func (s *Solver) concreteTries(ce *bv.CompiledBool, vars bv.VarSet, names []string, tries int) bv.Assignment {
+// formula.
+func concreteTries(rng *rand.Rand, ce *bv.CompiledBool, vars bv.VarSet, names []string, tries int) bv.Assignment {
 	m := make(bv.Assignment, len(names))
 	for i := 0; i < tries; i++ {
 		for _, n := range names {
 			w := vars[n].W
-			m[n] = s.randomValue(w)
+			m[n] = randomValue(rng, w)
 		}
 		ok, err := ce.Eval(m)
 		if err != nil {
@@ -185,12 +211,12 @@ func (s *Solver) concreteTries(ce *bv.CompiledBool, vars bv.VarSet, names []stri
 	return nil
 }
 
-func (s *Solver) randomValue(w uint8) uint64 {
+func randomValue(rng *rand.Rand, w uint8) uint64 {
 	mask := bv.Mask(w)
-	switch s.randIntn(8) {
+	switch rng.Intn(8) {
 	case 0:
 		// Boundary values.
-		switch s.randIntn(4) {
+		switch rng.Intn(4) {
 		case 0:
 			return 0
 		case 1:
@@ -202,21 +228,21 @@ func (s *Solver) randomValue(w uint8) uint64 {
 		}
 	case 1:
 		// A single set bit.
-		return (uint64(1) << uint(s.randIntn(int(w)))) & mask
+		return (uint64(1) << uint(rng.Intn(int(w)))) & mask
 	case 2:
 		// Small value.
-		return uint64(s.randIntn(256)) & mask
+		return uint64(rng.Intn(256)) & mask
 	default:
-		return s.randUint64() & mask
+		return rng.Uint64() & mask
 	}
 }
 
 // satSolve bit-blasts f (plus optional blocking clauses from prior models)
 // and runs the CDCL solver.
-func (s *Solver) satSolve(f *bv.Bool, blocked []bv.Assignment) (bv.Assignment, Verdict) {
+func (s *Solver) satSolve(rng *rand.Rand, f *bv.Bool, blocked []bv.Assignment) (bv.Assignment, Verdict) {
 	s.stats.satSolves.Add(1)
 	engine := sat.New(sat.Options{
-		Seed:           s.randInt63(),
+		Seed:           rng.Int63(),
 		RandomPolarity: polarityFind,
 		MaxConflicts:   s.opts.MaxConflicts,
 	})
@@ -295,7 +321,7 @@ func (ms *modelSet) add(m bv.Assignment) bool {
 // concretePhase is phase 1 of sampling: concrete search, cheap, and for
 // check-free constraints it finds k dense solutions almost immediately.
 // No-op in ModeSATOnly. The formula is compiled once for the whole phase.
-func (s *Solver) concretePhase(f *bv.Bool, ms *modelSet, k int) {
+func (s *Solver) concretePhase(rng *rand.Rand, f *bv.Bool, ms *modelSet, k int) {
 	if s.opts.Mode == ModeSATOnly {
 		return
 	}
@@ -306,7 +332,7 @@ func (s *Solver) concretePhase(f *bv.Bool, ms *modelSet, k int) {
 	ce := bv.CompileBool(f)
 	budget := s.opts.ConcreteTries * 4
 	for i := 0; i < budget && len(ms.models) < k; i++ {
-		if m := s.concreteTries(ce, ms.vars, names, 1); m != nil {
+		if m := concreteTries(rng, ce, ms.vars, names, 1); m != nil {
 			ms.add(m)
 		}
 	}
@@ -314,9 +340,9 @@ func (s *Solver) concretePhase(f *bv.Bool, ms *modelSet, k int) {
 
 // sampleOneShot is the pre-session sampling path (Options.OneShot): concrete
 // phase, then complete enumeration with blocking clauses on a fresh engine.
-func (s *Solver) sampleOneShot(f *bv.Bool, k int) []bv.Assignment {
+func (s *Solver) sampleOneShot(rng *rand.Rand, f *bv.Bool, k int) []bv.Assignment {
 	ms := newModelSet(bv.BoolVars(f))
-	s.concretePhase(f, ms, k)
+	s.concretePhase(rng, f, ms, k)
 	if len(ms.models) >= k || s.opts.Mode == ModeConcreteOnly {
 		return ms.models
 	}
@@ -324,7 +350,7 @@ func (s *Solver) sampleOneShot(f *bv.Bool, k int) []bv.Assignment {
 	// Phase 2: complete enumeration with blocking clauses, one incremental
 	// SAT solver, randomized polarity for diversity.
 	engine := sat.New(sat.Options{
-		Seed:           s.randInt63(),
+		Seed:           rng.Int63(),
 		RandomPolarity: polaritySample,
 		MaxConflicts:   s.opts.MaxConflicts,
 	})
@@ -341,7 +367,11 @@ func (s *Solver) sampleOneShot(f *bv.Bool, k int) []bv.Assignment {
 		m := bl.Model()
 		engine.CancelToRoot()
 		if !ms.add(m) {
-			break // defensive: blocking should prevent repeats
+			// A model the blocking clauses should have excluded came back: a
+			// sampling-strategy bug. Count it so it surfaces in stats instead
+			// of silently truncating the sample, and stop rather than loop.
+			s.stats.duplicateModels.Add(1)
+			break
 		}
 		s.blockModel(engine, bl, ms.vars, m)
 	}

@@ -16,6 +16,13 @@ type Stats struct {
 	ModelCacheHits   int // session solves settled by re-checking an earlier model
 	ClausesReused    int // learned clauses carried into later CDCL calls of a session, each counted once
 
+	// Sampling-strategy counters.
+	RestartSamples    int // models drawn by randomized-restart re-solves
+	BlockingFallbacks int // restart sampling runs that fell back to blocking enumeration
+	DuplicateModels   int // sampled models already in the set: routine for restarts (drives the fallback), a strategy bug for blocking
+	PortfolioRaces    int // CDCL solves that escalated past the probe into a configuration race
+	LearntsShared     int // learnt clauses imported across portfolio engines (length-capped)
+
 	// GenFailures counts solver models the input-reconstruction layer failed
 	// to turn into an input file (Generate errors, reported by the core via
 	// Solver.NoteGenFailure). A nonzero count in a success-rate experiment
@@ -33,6 +40,11 @@ func (s *Stats) Add(o Stats) {
 	s.AssumptionSolves += o.AssumptionSolves
 	s.ModelCacheHits += o.ModelCacheHits
 	s.ClausesReused += o.ClausesReused
+	s.RestartSamples += o.RestartSamples
+	s.BlockingFallbacks += o.BlockingFallbacks
+	s.DuplicateModels += o.DuplicateModels
+	s.PortfolioRaces += o.PortfolioRaces
+	s.LearntsShared += o.LearntsShared
 	s.GenFailures += o.GenFailures
 }
 
@@ -40,14 +52,19 @@ func (s *Stats) Add(o Stats) {
 // concurrent use: each Solver counts into its own Collector, and an
 // aggregator (the scheduler) folds hunter-local snapshots into a shared one.
 type Collector struct {
-	concreteHits     atomic.Int64
-	satSolves        atomic.Int64
-	unsatResults     atomic.Int64
-	unknownOut       atomic.Int64
-	assumptionSolves atomic.Int64
-	modelCacheHits   atomic.Int64
-	clausesReused    atomic.Int64
-	genFailures      atomic.Int64
+	concreteHits      atomic.Int64
+	satSolves         atomic.Int64
+	unsatResults      atomic.Int64
+	unknownOut        atomic.Int64
+	assumptionSolves  atomic.Int64
+	modelCacheHits    atomic.Int64
+	clausesReused     atomic.Int64
+	restartSamples    atomic.Int64
+	blockingFallbacks atomic.Int64
+	duplicateModels   atomic.Int64
+	portfolioRaces    atomic.Int64
+	learntsShared     atomic.Int64
+	genFailures       atomic.Int64
 }
 
 // Add folds a snapshot into the collector.
@@ -59,6 +76,11 @@ func (c *Collector) Add(s Stats) {
 	c.assumptionSolves.Add(int64(s.AssumptionSolves))
 	c.modelCacheHits.Add(int64(s.ModelCacheHits))
 	c.clausesReused.Add(int64(s.ClausesReused))
+	c.restartSamples.Add(int64(s.RestartSamples))
+	c.blockingFallbacks.Add(int64(s.BlockingFallbacks))
+	c.duplicateModels.Add(int64(s.DuplicateModels))
+	c.portfolioRaces.Add(int64(s.PortfolioRaces))
+	c.learntsShared.Add(int64(s.LearntsShared))
 	c.genFailures.Add(int64(s.GenFailures))
 }
 
@@ -72,6 +94,13 @@ func (c *Collector) Snapshot() Stats {
 		AssumptionSolves: int(c.assumptionSolves.Load()),
 		ModelCacheHits:   int(c.modelCacheHits.Load()),
 		ClausesReused:    int(c.clausesReused.Load()),
-		GenFailures:      int(c.genFailures.Load()),
+
+		RestartSamples:    int(c.restartSamples.Load()),
+		BlockingFallbacks: int(c.blockingFallbacks.Load()),
+		DuplicateModels:   int(c.duplicateModels.Load()),
+		PortfolioRaces:    int(c.portfolioRaces.Load()),
+		LearntsShared:     int(c.learntsShared.Load()),
+
+		GenFailures: int(c.genFailures.Load()),
 	}
 }
