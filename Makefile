@@ -6,7 +6,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race lint vet staticcheck check bench-smoke bench-json cache-smoke fuzz-smoke worker-smoke
+.PHONY: all build test race lint vet staticcheck check bench-smoke bench-json cache-smoke discover-smoke fuzz-smoke worker-smoke
 
 all: check test
 
@@ -74,6 +74,21 @@ cache-smoke:
 	case "$$warm_line" in *"cache: hits=0 "*) echo "cache smoke failed: warm run had no hits: $$warm_line"; exit 1;; esac; \
 	echo "cache smoke ok: $$warm_line"; \
 	rm -rf "$$dir" "$$out"
+
+# Site-discovery smoke: run `diode -sites` for every application and diff the
+# listing against the checked-in goldens (internal/apps/testdata/discovered).
+# Catches a discovery pass or guest-program edit that changes the site surface
+# without a matching `go test ./internal/apps -update-discovered` run, and
+# proves the CLI listing is byte-identical to what the library emits.
+discover-smoke:
+	$(GO) build -o bin/diode ./cmd/diode
+	@for app in dillo vlc swfplay cwebp imagemagick gifview tifthumb; do \
+		./bin/diode -app "$$app" -sites > "bin/$$app.sites" || exit 1; \
+		cmp "bin/$$app.sites" "internal/apps/testdata/discovered/$$app.golden" || { \
+			echo "discover smoke failed: $$app listing differs from golden"; exit 1; }; \
+		rm -f "bin/$$app.sites"; \
+	done; \
+	echo "discover smoke ok: 7 listings match goldens"
 
 # Short live-fuzz pass: the per-format fix-up invariant targets, the
 # cross-layer FuzzHunt engine-robustness target, and the dispatch-layer

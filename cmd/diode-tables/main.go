@@ -17,6 +17,11 @@
 //	diode-tables [-table all|1|2|samepath|extended] [-n 200] [-seed 1]
 //	             [-parallel N] [-workers N] [-backend local|exec] [-worker BIN]
 //	             [-cache-dir DIR] [-no-cache] [-json] [-progress] [-db out.json]
+//	             [-discover]
+//
+// -discover appends the statically discovered-site table (per-application
+// alloc/arith counts from the internal/discover pass) after the selected
+// tables.
 //
 // -cache-dir points at a shared on-disk result cache: a repeated sweep
 // against the same directory serves every job from the cache (byte-identical
@@ -54,6 +59,7 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable result caching (analysis is still memoized in-process)")
 	portfolio := flag.Int("portfolio", 0, "race this many solver configurations per hard CDCL solve (0/1 = single engine)")
 	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
+	discoverMode := flag.Bool("discover", false, "append the statically discovered-site table after the selected tables")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		// Fail loudly rather than silently ignoring arguments — in
@@ -181,6 +187,14 @@ func main() {
 		}
 		if *table == "extended" || *table == "all" {
 			fmt.Println(diode.TableExtended(diode.ExtendedApplications(), recs))
+		}
+		if *discoverMode {
+			out, err := diode.TableDiscovered(appList)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
 		}
 	}
 

@@ -14,6 +14,13 @@
 //
 //	diode -app dillo [-seed 1] [-parallel N] [-backend local|exec] [-worker BIN]
 //	      [-cache-dir DIR] [-no-cache] [-expr] [-v] [-json] [-progress]
+//	      [-sites] [-discover]
+//
+// -sites prints the application's statically discovered overflow sites (the
+// internal/discover listing: name, kind, function, taint sources, rendered
+// expression) and exits without hunting. -discover runs the normal hunt but
+// sweeps the sites in static discovery order and appends a discovery summary
+// line to the report.
 //
 // -cache-dir points at a shared on-disk result cache: a repeated run against
 // the same directory serves every hunt from the cache (byte-identical
@@ -51,6 +58,8 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable result caching (analysis is still memoized in-process)")
 	portfolio := flag.Int("portfolio", 0, "race this many solver configurations per hard CDCL solve (0/1 = single engine)")
 	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
+	sitesMode := flag.Bool("sites", false, "list the statically discovered sites (name, kind, function, taint, expression) and exit without hunting")
+	discoverMode := flag.Bool("discover", false, "sweep in static discovery order and append the discovered-site summary")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
@@ -61,6 +70,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *sitesMode {
+		out, err := sitesListing(app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discovery failed:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -73,6 +91,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analysis failed:", err)
 		os.Exit(1)
+	}
+	// Under -discover the sweep runs in static discovery order rather than
+	// seed-execution order; verdicts are per-site seeded either way, so the
+	// ordering only affects presentation.
+	var discovered []diode.DiscoveredSite
+	if *discoverMode {
+		discovered, err = app.Discovered()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discovery failed:", err)
+			os.Exit(1)
+		}
+		discoveryOrder(discovered, targets)
 	}
 	// One hunt job per analyzed site, seeded exactly as a Scheduler would
 	// seed its per-site Hunters; the targets are kept for the verbose
@@ -210,6 +240,9 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("%d overflows exposed out of %d sites\n", exposed, len(results))
+	if *discoverMode {
+		fmt.Println(discoverySummary(discovered, len(targets)))
+	}
 	if *verbose {
 		fmt.Printf("solver: %d concrete hits, %d SAT solves, %d unsat, %d unknown (aggregated over %d-way %s dispatch)\n",
 			stats.ConcreteHits, stats.SATSolves, stats.UnsatResults, stats.UnknownOut, *parallel, *backendName)

@@ -56,6 +56,7 @@ import (
 	"diode/internal/apps"
 	"diode/internal/cache"
 	"diode/internal/core"
+	"diode/internal/discover"
 	"diode/internal/dispatch"
 	"diode/internal/report"
 	"diode/internal/solver"
@@ -77,6 +78,26 @@ const (
 	ClassUnsat     = apps.ClassUnsat
 	ClassPrevented = apps.ClassPrevented
 )
+
+// DiscoveredSite is a structured overflow-site record from the static
+// discovery pass: kind (alloc | arith), enclosing function, stable node
+// path, rendered expression and static taint sources. App.Discovered
+// returns them; alloc-kind sites are the hunt targets.
+type DiscoveredSite = discover.Site
+
+// Discovered site kinds.
+const (
+	SiteKindAlloc = discover.KindAlloc
+	SiteKindArith = discover.KindArith
+)
+
+// DiscoverVersion is the discovery-pass revision; it participates in job
+// cache keys so stale site vocabularies miss cleanly.
+const DiscoverVersion = discover.Version
+
+// FormatDiscovered renders discovered sites as the tab-aligned listing
+// `diode -sites` prints (pure rows, safe to diff against goldens).
+func FormatDiscovered(sites []DiscoveredSite) string { return discover.Format(sites) }
 
 // Options configure the pipeline. The zero value uses sensible defaults; set
 // Seed for reproducible hunts and Parallelism for concurrent site hunts.
@@ -276,12 +297,14 @@ func HuntJobsFor(app *App, opts Options, targets []*Target) []Job {
 	jobs := make([]Job, len(targets))
 	for i, t := range targets {
 		jobs[i] = Job{
-			ID:   i,
-			Kind: dispatch.KindHunt,
-			App:  app.Short,
-			Site: t.Site,
-			Seed: core.SiteSeed(opts.Seed, t.Site),
-			Opts: subset,
+			ID:       i,
+			Kind:     dispatch.KindHunt,
+			App:      app.Short,
+			Site:     t.Site,
+			SiteKind: string(t.Info.Kind),
+			SitePath: t.Info.Path,
+			Seed:     core.SiteSeed(opts.Seed, t.Site),
+			Opts:     subset,
 		}
 	}
 	return jobs
@@ -298,4 +321,10 @@ func Table2(appList []*App, recs []*AppRecord) string { return report.Table2(app
 // applications with measured-only columns (no paper values exist for them).
 func TableExtended(appList []*App, recs []*AppRecord) string {
 	return report.TableExtended(appList, recs)
+}
+
+// TableDiscovered renders the static site-discovery summary: discovered
+// sites by kind per application, next to the curated paper-table sizes.
+func TableDiscovered(appList []*App) (string, error) {
+	return report.TableDiscovered(appList)
 }

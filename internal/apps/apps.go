@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"diode/internal/cache"
+	"diode/internal/discover"
 	"diode/internal/formats"
 	"diode/internal/interp"
 	"diode/internal/lang"
@@ -92,6 +93,10 @@ type App struct {
 
 	fpOnce sync.Once
 	fp     string
+
+	discoverOnce sync.Once
+	discovered   []discover.Site
+	discoverErr  error
 }
 
 // Compiled returns the application's guest program in slot-resolved compiled
@@ -115,6 +120,17 @@ func (a *App) Fingerprint() string {
 	return a.fp
 }
 
+// Discovered returns the application's statically discovered overflow
+// sites in deterministic program-traversal order, running the discovery
+// pass once per instance under sync.Once like Compiled(). The curated
+// Paper tables are expectations layered over this list: every PaperSite
+// names an alloc-kind site that discovery must also find (pinned by
+// TestPaperSitesAreDiscovered). Safe for concurrent use.
+func (a *App) Discovered() ([]discover.Site, error) {
+	a.discoverOnce.Do(func() { a.discovered, a.discoverErr = discover.Sites(a.Program) })
+	return a.discovered, a.discoverErr
+}
+
 // PaperFor returns the paper expectations for a site.
 func (a *App) PaperFor(site string) (PaperSite, bool) {
 	for _, p := range a.Paper {
@@ -125,30 +141,57 @@ func (a *App) PaperFor(site string) (PaperSite, bool) {
 	return PaperSite{}, false
 }
 
+// The registry is built once per process and shared: application
+// constructors are deterministic, and *App's derived state (Compiled,
+// Fingerprint, Discovered) is immutable once computed, so sharing
+// instances means those warm-ups are paid once rather than per lookup.
+var (
+	registryOnce sync.Once
+	paperApps    []*App
+	extendedApps []*App
+	byShort      map[string]*App
+)
+
+func registry() {
+	registryOnce.Do(func() {
+		paperApps = []*App{Dillo(), VLC(), SwfPlay(), CWebP(), ImageMagick()}
+		extendedApps = []*App{GIFView(), TIFThumb()}
+		byShort = make(map[string]*App, len(paperApps)+len(extendedApps))
+		for _, a := range paperApps {
+			byShort[a.Short] = a
+		}
+		for _, a := range extendedApps {
+			byShort[a.Short] = a
+		}
+	})
+}
+
 // Paper returns the paper's five benchmark applications in the paper's
-// table order.
+// table order. The instances are shared across calls.
 func Paper() []*App {
-	return []*App{Dillo(), VLC(), SwfPlay(), CWebP(), ImageMagick()}
+	registry()
+	return append([]*App(nil), paperApps...)
 }
 
 // Extended returns the extended workload suite: benchmark applications with
-// no paper counterpart, evaluated with measured-only reporting.
+// no paper counterpart, evaluated with measured-only reporting. The
+// instances are shared across calls.
 func Extended() []*App {
-	return []*App{GIFView(), TIFThumb()}
+	registry()
+	return append([]*App(nil), extendedApps...)
 }
 
 // All returns every registered benchmark application: the paper suite
-// followed by the extended suite.
+// followed by the extended suite. The instances are shared across calls.
 func All() []*App {
 	return append(Paper(), Extended()...)
 }
 
 // ByName returns the application with the given short name.
 func ByName(short string) (*App, error) {
-	for _, a := range All() {
-		if a.Short == short {
-			return a, nil
-		}
+	registry()
+	if a, ok := byShort[short]; ok {
+		return a, nil
 	}
 	return nil, fmt.Errorf("apps: unknown application %q (known: %s)", short, strings.Join(Shorts(All()), ", "))
 }

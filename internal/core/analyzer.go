@@ -6,6 +6,7 @@ import (
 
 	"diode/internal/apps"
 	"diode/internal/bv"
+	"diode/internal/discover"
 	"diode/internal/interp"
 	"diode/internal/taint"
 	"diode/internal/trace"
@@ -38,6 +39,29 @@ func NewAnalyzer(app *apps.App, opts Options) *Analyzer {
 
 // App returns the analyzer's application.
 func (a *Analyzer) App() *apps.App { return a.app }
+
+// Discovered returns the application's statically discovered sites in
+// deterministic traversal order — the full site surface, of which the
+// dynamically analyzed Targets cover the alloc-kind sites the seed input
+// reaches with tainted sizes.
+func (a *Analyzer) Discovered() ([]discover.Site, error) {
+	return a.app.Discovered()
+}
+
+// siteInfo resolves the discovery record for an alloc site name. Static
+// discovery over-approximates the dynamic taint run, so every analyzed
+// site should be found; the fallback synthesizes a minimal record rather
+// than failing analysis if discovery cannot run.
+func (a *Analyzer) siteInfo(site string) discover.Site {
+	if sites, err := a.app.Discovered(); err == nil {
+		for _, s := range sites {
+			if s.Kind == discover.KindAlloc && s.Name == site {
+				return s
+			}
+		}
+	}
+	return discover.Site{Name: site, Kind: discover.KindAlloc}
+}
 
 // run executes the guest on the analyzer's reused machine (or, under the
 // OneShotExecution ablation, on a fresh tree-walking interpreter). The
@@ -152,6 +176,7 @@ func (a *Analyzer) analyzeSite(ctx context.Context, site string, labels *taint.S
 	}
 	t := &Target{
 		Site:            site,
+		Info:            a.siteInfo(site),
 		RelevantBytes:   relevant,
 		Expr:            expr,
 		Beta:            beta,

@@ -24,6 +24,7 @@ import (
 
 	"diode/internal/apps"
 	"diode/internal/bv"
+	"diode/internal/discover"
 	"diode/internal/interp"
 	"diode/internal/solver"
 	"diode/internal/trace"
@@ -125,6 +126,10 @@ func (o Options) ForSite(site string) Options {
 type Target struct {
 	// Site is the allocation-site name.
 	Site string
+	// Info is the structured discovery record for the site (kind,
+	// function, stable node path, rendered expression, static taint
+	// sources), attached by the Analyzer from the static discovery pass.
+	Info discover.Site
 	// RelevantBytes are the seed-input byte offsets that influence the
 	// target value (stage 1).
 	RelevantBytes []int

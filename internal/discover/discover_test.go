@@ -1,0 +1,214 @@
+package discover
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	. "diode/internal/lang"
+)
+
+func mustSites(t *testing.T, p *Program) []Site {
+	t.Helper()
+	sites, err := Sites(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites
+}
+
+func names(sites []Site, kind Kind) []string {
+	var out []string
+	for _, s := range sites {
+		if s.Kind == kind {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// A tainted-size alloc is discovered; a constant-size alloc is not.
+func TestAllocTaintFiltering(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		Let("n", InAt(0)),
+		AllocAt("a", "hot@1", ZX(32, V("n"))),
+		AllocAt("b", "cold@1", U32(64)),
+	))
+	sites := mustSites(t, p)
+	got := names(sites, KindAlloc)
+	if !reflect.DeepEqual(got, []string{"hot@1"}) {
+		t.Fatalf("alloc sites = %v, want [hot@1]", got)
+	}
+	if len(names(sites, KindArith)) != 0 {
+		t.Fatalf("unexpected arith sites: %v", sites)
+	}
+	if s := sites[0]; s.Func != "main" || s.Path != "s1" || s.Expr != "zx32(n)" ||
+		!reflect.DeepEqual(s.Taint, []string{"n"}) {
+		t.Fatalf("site record = %+v", s)
+	}
+}
+
+// Tainted arithmetic inside an alloc size yields an arith site named from
+// its stable node path, alongside the alloc site itself.
+func TestArithInAllocSize(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		Let("w", InAt(0)),
+		Let("h", InAt(1)),
+		AllocAt("buf", "img@1", Mul(V("w"), V("h"))),
+	))
+	sites := mustSites(t, p)
+	arith := names(sites, KindArith)
+	if !reflect.DeepEqual(arith, []string{"x:main#s2.size@mul"}) {
+		t.Fatalf("arith sites = %v", arith)
+	}
+	for _, s := range sites {
+		if s.Kind == KindArith {
+			if s.Expr != "(w * h)" || !reflect.DeepEqual(s.Taint, []string{"h", "w"}) {
+				t.Fatalf("arith record = %+v", s)
+			}
+		}
+	}
+}
+
+// A tainted add feeding a variable that later sizes an allocation is a
+// sink, discovered through the backward sink fixpoint; the same add
+// feeding only a warning path would not be.
+func TestSinkThroughAssignment(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		Let("n", Add(ZX(32, InAt(0)), U32(16))),
+		AllocAt("buf", "b@1", V("n")),
+		Let("dead", Add(ZX(32, InAt(1)), U32(1))), // never reaches a sink
+	))
+	sites := mustSites(t, p)
+	arith := names(sites, KindArith)
+	if !reflect.DeepEqual(arith, []string{"x:main#s0.e@add"}) {
+		t.Fatalf("arith sites = %v", arith)
+	}
+}
+
+// Memory indices are sinks: tainted arithmetic in Store/Load offsets and
+// input-byte indices is discovered even with no allocation involved.
+func TestMemoryIndexSinks(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		AllocAt("buf", "b@1", U32(8)),
+		Let("i", ZX(32, InAt(0))),
+		Put(V("buf"), Add(V("i"), U32(1)), U32(0)),
+		Let("v", Load(V("buf"), Mul(V("i"), U32(2)))),
+		Let("w", In(Sub(V("i"), U32(1)))),
+	))
+	arith := names(mustSites(t, p), KindArith)
+	want := []string{
+		"x:main#s2.off@add",
+		"x:main#s3.e.off@mul",
+		"x:main#s4.e.idx@sub",
+	}
+	if !reflect.DeepEqual(arith, want) {
+		t.Fatalf("arith sites = %v, want %v", arith, want)
+	}
+}
+
+// Taint flows interprocedurally: through call arguments into parameters,
+// and back out through return values.
+func TestInterproceduralTaint(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("scale", []string{"v"},
+		Ret(Mul(V("v"), U32(4))),
+	))
+	p.AddFunc(Fn("main", nil,
+		Let("n", ZX(32, InAt(0))),
+		AllocAt("buf", "b@1", Call("scale", V("n"))),
+	))
+	sites := mustSites(t, p)
+	if got := names(sites, KindAlloc); !reflect.DeepEqual(got, []string{"b@1"}) {
+		t.Fatalf("alloc sites = %v", got)
+	}
+	// The mul inside scale's return is a sink (its value returns into an
+	// alloc size) with a tainted operand (param v).
+	if got := names(sites, KindArith); !reflect.DeepEqual(got, []string{"x:scale#s0.ret@mul"}) {
+		t.Fatalf("arith sites = %v", got)
+	}
+	for _, s := range sites {
+		if s.Kind == KindAlloc && !reflect.DeepEqual(s.Taint, []string{"scale()"}) {
+			t.Fatalf("alloc taint = %v", s.Taint)
+		}
+	}
+}
+
+// Globals (g_ prefix) carry taint across functions without a call edge.
+func TestGlobalTaint(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("header", nil,
+		Let("g_n", ZX(32, InAt(0))),
+		RetVoid(),
+	))
+	p.AddFunc(Fn("main", nil,
+		Do(Call("header")),
+		AllocAt("buf", "b@1", V("g_n")),
+	))
+	sites := mustSites(t, p)
+	if got := names(sites, KindAlloc); !reflect.DeepEqual(got, []string{"b@1"}) {
+		t.Fatalf("alloc sites = %v", got)
+	}
+}
+
+// Branch conditions are not sinks, but sink contexts nested inside them
+// (input-byte indices) still are.
+func TestConditionNotASink(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		Let("n", ZX(32, InAt(0))),
+		IfThen("", Ult(Add(V("n"), U32(1)), U32(9)), // add in cond: not a sink
+			Let("v", In(Add(V("n"), U32(2)))), // add in in[...]: a sink
+		),
+	))
+	arith := names(mustSites(t, p), KindArith)
+	if !reflect.DeepEqual(arith, []string{"x:main#s1.then.s0.e.idx@add"}) {
+		t.Fatalf("arith sites = %v", arith)
+	}
+}
+
+// Discovery is deterministic: repeated runs return identical slices.
+func TestDeterministicOrder(t *testing.T) {
+	build := func() *Program {
+		p := NewProgram("x")
+		p.AddFunc(Fn("main", nil,
+			Let("w", ZX(32, InAt(0))),
+			Let("h", ZX(32, InAt(1))),
+			AllocAt("a", "a@1", Mul(V("w"), V("h"))),
+			AllocAt("b", "b@1", Add(V("w"), U32(4))),
+		))
+		return p
+	}
+	s1 := mustSites(t, build())
+	s2 := mustSites(t, build())
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("discovery not deterministic:\n%v\n%v", s1, s2)
+	}
+}
+
+func TestFormatListing(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		Let("n", ZX(32, InAt(0))),
+		AllocAt("buf", "b@1", Add(V("n"), U32(2))),
+	))
+	out := Format(mustSites(t, p))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("listing = %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "SITE") || !strings.Contains(lines[0], "EXPR") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "b@1") || !strings.Contains(lines[1], "alloc") ||
+		!strings.Contains(lines[1], "(n + 2)") {
+		t.Fatalf("alloc row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "@add") || !strings.Contains(lines[2], "arith") {
+		t.Fatalf("arith row = %q", lines[2])
+	}
+}

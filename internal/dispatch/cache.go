@@ -9,13 +9,16 @@ import (
 	"diode/internal/apps"
 	"diode/internal/cache"
 	"diode/internal/core"
+	"diode/internal/discover"
 )
 
 // keyVersion versions the cache-key derivation itself: the key layout, the
 // canonical options encoding, and everything a fingerprint cannot see (format
 // fix-up behavior, Analyzer/Hunter semantics). Bump it whenever a result
 // could change for unchanged inputs; every existing key then misses at once.
-const keyVersion = "1"
+// Version 2: jobs carry the structured site identity (kind + node path) and
+// keys carry the discovery-pass version.
+const keyVersion = "2"
 
 // CacheConfig configures a JobCache. The zero value is a pure in-memory
 // cache with default bounds.
@@ -134,14 +137,16 @@ func (c *JobCache) Targets(ctx context.Context, app *apps.App, opts Options) ([]
 
 // JobKey derives the content-addressed cache key for a job: the application
 // fingerprint plus every job field that can influence its Result — kind,
-// site, derived seed, sample budget, the enforced-label list in order, and
-// the canonical encoding of the options subset. Job.ID (a batch-local
+// structured site identity, derived seed, sample budget, the enforced-label
+// list in order, and the canonical encoding of the options subset — and the
+// discovery-pass version, so results cached under an older site vocabulary
+// miss cleanly when the discovery algorithm changes. Job.ID (a batch-local
 // handle) and the application's registry name (the fingerprint is the real
 // identity) are deliberately excluded.
 func JobKey(fingerprint string, job Job) string {
 	parts := []string{
-		"result", keyVersion, fingerprint,
-		string(job.Kind), job.Site,
+		"result", keyVersion, discover.Version, fingerprint,
+		string(job.Kind), job.Site, job.SiteKind, job.SitePath,
 		strconv.FormatInt(job.Seed, 10),
 		strconv.Itoa(job.SampleN),
 		strconv.Itoa(len(job.Enforced)),

@@ -15,13 +15,18 @@ import (
 // TestJobKeySensitivity checks the cache-key contract: every job field that
 // can influence a Result changes the key, and the batch-local ID does not.
 func TestJobKeySensitivity(t *testing.T) {
-	// Guard against silently missing a future Options field: each field below
-	// gets an explicit flip case.
+	// Guard against silently missing a future Options or Job field: each
+	// field below gets an explicit flip case (or, for Job.ID and Job.App, an
+	// explicit exclusion check).
 	if n := reflect.TypeOf(Options{}).NumField(); n != 10 {
 		t.Fatalf("dispatch.Options has %d fields; update the flip cases and this guard", n)
 	}
+	if n := reflect.TypeOf(Job{}).NumField(); n != 10 {
+		t.Fatalf("dispatch.Job has %d fields; update the flip cases and this guard", n)
+	}
 	base := Job{
 		ID: 1, Kind: KindSuccessRate, App: "dillo", Site: "png.c@125",
+		SiteKind: "alloc", SitePath: "s3",
 		Seed: 77, SampleN: 10, Enforced: []string{"a", "b"},
 		Opts: Options{InitialAttempts: 2, MaxEnforce: 3, Fuel: 1000},
 	}
@@ -41,6 +46,8 @@ func TestJobKeySensitivity(t *testing.T) {
 	add := func(name, key string) { cases[name] = key }
 	add(mutate("kind", func(j *Job) { j.Kind = KindHunt }))
 	add(mutate("site", func(j *Job) { j.Site = "png.c@126" }))
+	add(mutate("siteKind", func(j *Job) { j.SiteKind = "" }))
+	add(mutate("sitePath", func(j *Job) { j.SitePath = "s4" }))
 	add(mutate("seed", func(j *Job) { j.Seed = 78 }))
 	add(mutate("sampleN", func(j *Job) { j.SampleN = 11 }))
 	add(mutate("enforced-drop", func(j *Job) { j.Enforced = j.Enforced[:1] }))

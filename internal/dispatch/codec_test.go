@@ -14,7 +14,8 @@ import (
 // sampleJobs covers every kind and every optional field of the Job record.
 func sampleJobs() []Job {
 	return []Job{
-		{ID: 0, Kind: KindHunt, App: "dillo", Site: "dillo:png.c@203", Seed: -7},
+		{ID: 0, Kind: KindHunt, App: "dillo", Site: "dillo:png.c@203",
+			SiteKind: "alloc", SitePath: "s2.else.s0", Seed: -7},
 		{ID: 1, Kind: KindSamePath, App: "vlc", Site: "vlc:block.c@54", Seed: 99,
 			Opts: Options{MaxEnforce: 3, DisableCompression: true}},
 		{ID: 2, Kind: KindSuccessRate, App: "gifview", Site: "gifview:gif.c@155",
@@ -79,7 +80,9 @@ func TestJobValidate(t *testing.T) {
 		{Kind: KindHunt, App: "dillo"},                        // no site
 		{Kind: KindHunt, App: "dillo", Site: "s", SampleN: 5}, // hunt cannot sample
 		{Kind: KindSamePath, App: "a", Site: "s", Enforced: []string{"x"}},
-		{Kind: KindSuccessRate, App: "a", Site: "s", SampleN: 0}, // needs a budget
+		{Kind: KindSuccessRate, App: "a", Site: "s", SampleN: 0},    // needs a budget
+		{Kind: KindHunt, App: "a", Site: "s", SiteKind: "arith"},    // arith sites are listing-only
+		{Kind: KindHunt, App: "a", Site: "s", SiteKind: "nonsense"}, // unknown kind
 	}
 	for _, j := range invalid {
 		if err := j.Validate(); err == nil {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"diode/internal/core"
+	"diode/internal/discover"
 	"diode/internal/solver"
 )
 
@@ -105,6 +106,12 @@ type Job struct {
 	App string `json:"app"`
 	// Site is the target allocation-site name.
 	Site string `json:"site"`
+	// SiteKind is the discovered site's kind. Only alloc-kind sites are
+	// executable (arith sites are a static listing, not a hunt target);
+	// empty is accepted as alloc so pre-discovery job records stay valid.
+	SiteKind string `json:"siteKind,omitempty"`
+	// SitePath is the site's stable node path from the discovery pass.
+	SitePath string `json:"sitePath,omitempty"`
 	// Seed is the fully derived per-site hunt seed (the planner applies
 	// core.SiteSeed; workers use it verbatim).
 	Seed int64 `json:"seed"`
@@ -141,6 +148,10 @@ func (j Job) Validate() error {
 	}
 	if j.Site == "" {
 		return fmt.Errorf("dispatch: job has no site")
+	}
+	if j.SiteKind != "" && j.SiteKind != string(discover.KindAlloc) {
+		return fmt.Errorf("dispatch: site %s has kind %q; only %s-kind sites are executable",
+			j.Site, j.SiteKind, discover.KindAlloc)
 	}
 	return nil
 }

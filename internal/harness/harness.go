@@ -168,12 +168,14 @@ func EvaluateContext(ctx context.Context, cfg Config, list []*apps.App) []AppOut
 		for i, t := range p.targets {
 			p.result.Sites[i] = &core.SiteResult{Target: t, Verdict: core.VerdictUnknown}
 			jobs = append(jobs, dispatch.Job{
-				ID:   len(refs),
-				Kind: dispatch.KindHunt,
-				App:  p.app.Short,
-				Site: t.Site,
-				Seed: core.SiteSeed(p.seed, t.Site),
-				Opts: engineOpts,
+				ID:       len(refs),
+				Kind:     dispatch.KindHunt,
+				App:      p.app.Short,
+				Site:     t.Site,
+				SiteKind: string(t.Info.Kind),
+				SitePath: t.Info.Path,
+				Seed:     core.SiteSeed(p.seed, t.Site),
+				Opts:     engineOpts,
 			})
 			refs = append(refs, siteRef{plan: p, site: i})
 		}
@@ -216,14 +218,18 @@ func EvaluateContext(ctx context.Context, cfg Config, list []*apps.App) []AppOut
 				if cfg.SamePath {
 					jobs = append(jobs, dispatch.Job{
 						ID: len(refs), Kind: dispatch.KindSamePath,
-						App: p.app.Short, Site: t.Site, Seed: seed, Opts: engineOpts,
+						App: p.app.Short, Site: t.Site,
+						SiteKind: string(t.Info.Kind), SitePath: t.Info.Path,
+						Seed: seed, Opts: engineOpts,
 					})
 					refs = append(refs, siteRef{plan: p, site: i})
 				}
 				if cfg.SampleN > 0 && p.result.Sites[i].Verdict == core.VerdictExposed {
 					jobs = append(jobs, dispatch.Job{
 						ID: len(refs), Kind: dispatch.KindSuccessRate,
-						App: p.app.Short, Site: t.Site, Seed: seed,
+						App: p.app.Short, Site: t.Site,
+						SiteKind: string(t.Info.Kind), SitePath: t.Info.Path,
+						Seed:    seed,
 						SampleN: cfg.SampleN, Opts: engineOpts,
 					})
 					refs = append(refs, siteRef{plan: p, site: i})
@@ -264,7 +270,9 @@ func EvaluateContext(ctx context.Context, cfg Config, list []*apps.App) []AppOut
 				}
 				jobs = append(jobs, dispatch.Job{
 					ID: len(refs), Kind: dispatch.KindSuccessRate,
-					App: p.app.Short, Site: t.Site, Seed: core.SiteSeed(p.seed, t.Site),
+					App: p.app.Short, Site: t.Site,
+					SiteKind: string(t.Info.Kind), SitePath: t.Info.Path,
+					Seed:    core.SiteSeed(p.seed, t.Site),
 					SampleN: cfg.SampleN, Enforced: sr.Enforced, Opts: engineOpts,
 				})
 				refs = append(refs, siteRef{plan: p, site: i})

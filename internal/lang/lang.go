@@ -167,7 +167,9 @@ type Assign struct {
 
 // Alloc allocates a memory block of Size cells: x = alloc(A). Site is the
 // allocation-site name used in reports (e.g. "png.c@203"); it must be unique
-// within a program.
+// within a program. When empty, Finalize synthesizes a deterministic name
+// from the statement's node path, so unannotated guest programs remain
+// huntable.
 type Alloc struct {
 	Var  string
 	Site string
@@ -224,13 +226,24 @@ type Func struct {
 	Body   Block
 }
 
+// AllocSite records one allocation statement found during Finalize: the
+// (hand-assigned or synthesized) site name, the enclosing function, and the
+// stable node path of the Alloc statement within that function. Sites are
+// recorded in traversal order, which is deterministic.
+type AllocSite struct {
+	Name string
+	Func string
+	Path string
+}
+
 // Program is a set of procedures with a distinguished entry point "main".
 type Program struct {
 	Name  string
 	Funcs map[string]*Func
 
-	finalized bool
-	sites     map[string]bool
+	finalized  bool
+	sites      map[string]bool
+	allocSites []AllocSite
 }
 
 // NewProgram returns an empty program with the given name.
@@ -246,9 +259,10 @@ func (p *Program) AddFunc(f *Func) {
 	p.Funcs[f.Name] = f
 }
 
-// Finalize assigns labels to unlabeled branches (deterministically, by
-// traversal order), validates call targets and checks allocation-site
-// uniqueness. It must be called once before execution.
+// Finalize assigns labels to unlabeled branches and site names to unnamed
+// allocations (deterministically, by traversal order), assigns every
+// statement a stable node path, validates call targets and checks
+// allocation-site uniqueness. It must be called once before execution.
 func (p *Program) Finalize() error {
 	if p.finalized {
 		return nil
@@ -257,6 +271,7 @@ func (p *Program) Finalize() error {
 		return fmt.Errorf("lang: program %s has no main", p.Name)
 	}
 	p.sites = make(map[string]bool)
+	p.allocSites = nil
 	names := make([]string, 0, len(p.Funcs))
 	for n := range p.Funcs {
 		names = append(names, n)
@@ -265,7 +280,7 @@ func (p *Program) Finalize() error {
 	for _, n := range names {
 		f := p.Funcs[n]
 		ctr := 0
-		if err := p.walkBlock(f, f.Body, &ctr); err != nil {
+		if err := p.walkBlock(f, f.Body, &ctr, ""); err != nil {
 			return err
 		}
 	}
@@ -283,26 +298,74 @@ func (p *Program) Sites() []string {
 	return out
 }
 
-func (p *Program) walkBlock(f *Func, b Block, ctr *int) error {
+// AllocSites returns the allocation sites in traversal order (functions
+// sorted by name, statements in program order). Finalize must have
+// succeeded first; before that the slice is empty.
+func (p *Program) AllocSites() []AllocSite {
+	out := make([]AllocSite, len(p.allocSites))
+	copy(out, p.allocSites)
+	return out
+}
+
+// WalkStmts visits every statement of every function in deterministic
+// order: functions sorted by name, then statements in traversal order —
+// the same order Finalize uses to assign labels and node paths. visit
+// receives the enclosing function, the statement's stable node path, and
+// the statement itself. The traversal is read-only; visitors must not
+// mutate the AST.
+func (p *Program) WalkStmts(visit func(f *Func, path string, s Stmt)) {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		f := p.Funcs[n]
+		walkBlockRO(f, f.Body, "", visit)
+	}
+}
+
+func walkBlockRO(f *Func, b Block, prefix string, visit func(*Func, string, Stmt)) {
+	for i, s := range b {
+		path := joinPath(prefix, fmt.Sprintf("s%d", i))
+		visit(f, path, s)
+		switch x := s.(type) {
+		case If:
+			walkBlockRO(f, x.Then, path+".then", visit)
+			walkBlockRO(f, x.Else, path+".else", visit)
+		case While:
+			walkBlockRO(f, x.Body, path+".body", visit)
+		}
+	}
+}
+
+func joinPath(prefix, seg string) string {
+	if prefix == "" {
+		return seg
+	}
+	return prefix + "." + seg
+}
+
+func (p *Program) walkBlock(f *Func, b Block, ctr *int, prefix string) error {
 	for i := range b {
-		if err := p.walkStmt(f, &b[i], ctr); err != nil {
+		if err := p.walkStmt(f, &b[i], ctr, joinPath(prefix, fmt.Sprintf("s%d", i))); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (p *Program) walkStmt(f *Func, sp *Stmt, ctr *int) error {
+func (p *Program) walkStmt(f *Func, sp *Stmt, ctr *int, path string) error {
 	switch s := (*sp).(type) {
 	case If:
 		if s.Label == "" {
 			s.Label = fmt.Sprintf("%s:%s#%d", p.Name, f.Name, *ctr)
 		}
 		*ctr++
-		if err := p.walkBlock(f, s.Then, ctr); err != nil {
+		if err := p.walkBlock(f, s.Then, ctr, path+".then"); err != nil {
 			return err
 		}
-		if err := p.walkBlock(f, s.Else, ctr); err != nil {
+		if err := p.walkBlock(f, s.Else, ctr, path+".else"); err != nil {
 			return err
 		}
 		*sp = s
@@ -311,18 +374,22 @@ func (p *Program) walkStmt(f *Func, sp *Stmt, ctr *int) error {
 			s.Label = fmt.Sprintf("%s:%s#%d", p.Name, f.Name, *ctr)
 		}
 		*ctr++
-		if err := p.walkBlock(f, s.Body, ctr); err != nil {
+		if err := p.walkBlock(f, s.Body, ctr, path+".body"); err != nil {
 			return err
 		}
 		*sp = s
 	case Alloc:
 		if s.Site == "" {
-			return fmt.Errorf("lang: %s: Alloc into %q without a site name", f.Name, s.Var)
+			// Zero-annotation guests: synthesize a deterministic name from
+			// the statement's stable node path.
+			s.Site = fmt.Sprintf("%s:%s#%s", p.Name, f.Name, path)
 		}
 		if p.sites[s.Site] {
 			return fmt.Errorf("lang: duplicate allocation site %q", s.Site)
 		}
 		p.sites[s.Site] = true
+		p.allocSites = append(p.allocSites, AllocSite{Name: s.Site, Func: f.Name, Path: path})
+		*sp = s
 		if err := p.checkExpr(f, s.Size); err != nil {
 			return err
 		}

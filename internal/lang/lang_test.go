@@ -58,11 +58,114 @@ func TestFinalizeRejectsArityMismatch(t *testing.T) {
 	}
 }
 
-func TestFinalizeRejectsMissingSiteName(t *testing.T) {
+func TestFinalizeAutoNamesMissingSite(t *testing.T) {
 	p := NewProgram("x")
-	p.AddFunc(Fn("main", nil, Alloc{Var: "a", Size: U32(4)}))
-	if err := p.Finalize(); err == nil {
-		t.Fatal("alloc without site name accepted")
+	p.AddFunc(Fn("main", nil,
+		Let("n", InAt(0)),
+		IfThen("", Ult(V("n"), U32(9)),
+			Alloc{Var: "a", Size: V("n")},
+		),
+	))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := "x:main#s1.then.s0"
+	if sites := p.Sites(); len(sites) != 1 || sites[0] != want {
+		t.Fatalf("sites = %v, want [%s]", sites, want)
+	}
+	// A second program with the same shape synthesizes the same name.
+	q := NewProgram("x")
+	q.AddFunc(Fn("main", nil,
+		Let("n", InAt(0)),
+		IfThen("", Ult(V("n"), U32(9)),
+			Alloc{Var: "a", Size: V("n")},
+		),
+	))
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sites := q.Sites(); sites[0] != want {
+		t.Fatalf("auto-naming not deterministic: %v", sites)
+	}
+}
+
+func TestAllocSitesTraversalOrder(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("zfirst", []string{"n"},
+		AllocAt("a", "z@1", V("n")),
+		RetVoid(),
+	))
+	p.AddFunc(Fn("main", nil,
+		Let("n", InAt(0)),
+		AllocAt("b", "m@1", V("n")),
+		Do(Call("zfirst", V("n"))),
+	))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	got := p.AllocSites()
+	// Functions are walked sorted by name: main before zfirst.
+	want := []AllocSite{
+		{Name: "m@1", Func: "main", Path: "s1"},
+		{Name: "z@1", Func: "zfirst", Path: "s0"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("alloc sites = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alloc site %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkStmtsPaths(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		Let("a", U32(1)),
+		IfElse("", Eq(V("a"), U32(1)),
+			Block{Let("b", U32(2))},
+			Block{Loop("", Ult(V("a"), U32(3)), Let("a", Add(V("a"), U32(1))))},
+		),
+	))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	p.WalkStmts(func(f *Func, path string, s Stmt) {
+		paths = append(paths, path)
+	})
+	want := []string{"s0", "s1", "s1.then.s0", "s1.else.s0", "s1.else.s0.body.s0"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("path %d = %q, want %q", i, paths[i], want[i])
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Mul(V("g_rowbytes"), V("g_height")), "(g_rowbytes * g_height)"},
+		{Add(Mul(V("ct"), U32(4)), U32(16)), "((ct * 4) + 16)"},
+		{ZX(32, In(Add(V("off"), U32(3)))), "zx32(in[(off + 3)])"},
+		{SX(16, V("v")), "sx16(v)"},
+		{Load(V("buf"), V("i")), "buf[i]"},
+		{Call("f", V("a"), U32(2)), "f(a, 2)"},
+		{Neg(V("x")), "-(x)"},
+		{BitNot(V("x")), "~(x)"},
+		{LShr(V("x"), U32(2)), "(x >>u 2)"},
+		{Len(), "len"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
 	}
 }
 

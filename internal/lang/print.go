@@ -1,0 +1,50 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Operator symbols for ExprString, indexed by BinOp. Unsigned/signed
+// variants carry a suffix so renderings stay unambiguous.
+var binOpSyms = [...]string{"+", "-", "*", "/u", "%u", "&", "|", "^", "<<", ">>u", ">>s"}
+
+// ExprString renders an expression in a compact, deterministic C-like
+// syntax for site records and reports. The rendering is purely syntactic:
+// structurally equal expressions always render identically, so rendered
+// expressions are safe to diff in golden files.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case Lit:
+		return strconv.FormatUint(x.V, 10)
+	case VarRef:
+		return x.Name
+	case Bin:
+		return "(" + ExprString(x.A) + " " + binOpSyms[x.Op] + " " + ExprString(x.B) + ")"
+	case Un:
+		if x.Neg {
+			return "-(" + ExprString(x.A) + ")"
+		}
+		return "~(" + ExprString(x.A) + ")"
+	case Cvt:
+		kind := "zx"
+		if x.Signed {
+			kind = "sx"
+		}
+		return fmt.Sprintf("%s%d(%s)", kind, x.W, ExprString(x.A))
+	case InByte:
+		return "in[" + ExprString(x.Idx) + "]"
+	case InLen:
+		return "len"
+	case LoadExpr:
+		return ExprString(x.Ptr) + "[" + ExprString(x.Off) + "]"
+	case CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Fn + "(" + strings.Join(args, ", ") + ")"
+	}
+	return "?"
+}

@@ -14,6 +14,7 @@ import (
 
 	"diode/internal/apps"
 	"diode/internal/core"
+	"diode/internal/discover"
 )
 
 // Rate is one success-rate measurement: Hits triggering inputs out of Total
@@ -252,6 +253,40 @@ func TableExtended(appList []*apps.App, recs []*AppRecord) string {
 		exposed+unsat+prevented, exposed, unsat, prevented)
 	w.Flush()
 	return b.String()
+}
+
+// TableDiscovered renders the static site-discovery summary: per
+// application, the discovered sites by kind, next to the size of the
+// curated paper table those discoveries supersede. Discovery is static —
+// the counts come from the apps' discovery pass, not from sweep records.
+func TableDiscovered(appList []*apps.App) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Discovered Overflow Sites (static pass, discovery v%s)\n\n", discover.Version)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Application\tSites\tAlloc\tArith\tCurated")
+	var totals [4]int
+	for _, app := range appList {
+		sites, err := app.Discovered()
+		if err != nil {
+			return "", fmt.Errorf("report: %s: %w", app.Short, err)
+		}
+		var alloc, arith int
+		for _, s := range sites {
+			switch s.Kind {
+			case discover.KindAlloc:
+				alloc++
+			case discover.KindArith:
+				arith++
+			}
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", app.Name, len(sites), alloc, arith, len(app.Paper))
+		for i, v := range []int{len(sites), alloc, arith, len(app.Paper)} {
+			totals[i] += v
+		}
+	}
+	fmt.Fprintf(w, "Total\t%d\t%d\t%d\t%d\n", totals[0], totals[1], totals[2], totals[3])
+	w.Flush()
+	return b.String(), nil
 }
 
 func durMS(ms int64) string {

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -147,5 +148,44 @@ func TestRateString(t *testing.T) {
 	}
 	if (Rate{Hits: 3, Total: 7}).String() != "3/7" {
 		t.Error("rate render")
+	}
+}
+
+// TestTableDiscovered checks the static-discovery summary: one row per
+// application with kind counts that add up, a curated column matching the
+// paper tables, and a totals row.
+func TestTableDiscovered(t *testing.T) {
+	appList := apps.All()
+	out, err := TableDiscovered(appList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Discovered Overflow Sites") || !strings.Contains(out, "Alloc") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, app := range appList {
+		if !strings.Contains(out, app.Name) {
+			t.Errorf("missing row for %s:\n%s", app.Name, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "Total") {
+		t.Fatalf("last line is not the totals row: %q", last)
+	}
+	var total, alloc, arith, curated int
+	if _, err := fmt.Sscanf(strings.Join(strings.Fields(last), " "),
+		"Total %d %d %d %d", &total, &alloc, &arith, &curated); err != nil {
+		t.Fatalf("unparseable totals row %q: %v", last, err)
+	}
+	if total != alloc+arith || total == 0 {
+		t.Errorf("totals row inconsistent: %d sites != %d alloc + %d arith", total, alloc, arith)
+	}
+	var wantCurated int
+	for _, app := range appList {
+		wantCurated += len(app.Paper)
+	}
+	if curated != wantCurated {
+		t.Errorf("curated total = %d, want %d", curated, wantCurated)
 	}
 }
