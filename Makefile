@@ -45,14 +45,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Machine-readable benchmark artifact: one iteration of the headline
-# benchmarks (table regeneration, dispatch overhead, incremental solving,
+# benchmarks (table regeneration, guest execution, dispatch overhead, incremental solving,
 # warm-vs-cold caching, sampling strategies, portfolio solving), parsed into
 # BENCH_SMOKE.json by cmd/benchjson. CI uploads the JSON so metric history
 # survives as build artifacts.
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' \
-	  -bench '^(BenchmarkTable1|BenchmarkDispatchLocal|BenchmarkHuntIncremental|BenchmarkSweepWarmVsCold|BenchmarkSampleModels|BenchmarkPortfolioSolve)$$' \
+	  -bench '^(BenchmarkTable1|BenchmarkMachineSteps|BenchmarkGuestExec|BenchmarkDispatchLocal|BenchmarkHuntIncremental|BenchmarkSweepWarmVsCold|BenchmarkSampleModels|BenchmarkPortfolioSolve)$$' \
 	  -benchtime=1x . > BENCH_SMOKE.txt
 	cat BENCH_SMOKE.txt
 	./bin/benchjson -o BENCH_SMOKE.json < BENCH_SMOKE.txt
@@ -91,14 +91,16 @@ discover-smoke:
 	echo "discover smoke ok: 7 listings match goldens"
 
 # Short live-fuzz pass: the per-format fix-up invariant targets, the
-# cross-layer FuzzHunt engine-robustness target, and the dispatch-layer
-# Job/Result codec round-trip target.
+# cross-layer FuzzHunt engine-robustness target, the dispatch-layer
+# Job/Result codec round-trip target, and the differential
+# threaded-vs-tree-walker Machine parity target.
 fuzz-smoke:
 	@for target in FuzzSPNG FuzzSWAV FuzzSJPG FuzzSWEBP FuzzSXWD FuzzSGIF FuzzSTIF; do \
 		$(GO) test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime 5s ./internal/formats || exit 1; \
 	done
 	$(GO) test -run '^FuzzHunt$$' -fuzz '^FuzzHunt$$' -fuzztime 5s ./internal/core
 	$(GO) test -run '^FuzzJobResultCodec$$' -fuzz '^FuzzJobResultCodec$$' -fuzztime 5s ./internal/dispatch
+	$(GO) test -run '^FuzzMachineParity$$' -fuzz '^FuzzMachineParity$$' -fuzztime 5s ./internal/interp
 
 # End-to-end work-queue smoke: build the real worker binary, pipe a three-job
 # batch through its stdin/stdout protocol, and assert the verdicts (the

@@ -13,6 +13,7 @@ import (
 	"diode/internal/dispatch"
 	"diode/internal/harness"
 	"diode/internal/interp"
+	"diode/internal/lang"
 	"diode/internal/solver"
 )
 
@@ -530,9 +531,12 @@ func BenchmarkSuccessRateBatched(b *testing.B) {
 // metrics:
 //
 //	dispatch-vs-direct — wall-clock ratio (≈1 means the job layer is free)
-//	overhead-us/job    — absolute per-job cost of job records, the analysis
-//	                     cache lookup and the result stream (near zero, or
-//	                     negative noise, in the cache-warm steady state)
+//	delta-us/job       — signed per-job wall-clock delta, dispatch minus
+//	                     direct: the cost of job records, the analysis cache
+//	                     lookup and the result stream. Near zero in the
+//	                     cache-warm steady state; negative values are
+//	                     scheduling noise (the dispatch run happened to win
+//	                     the ratio race), not real savings
 func BenchmarkDispatchLocal(b *testing.B) {
 	app, err := apps.ByName("dillo")
 	if err != nil {
@@ -581,7 +585,7 @@ func BenchmarkDispatchLocal(b *testing.B) {
 			}
 		}
 		b.ReportMetric(dispatchTime.Seconds()/directTime.Seconds(), "dispatch-vs-direct")
-		b.ReportMetric((dispatchTime-directTime).Seconds()*1e6/float64(len(jobs)), "overhead-us/job")
+		b.ReportMetric((dispatchTime-directTime).Seconds()*1e6/float64(len(jobs)), "delta-us/job")
 	}
 }
 
@@ -808,5 +812,96 @@ func BenchmarkPortfolioSolve(b *testing.B) {
 		b.ReportMetric(float64(st.PortfolioRaces), "races")
 		b.ReportMetric(float64(st.LearntsShared), "learnts-shared")
 		b.ReportMetric(portfolioTime.Seconds()/singleTime.Seconds(), "time-ratio")
+	}
+}
+
+// BenchmarkMachineSteps measures raw dispatch-loop throughput: a pure
+// arithmetic fuel-burner guest (no memory traffic, no input reads) run to
+// fuel exhaustion on one reused Machine. steps/sec is the interpreter's
+// step-retire rate, and allocs/op must be zero — the warm plain-mode hot
+// path performs no allocation (audit with -benchmem).
+func BenchmarkMachineSteps(b *testing.B) {
+	prog := lang.NewProgram("stepburner")
+	prog.AddFunc(lang.Fn("main", nil,
+		lang.Let("i", lang.U32(0)),
+		lang.Let("x", lang.U32(1)),
+		lang.Loop("burn", lang.Ult(lang.V("i"), lang.U32(0xFFFFFFFF)),
+			lang.Let("x", lang.Add(lang.V("x"), lang.V("i"))),
+			lang.Let("i", lang.Add(lang.V("i"), lang.U32(1))),
+		),
+	))
+	if err := prog.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	const fuel = 1 << 20
+	m := interp.NewMachine(interp.Compile(prog))
+	opts := interp.Options{Fuel: fuel}
+	m.Reset(nil, opts)
+	if out := m.Run(); out.Kind != interp.OutFuel { // warm-up + sanity
+		b.Fatalf("fuel burner finished: %v", out.Kind)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset(nil, opts)
+		if out := m.Run(); out.Kind != interp.OutFuel {
+			b.Fatal("fuel burner finished early")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fuel)*float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// BenchmarkGuestExec measures per-app guest-execution latency: every
+// registered application's seed-derived input batch run on the reused
+// direct-threaded Machine, against the tree-walking oracle on the identical
+// batch (timed once during setup). Reported metrics:
+//
+//	threaded-vs-tree — tree-walker / threaded wall clock on the same batch;
+//	                   CI asserts > 1.0 so dispatch regressions fail loudly
+//	run-us           — threaded per-execution latency
+//
+// allocs/op must be zero: plain-mode runs on a warm Machine do not allocate.
+// The batch is executed a fixed number of times per benchmark iteration so
+// the speedup metric is stable even at -benchtime=1x.
+func BenchmarkGuestExec(b *testing.B) {
+	const reps = 20
+	for _, app := range apps.All() {
+		app := app
+		b.Run(app.Short, func(b *testing.B) {
+			seed := app.Format.Seed
+			corrupt := append([]byte(nil), seed...)
+			for i := len(corrupt) / 4; i < len(corrupt)/2; i++ {
+				corrupt[i] = 0xFF
+			}
+			inputs := [][]byte{seed, corrupt, seed[:len(seed)/2], nil}
+			opts := interp.Options{}
+			m := interp.NewMachine(app.Compiled())
+			for _, in := range inputs { // warm the machine's reusable storage
+				m.Reset(in, opts)
+				m.Run()
+			}
+			t0 := time.Now()
+			for r := 0; r < reps; r++ {
+				for _, in := range inputs {
+					interp.RunTree(app.Program, in, opts)
+				}
+			}
+			tree := time.Since(t0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < reps; r++ {
+					for _, in := range inputs {
+						m.Reset(in, opts)
+						m.Run()
+					}
+				}
+			}
+			b.StopTimer()
+			perIter := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(tree.Seconds()/perIter, "threaded-vs-tree")
+			b.ReportMetric(perIter*1e6/float64(reps*len(inputs)), "run-us")
+		})
 	}
 }

@@ -18,6 +18,19 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+// TestParseLineSignedMetric pins negative metric values: delta-us/job is an
+// honestly signed delta (dispatch minus direct), so a scheduling-noise
+// negative must survive parsing rather than be rejected or clamped.
+func TestParseLineSignedMetric(t *testing.T) {
+	b, ok := parseLine("BenchmarkDispatchLocal \t 2\t 5124833 ns/op\t -42.70 delta-us/job", "diode")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if got := b.Metrics["delta-us/job"]; got != -42.70 {
+		t.Fatalf("delta-us/job = %v, want -42.70", got)
+	}
+}
+
 func TestParseLineSubBenchAndProcs(t *testing.T) {
 	b, ok := parseLine("BenchmarkSuccessRateTargetOnly/vlc-8   5   123456 ns/op", "diode")
 	if !ok {

@@ -17,7 +17,7 @@
 //	diode-tables [-table all|1|2|samepath|extended] [-n 200] [-seed 1]
 //	             [-parallel N] [-workers N] [-backend local|exec] [-worker BIN]
 //	             [-cache-dir DIR] [-no-cache] [-json] [-progress] [-db out.json]
-//	             [-discover]
+//	             [-discover] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -discover appends the statically discovered-site table (per-application
 // alloc/arith counts from the internal/discover pass) after the selected
@@ -41,10 +41,15 @@ import (
 
 	"diode"
 	"diode/internal/harness"
+	"diode/internal/prof"
 	"diode/internal/report"
 )
 
-func main() {
+// main delegates to run so every exit path unwinds normally — os.Exit skips
+// defers, and the profile flush in run relies on them.
+func main() { os.Exit(run()) }
+
+func run() (code int) {
 	table := flag.String("table", "all", "which table to produce: all, 1, 2, samepath, extended")
 	n := flag.Int("n", 200, "inputs per success-rate experiment (0 disables; paper uses 200)")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -60,14 +65,29 @@ func main() {
 	portfolio := flag.Int("portfolio", 0, "race this many solver configurations per hard CDCL solve (0/1 = single engine)")
 	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
 	discoverMode := flag.Bool("discover", false, "append the statically discovered-site table after the selected tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		// Fail loudly rather than silently ignoring arguments — in
 		// particular the old `-json out.json` spelling, whose file role
 		// moved to -db when -json became the record-stream mode.
 		fmt.Fprintf(os.Stderr, "unexpected argument %q (-json is now a boolean record-stream mode; use -db FILE for the results database)\n", flag.Arg(0))
-		os.Exit(2)
+		return 2
 	}
+	profiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		return 2
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -98,7 +118,7 @@ func main() {
 		cfg.SamePath = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
-		os.Exit(2)
+		return 2
 	}
 
 	var sink diode.JobSink
@@ -131,7 +151,7 @@ func main() {
 		cfg.Backend = execBackend
 	default:
 		fmt.Fprintf(os.Stderr, "unknown backend %q (local, exec)\n", *backendName)
-		os.Exit(2)
+		return 2
 	}
 
 	outcomes := harness.EvaluateContext(ctx, cfg, appList)
@@ -154,7 +174,7 @@ func main() {
 	if failed || ctx.Err() != nil {
 		// No partial tables: a missing application would silently skew the
 		// totals row, so any error (or a cancelled sweep) is fatal.
-		os.Exit(1)
+		return 1
 	}
 	recs := harness.Records(outcomes)
 
@@ -163,7 +183,7 @@ func main() {
 		for _, rec := range recs {
 			if err := enc.Encode(rec); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	} else {
@@ -192,7 +212,7 @@ func main() {
 			out, err := diode.TableDiscovered(appList)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(out)
 		}
@@ -202,12 +222,13 @@ func main() {
 		data, err := report.Save(recs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*dbOut, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintln(os.Stderr, "results database written to", *dbOut)
 	}
+	return 0
 }

@@ -14,7 +14,7 @@
 //
 //	diode -app dillo [-seed 1] [-parallel N] [-backend local|exec] [-worker BIN]
 //	      [-cache-dir DIR] [-no-cache] [-expr] [-v] [-json] [-progress]
-//	      [-sites] [-discover]
+//	      [-sites] [-discover] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -sites prints the application's statically discovered overflow sites (the
 // internal/discover listing: name, kind, function, taint sources, rendered
@@ -40,10 +40,15 @@ import (
 	"syscall"
 
 	"diode"
+	"diode/internal/prof"
 	"diode/internal/report"
 )
 
-func main() {
+// main delegates to run so every exit path unwinds normally — os.Exit skips
+// defers, and the profile flush in run relies on them.
+func main() { os.Exit(run()) }
+
+func run() (code int) {
 	appName := flag.String("app", "dillo",
 		"application: "+strings.Join(diode.ApplicationNames(diode.Applications()), ", "))
 	seed := flag.Int64("seed", 1, "random seed for the hunt")
@@ -60,25 +65,40 @@ func main() {
 	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
 	sitesMode := flag.Bool("sites", false, "list the statically discovered sites (name, kind, function, taint, expression) and exit without hunting")
 	discoverMode := flag.Bool("discover", false, "sweep in static discovery order and append the discovered-site summary")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
-		os.Exit(2)
+		return 2
 	}
+	profiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		return 2
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	app, err := diode.Application(*appName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	if *sitesMode {
 		out, err := sitesListing(app)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "discovery failed:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(out)
-		return
+		return 0
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -90,7 +110,7 @@ func main() {
 	targets, err := jc.Targets(ctx, app, diode.JobOptionsFrom(opts))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analysis failed:", err)
-		os.Exit(1)
+		return 1
 	}
 	// Under -discover the sweep runs in static discovery order rather than
 	// seed-execution order; verdicts are per-site seeded either way, so the
@@ -100,7 +120,7 @@ func main() {
 		discovered, err = app.Discovered()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "discovery failed:", err)
-			os.Exit(1)
+			return 1
 		}
 		discoveryOrder(discovered, targets)
 	}
@@ -135,13 +155,13 @@ func main() {
 		backend = execBackend
 	default:
 		fmt.Fprintf(os.Stderr, "unknown backend %q (local, exec)\n", *backendName)
-		os.Exit(2)
+		return 2
 	}
 
 	results, err := diode.RunJobs(ctx, backend, jobs)
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "dispatch failed:", err)
-		os.Exit(1)
+		return 1
 	}
 	if ctx.Err() != nil {
 		// Interrupted: report the sites that finished, then exit non-zero.
@@ -187,13 +207,13 @@ func main() {
 			}
 			if err := enc.Encode(&rec); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if failed || ctx.Err() != nil {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	byID := make(map[int]*diode.Target, len(targets))
@@ -250,6 +270,7 @@ func main() {
 			stats.ModelCacheHits, stats.AssumptionSolves, stats.ClausesReused)
 	}
 	if failed || ctx.Err() != nil {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -49,18 +49,49 @@ func CompileBool(f *Bool) *CompiledBool {
 	c.out.root = c.boolSlot(f)
 	c.out.tvals = make([]uint64, c.nterm)
 	c.out.bvals = make([]bool, c.nbool)
+	// Constant slots are written here once and never touched by Eval (each
+	// instruction writes only its own dst), so they stay valid across calls.
+	for _, in := range c.tinit {
+		c.out.tvals[in.slot] = in.val
+	}
+	for _, in := range c.binit {
+		c.out.bvals[in.slot] = in.val != 0
+	}
 	return c.out
+}
+
+type slotInit struct {
+	slot int32
+	val  uint64
 }
 
 type evalCompiler struct {
 	out          *CompiledBool
 	tslot        map[*Term]int32
 	bslot        map[*Bool]int32
+	tinit, binit []slotInit
 	nterm, nbool int32
 }
 
 func (c *evalCompiler) termSlot(t *Term) int32 {
 	if s, ok := c.tslot[t]; ok {
+		return s
+	}
+	switch t.Kind {
+	case KZExt:
+		// Zero-extension is a no-op on the masked uint64 representation: the
+		// operand's slot already holds the zero-extended value, so alias the
+		// slot instead of emitting an instruction.
+		s := c.termSlot(t.X)
+		c.tslot[t] = s
+		return s
+	case KConst:
+		// Constants evaluate to themselves on every call; hoist them into a
+		// compile-time slot write instead of re-executing per Eval.
+		s := c.nterm
+		c.nterm++
+		c.tslot[t] = s
+		c.tinit = append(c.tinit, slotInit{slot: s, val: t.Val & Mask(t.W)})
 		return s
 	}
 	ins := evalInstr{op: uint8(t.Kind), w: t.W, val: t.Val, name: t.Name, lo: t.Lo}
@@ -85,6 +116,17 @@ func (c *evalCompiler) termSlot(t *Term) int32 {
 
 func (c *evalCompiler) boolSlot(b *Bool) int32 {
 	if s, ok := c.bslot[b]; ok {
+		return s
+	}
+	if b.Kind == BConst {
+		s := c.nbool
+		c.nbool++
+		c.bslot[b] = s
+		var v uint64
+		if b.BVal {
+			v = 1
+		}
+		c.binit = append(c.binit, slotInit{slot: s, val: v})
 		return s
 	}
 	ins := evalInstr{op: boolOpBase + uint8(b.Kind)}

@@ -107,6 +107,45 @@ func TestCompiledBoolMatchesEvalBool(t *testing.T) {
 	}
 }
 
+// TestCompiledBoolHoistsConstants pins the compile-time fusions: constant
+// terms/bools are written into their slots once at CompileBool time and
+// KZExt nodes alias their operand's slot, so none of the three appear in the
+// per-Eval instruction stream.
+func TestCompiledBoolHoistsConstants(t *testing.T) {
+	f := OrB(
+		Ult(ZExt(32, Var(8, "x")), Const(32, 10)),
+		Eq(Add(ZExt(32, Var(8, "x")), Const(32, 1)), Const(32, 4)),
+	)
+	ce := CompileBool(f)
+	for _, ins := range ce.instrs {
+		switch {
+		case ins.op == uint8(KConst):
+			t.Fatalf("KConst instruction survived compilation: %+v", ins)
+		case ins.op == uint8(KZExt):
+			t.Fatalf("KZExt instruction survived compilation: %+v", ins)
+		}
+	}
+	for _, x := range []uint64{3, 9, 10, 200} {
+		want, _ := (Assignment{"x": x}).EvalBool(f)
+		got, err := ce.Eval(Assignment{"x": x})
+		if err != nil || got != want {
+			t.Fatalf("x=%d: got %v, %v; want %v", x, got, err, want)
+		}
+	}
+	// A constant bool can only reach CompileBool as the whole formula (the
+	// combinators fold it away everywhere else); it compiles to zero
+	// instructions with the result prewritten into its slot.
+	for _, b := range []bool{true, false} {
+		cc := CompileBool(BoolConst(b))
+		if len(cc.instrs) != 0 {
+			t.Fatalf("BoolConst(%v) compiled to %d instructions", b, len(cc.instrs))
+		}
+		if got, err := cc.Eval(Assignment{}); err != nil || got != b {
+			t.Fatalf("BoolConst(%v) evaluated to %v, %v", b, got, err)
+		}
+	}
+}
+
 // TestCompiledBoolUnbound pins the unbound-variable error path.
 func TestCompiledBoolUnbound(t *testing.T) {
 	f := Ult(ZExt(32, Var(8, "x")), Const(32, 10))

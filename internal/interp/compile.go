@@ -7,20 +7,20 @@ import (
 
 	"diode/internal/bv"
 	"diode/internal/lang"
-	"diode/internal/taint"
 )
 
-// Compiled is the slot-resolved executable form of a finalized program: every
-// variable reference is resolved to an integer frame slot (locals) or a
-// program-wide global slot at compile time, call targets are direct function
-// pointers instead of per-call map lookups, literals are pre-masked to their
-// width, and branch labels sit directly on the compiled nodes. A Compiled is
-// immutable after Compile returns and safe to share across any number of
+// Compiled is the direct-threaded executable form of a finalized program:
+// every function body is one linear []instr stream (branch targets are
+// instruction indices), every variable reference is resolved to an integer
+// frame slot (locals) or a program-wide global slot, literals are pre-masked
+// into per-function tables, and call targets are function indices. A Compiled
+// is immutable after Compile returns and safe to share across any number of
 // concurrent Machines — the Analyzer compiles each application once and every
 // site's Hunter executes the same Compiled on a private Machine.
 type Compiled struct {
 	name        string
 	funcs       map[string]*cFunc
+	funcList    []*cFunc // opCall targets by index
 	main        *cFunc
 	numGlobals  int
 	globalNames []string // global slot index → variable name
@@ -29,25 +29,25 @@ type Compiled struct {
 // Name returns the compiled program's name.
 func (c *Compiled) Name() string { return c.name }
 
-// cFunc is one compiled procedure.
+// cFunc is one compiled procedure: its instruction stream plus the constant
+// pools the instructions index into.
 type cFunc struct {
 	name      string
-	params    []slotRef // parameter binding slots (always local, in order)
+	idx       int32
+	params    []int32 // parameter binding slots (always local, in order)
 	numSlots  int
 	slotNames []string // local slot index → variable name (error messages)
-	body      []cStmt
+	code      []instr
+	lits      []value     // pre-masked literal operands (refLit)
+	strs      []string    // labels, allocation sites, abort/warn messages
+	loops     []storeLoop // bulk-loop descriptors (opStoreLoop)
+	maxStack  int         // value-stack slots this function needs above its base
+	maxBools  int         // bool-stack slots this function needs above its base
 }
 
-// slotRef is a resolved variable location: a local frame slot, or a global
-// slot when the variable carries the "g_" program-wide prefix.
-type slotRef struct {
-	idx    int32
-	global bool
-}
-
-// Compile flattens a finalized program into its slot-resolved executable
-// form. It panics on a program that Finalize would reject (no main, calls to
-// undefined functions); run Program.Finalize first.
+// Compile lowers a finalized program into its direct-threaded form. It panics
+// on a program that Finalize would reject (no main, calls to undefined
+// functions); run Program.Finalize first.
 func Compile(prog *lang.Program) *Compiled {
 	c := &Compiled{
 		name:  prog.Name,
@@ -58,22 +58,36 @@ func Compile(prog *lang.Program) *Compiled {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	// Shells first so mutually recursive calls resolve to stable pointers.
-	for _, n := range names {
-		c.funcs[n] = &cFunc{name: n}
+	// Shells first so mutually recursive calls resolve to stable indices.
+	for i, n := range names {
+		f := &cFunc{name: n, idx: int32(i)}
+		c.funcs[n] = f
+		c.funcList = append(c.funcList, f)
 	}
 	globals := map[string]int32{}
 	for _, n := range names {
 		src := prog.Funcs[n]
-		fc := &funcCompiler{c: c, globals: globals, f: c.funcs[n], locals: map[string]int32{}}
+		l := &lowerer{
+			c:       c,
+			globals: globals,
+			f:       c.funcs[n],
+			locals:  map[string]int32{},
+			strIdx:  map[string]uint16{},
+			litIdx:  map[litKey]int32{},
+		}
 		for _, p := range src.Params {
 			// Parameters bind into local slots unconditionally, mirroring the
 			// tree-walker's call semantics (a "g_"-named parameter lands in
 			// the frame, where the prefix rule never reads it).
-			fc.f.params = append(fc.f.params, slotRef{idx: fc.localSlot(p)})
+			l.f.params = append(l.f.params, l.localSlot(p))
 		}
-		fc.f.body = fc.block(src.Body)
-		fc.f.numSlots = len(fc.f.slotNames)
+		for _, s := range src.Body {
+			l.stmt(s)
+		}
+		// Implicit end-of-body return. Charge 0: the tree-walker charges
+		// nothing for falling off the end of a block.
+		l.emit(instr{op: opRetVoid})
+		l.f.numSlots = len(l.f.slotNames)
 	}
 	c.numGlobals = len(c.globalNames)
 	c.main = c.funcs["main"]
@@ -83,313 +97,574 @@ func Compile(prog *lang.Program) *Compiled {
 	return c
 }
 
-// funcCompiler compiles one procedure, interning variable names to slots.
-type funcCompiler struct {
+type litKey struct {
+	v uint64
+	w uint8
+}
+
+// lowerer compiles one procedure into its flat instruction stream.
+//
+// pending is the fuel-parity accumulator: the tree-walker charges each node's
+// step in pre-order, so a parent's step is counted into pending and attached
+// to the charge of the *first* instruction emitted for its subtree. Every
+// instruction's observable effects come after its charges, which makes the
+// lumped subtraction byte-identical to the tree's step-at-a-time accounting
+// (see the package comment in threaded.go).
+type lowerer struct {
 	c       *Compiled
 	globals map[string]int32
 	f       *cFunc
 	locals  map[string]int32
+	strIdx  map[string]uint16
+	litIdx  map[litKey]int32
+	pending int // pre-order step charges not yet attached to an instruction
+	depth   int // current value-stack depth
+	bdepth  int // current bool-stack depth
 }
 
-// slot resolves a variable reference: names with the "g_" prefix share the
-// program-wide global slot table, everything else is function-local.
-func (fc *funcCompiler) slot(name string) slotRef {
-	if strings.HasPrefix(name, "g_") {
-		i, ok := fc.globals[name]
-		if !ok {
-			i = int32(len(fc.c.globalNames))
-			fc.globals[name] = i
-			fc.c.globalNames = append(fc.c.globalNames, name)
-		}
-		return slotRef{idx: i, global: true}
+func (l *lowerer) emit(i instr) int32 {
+	l.f.code = append(l.f.code, i)
+	return int32(len(l.f.code) - 1)
+}
+
+func (l *lowerer) here() int32 { return int32(len(l.f.code)) }
+
+func (l *lowerer) patch(idx int32) { l.f.code[idx].dst = l.here() }
+
+func (l *lowerer) pushV() {
+	l.depth++
+	if l.depth > l.f.maxStack {
+		l.f.maxStack = l.depth
 	}
-	return slotRef{idx: fc.localSlot(name)}
 }
 
-func (fc *funcCompiler) localSlot(name string) int32 {
-	if i, ok := fc.locals[name]; ok {
+func (l *lowerer) pushB() {
+	l.bdepth++
+	if l.bdepth > l.f.maxBools {
+		l.f.maxBools = l.bdepth
+	}
+}
+
+// take consumes the pending pre-order charges plus extra steps of the
+// instruction being emitted.
+func (l *lowerer) take(extra int) uint16 {
+	p := l.pending + extra
+	l.pending = 0
+	return uint16(p)
+}
+
+func (l *lowerer) localSlot(name string) int32 {
+	if i, ok := l.locals[name]; ok {
 		return i
 	}
-	i := int32(len(fc.f.slotNames))
-	fc.locals[name] = i
-	fc.f.slotNames = append(fc.f.slotNames, name)
+	i := int32(len(l.f.slotNames))
+	l.locals[name] = i
+	l.f.slotNames = append(l.f.slotNames, name)
 	return i
 }
 
-func (fc *funcCompiler) block(b lang.Block) []cStmt {
-	out := make([]cStmt, len(b))
-	for i, s := range b {
-		out[i] = fc.stmt(s)
+// varRef resolves a variable reference: names with the "g_" prefix share the
+// program-wide global slot table, everything else is function-local.
+func (l *lowerer) varRef(name string) (int32, uint8) {
+	if strings.HasPrefix(name, "g_") {
+		i, ok := l.globals[name]
+		if !ok {
+			i = int32(len(l.c.globalNames))
+			l.globals[name] = i
+			l.c.globalNames = append(l.c.globalNames, name)
+		}
+		return i, refGlobal
 	}
-	return out
+	return l.localSlot(name), refLocal
 }
 
-func (fc *funcCompiler) stmt(s lang.Stmt) cStmt {
+func (l *lowerer) varSlotOf(name string) (int32, bool) {
+	i, k := l.varRef(name)
+	return i, k == refGlobal
+}
+
+func (l *lowerer) litRef(x lang.Lit) (int32, uint8) {
+	k := litKey{v: x.V & bv.Mask(x.W), w: x.W}
+	if i, ok := l.litIdx[k]; ok {
+		return i, refLit
+	}
+	i := int32(len(l.f.lits))
+	l.litIdx[k] = i
+	l.f.lits = append(l.f.lits, value{v: k.v, w: k.w})
+	return i, refLit
+}
+
+// leafRef resolves a leaf operand (literal or variable) whose step charge the
+// caller batches into a fused instruction.
+func (l *lowerer) leafRef(e lang.Expr) (int32, uint8, bool) {
+	switch x := e.(type) {
+	case lang.Lit:
+		i, k := l.litRef(x)
+		return i, k, true
+	case lang.VarRef:
+		i, k := l.varRef(x.Name)
+		return i, k, true
+	}
+	return 0, 0, false
+}
+
+func isLeaf(e lang.Expr) bool {
+	switch e.(type) {
+	case lang.Lit, lang.VarRef:
+		return true
+	}
+	return false
+}
+
+func (l *lowerer) str(s string) uint16 {
+	if i, ok := l.strIdx[s]; ok {
+		return i
+	}
+	i := uint16(len(l.f.strs))
+	l.strIdx[s] = i
+	l.f.strs = append(l.f.strs, s)
+	return i
+}
+
+func (l *lowerer) stmt(s lang.Stmt) {
+	l.pending++ // the statement's own pre-order step
 	switch st := s.(type) {
 	case lang.Assign:
-		e := fc.operand(st.E)
-		if bin, ok := e.e.(*cBin); ok {
-			// Fused assignment-of-binop: the statement's step charge joins
-			// the binop's prefix in one fuel check (see cAssignBin.exec).
-			return &cAssignBin{dst: fc.slot(st.Var), pre: 1 + bin.pre, bin: bin}
-		}
-		return &cAssign{dst: fc.slot(st.Var), e: e}
+		l.assign(st)
 	case lang.Alloc:
-		return &cAlloc{dst: fc.slot(st.Var), site: st.Site, size: fc.operand(st.Size)}
+		l.pushExpr(st.Size)
+		dst, dk := l.varRef(st.Var)
+		l.emit(instr{op: opAllocPop, flg: dk << 4, aux: l.str(st.Site), dst: dst})
+		l.depth--
 	case lang.Store:
-		return &cStore{ptr: fc.operand(st.Ptr), off: fc.operand(st.Off), val: fc.operand(st.Val)}
+		l.store(st)
 	case lang.If:
-		return &cIf{label: st.Label, cond: fc.boolExpr(st.Cond), then: fc.block(st.Then), els: fc.block(st.Else)}
+		br := l.condBranch(st.Label, st.Cond)
+		for _, t := range st.Then {
+			l.stmt(t)
+		}
+		if len(st.Else) > 0 {
+			j := l.emit(instr{op: opJmp})
+			l.patch(br)
+			for _, t := range st.Else {
+				l.stmt(t)
+			}
+			l.patch(j)
+		} else {
+			l.patch(br)
+		}
 	case lang.While:
-		return &cWhile{label: st.Label, cond: fc.boolExpr(st.Cond), body: fc.block(st.Body)}
+		// The While statement's own step is charged once, before the loop
+		// head, so back edges do not recharge it.
+		l.emit(instr{op: opCharge, charge: l.take(0)})
+		head := l.here()
+		if lp, ok := l.matchStoreLoop(st); ok {
+			l.f.loops = append(l.f.loops, lp)
+			l.emit(instr{op: opStoreLoop, imm: uint64(len(l.f.loops) - 1)})
+		}
+		br := l.condBranch(st.Label, st.Cond)
+		for _, t := range st.Body {
+			l.stmt(t)
+		}
+		l.emit(instr{op: opJmp, dst: head})
+		l.patch(br)
 	case lang.ExprStmt:
-		return &cExprStmt{e: fc.operand(st.E)}
+		l.pushExpr(st.E)
+		l.emit(instr{op: opPopDrop})
+		l.depth--
 	case lang.Return:
-		r := &cReturn{}
 		if st.E != nil {
-			r.has = true
-			r.e = fc.operand(st.E)
+			l.pushExpr(st.E)
+			l.emit(instr{op: opRetPop})
+			l.depth--
+		} else {
+			l.emit(instr{op: opRetVoid, charge: l.take(0)})
 		}
-		return r
 	case lang.AbortStmt:
-		return &cAbort{msg: st.Msg}
+		l.emit(instr{op: opAbortStmt, charge: l.take(0), aux: l.str(st.Msg)})
 	case lang.WarnStmt:
-		return &cWarn{msg: st.Msg}
+		l.emit(instr{op: opWarnStmt, charge: l.take(0), aux: l.str(st.Msg)})
+	default:
+		panic(fmt.Sprintf("interp: Compile: unknown statement %T", s))
 	}
-	panic(fmt.Sprintf("interp: Compile: unknown statement %T", s))
 }
 
-// operand pre-resolves an expression position: variable reads and literals —
-// the overwhelmingly common operand shapes — are tagged for inline
-// evaluation without an interface dispatch; everything else falls through to
-// the generic compiled node.
-func (fc *funcCompiler) operand(e lang.Expr) operand {
-	switch x := e.(type) {
-	case lang.Lit:
-		return operand{kind: opLit, v: x.V & bv.Mask(x.W), w: x.W}
-	case lang.VarRef:
-		return operand{kind: opVar, slot: fc.slot(x.Name), name: x.Name}
-	}
-	return operand{kind: opGen, e: fc.expr(e)}
-}
-
-func (fc *funcCompiler) expr(e lang.Expr) cExpr {
-	switch x := e.(type) {
-	case lang.Lit:
-		return &cLit{v: x.V & bv.Mask(x.W), w: x.W}
-	case lang.VarRef:
-		return &cVar{src: fc.slot(x.Name), name: x.Name}
+// assign lowers an assignment, fusing the common right-hand shapes (leaf
+// copy, leaf binop — the add-immediate idiom — conversion, input byte, load,
+// and the ZX(w, In(leaf+leaf)) superinstruction) into single instructions.
+func (l *lowerer) assign(st lang.Assign) {
+	dst, dk := l.varRef(st.Var)
+	switch e := st.E.(type) {
+	case lang.Lit, lang.VarRef:
+		a, ak, _ := l.leafRef(e)
+		l.emit(instr{op: opAssignRef, flg: ak | dk<<4, charge: l.take(1), a: a, dst: dst})
+		return
 	case lang.Bin:
-		a, b := fc.operand(x.A), fc.operand(x.B)
-		return &cBin{op: x.Op, pre: stepPrefix(a, b), a: a, b: b}
-	case lang.Un:
-		a := fc.operand(x.A)
-		return &cUn{neg: x.Neg, pre: stepPrefix(a), a: a}
+		if a, ak, ok := l.leafRef(e.A); ok {
+			if b, bk, ok2 := l.leafRef(e.B); ok2 {
+				l.emit(instr{op: opAssignBin, sub: uint8(e.Op), flg: ak | bk<<2 | dk<<4, charge: l.take(3), a: a, b: b, dst: dst})
+				return
+			}
+		}
 	case lang.Cvt:
-		a := fc.operand(x.A)
-		node := &cCvt{w: x.W, signed: x.Signed, pre: stepPrefix(a), a: a}
-		if fused := fc.fuseLoadZX(x, node); fused != nil {
-			return fused
+		if a, b, ok := matchLoadZX(e); ok {
+			ai, ak, _ := l.leafRef(a)
+			bi, bk, _ := l.leafRef(b)
+			l.emit(instr{op: opAssignLoadZX, w: e.W, flg: ak | bk<<2 | dk<<4, charge: l.take(5), a: ai, b: bi, dst: dst})
+			return
 		}
-		return node
+		if a, ak, ok := l.leafRef(e.A); ok {
+			f := ak | dk<<4
+			if e.Signed {
+				f |= flgBit
+			}
+			l.emit(instr{op: opAssignCvt, w: e.W, flg: f, charge: l.take(2), a: a, dst: dst})
+			return
+		}
 	case lang.InByte:
-		idx := fc.operand(x.Idx)
-		return &cInByte{pre: stepPrefix(idx), idx: idx}
-	case lang.InLen:
-		return cInLen{}
+		if a, ak, ok := l.leafRef(e.Idx); ok {
+			l.emit(instr{op: opAssignInByte, flg: ak | dk<<4, charge: l.take(2), a: a, dst: dst})
+			return
+		}
 	case lang.LoadExpr:
-		return &cLoad{ptr: fc.operand(x.Ptr), off: fc.operand(x.Off)}
+		if a, ak, ok := l.leafRef(e.Ptr); ok {
+			if b, bk, ok2 := l.leafRef(e.Off); ok2 {
+				l.emit(instr{op: opAssignLoad, flg: ak | bk<<2 | dk<<4, charge: l.take(3), a: a, b: b, dst: dst})
+				return
+			}
+		}
+	}
+	l.pushExpr(st.E)
+	l.emit(instr{op: opPopRef, flg: dk << 4, dst: dst})
+	l.depth--
+}
+
+// store lowers a Store statement, fusing the all-leaf form (with an optional
+// ZX(64, leaf) offset) and the read-modify-write load-op-store shape.
+func (l *lowerer) store(st lang.Store) {
+	if bin, ok := st.Val.(lang.Bin); ok && isLeaf(st.Ptr) && isLeaf(st.Off) {
+		if ld, ok2 := bin.A.(lang.LoadExpr); ok2 && isLeaf(ld.Ptr) && isLeaf(ld.Off) && isLeaf(bin.B) {
+			p, kp, _ := l.leafRef(st.Ptr)
+			o, ko, _ := l.leafRef(st.Off)
+			p2, kp2, _ := l.leafRef(ld.Ptr)
+			o2, ko2, _ := l.leafRef(ld.Off)
+			v, kv, _ := l.leafRef(bin.B)
+			aux := uint16(kp) | uint16(ko)<<2 | uint16(kp2)<<4 | uint16(ko2)<<6 | uint16(kv)<<8
+			l.emit(instr{
+				op: opLoadOpStore, sub: uint8(bin.Op), charge: l.take(7), aux: aux,
+				a: p, b: o, dst: p2, imm: uint64(uint32(o2))<<32 | uint64(uint32(v)),
+			})
+			return
+		}
+	}
+	if isLeaf(st.Ptr) && isLeaf(st.Val) {
+		offE := st.Off
+		zx := false
+		if cv, isCvt := offE.(lang.Cvt); isCvt && !cv.Signed && cv.W == 64 && isLeaf(cv.A) {
+			offE = cv.A
+			zx = true
+		}
+		if isLeaf(offE) {
+			p, kp, _ := l.leafRef(st.Ptr)
+			o, ko, _ := l.leafRef(offE)
+			v, kv, _ := l.leafRef(st.Val)
+			f := kp | ko<<2 | kv<<4
+			extra := 3
+			if zx {
+				f |= flgZX
+				extra = 4
+			}
+			l.emit(instr{op: opStoreRef, flg: f, charge: l.take(extra), a: p, b: o, dst: v})
+			return
+		}
+	}
+	l.pushExpr(st.Ptr)
+	l.pushExpr(st.Off)
+	l.pushExpr(st.Val)
+	l.emit(instr{op: opStorePop})
+	l.depth -= 3
+}
+
+// pushExpr lowers an expression to instructions leaving its value on the
+// value stack.
+func (l *lowerer) pushExpr(e lang.Expr) {
+	switch x := e.(type) {
+	case lang.Lit:
+		l.emit(instr{op: opPushLit, w: x.W, charge: l.take(1), imm: x.V & bv.Mask(x.W)})
+		l.pushV()
+	case lang.VarRef:
+		a, k := l.varRef(x.Name)
+		l.emit(instr{op: opPushRef, flg: k, charge: l.take(1), a: a})
+		l.pushV()
+	case lang.Bin:
+		if a, ak, ok := l.leafRef(x.A); ok {
+			if b, bk, ok2 := l.leafRef(x.B); ok2 {
+				l.emit(instr{op: opPushBin, sub: uint8(x.Op), flg: ak | bk<<2, charge: l.take(3), a: a, b: b})
+				l.pushV()
+				return
+			}
+		}
+		l.pending++
+		l.pushExpr(x.A)
+		l.pushExpr(x.B)
+		l.emit(instr{op: opBinPop, sub: uint8(x.Op)})
+		l.depth--
+	case lang.Un:
+		l.pending++
+		l.pushExpr(x.A)
+		var f uint8
+		if x.Neg {
+			f = flgBit
+		}
+		l.emit(instr{op: opUnPop, flg: f})
+	case lang.Cvt:
+		if a, b, ok := matchLoadZX(x); ok {
+			ai, ak, _ := l.leafRef(a)
+			bi, bk, _ := l.leafRef(b)
+			l.emit(instr{op: opPushLoadZX, w: x.W, flg: ak | bk<<2, charge: l.take(5), a: ai, b: bi})
+			l.pushV()
+			return
+		}
+		l.pending++
+		l.pushExpr(x.A)
+		var f uint8
+		if x.Signed {
+			f = flgBit
+		}
+		l.emit(instr{op: opCvtPop, w: x.W, flg: f})
+	case lang.InByte:
+		l.pending++
+		l.pushExpr(x.Idx)
+		l.emit(instr{op: opInBytePop})
+	case lang.InLen:
+		l.emit(instr{op: opPushInLen, charge: l.take(1)})
+		l.pushV()
+	case lang.LoadExpr:
+		l.pending++
+		l.pushExpr(x.Ptr)
+		l.pushExpr(x.Off)
+		l.emit(instr{op: opLoadPop})
+		l.depth--
 	case lang.CallExpr:
-		callee, ok := fc.c.funcs[x.Fn]
+		callee, ok := l.c.funcs[x.Fn]
 		if !ok {
-			panic("interp: Compile: " + fc.f.name + " calls undefined function " + x.Fn)
+			panic("interp: Compile: " + l.f.name + " calls undefined function " + x.Fn)
 		}
-		args := make([]operand, len(x.Args))
-		for i, a := range x.Args {
-			args[i] = fc.operand(a)
+		// The call's own step precedes argument evaluation in the tree, so it
+		// rides on the first argument's first instruction; a zero-argument
+		// call carries it itself.
+		l.pending++
+		for _, a := range x.Args {
+			l.pushExpr(a)
 		}
-		return &cCall{fn: callee, args: args}
+		l.emit(instr{op: opCall, charge: l.take(0), a: callee.idx, aux: uint16(len(x.Args))})
+		l.depth -= len(x.Args)
+		l.pushV()
+	default:
+		panic(fmt.Sprintf("interp: Compile: unknown expression %T", e))
 	}
-	panic(fmt.Sprintf("interp: Compile: unknown expression %T", e))
 }
 
-func (fc *funcCompiler) boolExpr(b lang.BoolExpr) cBool {
-	switch x := b.(type) {
-	case lang.BoolLit:
-		return cBoolLit{v: x.V}
-	case lang.Cmp:
-		a, b := fc.operand(x.A), fc.operand(x.B)
-		return &cCmp{op: x.Op, pre: stepPrefix(a, b), a: a, b: b}
-	case lang.NotE:
-		return &cNot{a: fc.boolExpr(x.A)}
-	case lang.AndE:
-		return &cAnd{a: fc.boolExpr(x.A), b: fc.boolExpr(x.B)}
-	case lang.OrE:
-		return &cOr{a: fc.boolExpr(x.A), b: fc.boolExpr(x.B)}
-	}
-	panic(fmt.Sprintf("interp: Compile: unknown boolean expression %T", b))
-}
-
-// fuseLoadZX recognizes the guests' hottest expression shape — an unsigned
+// matchLoadZX recognizes the guests' hottest expression shape — an unsigned
 // widening of an input byte addressed by a two-leaf sum,
-// ZX(w, In(Add(leaf, leaf))) — and compiles it into one superinstruction
-// covering all five step charges (cvt, inbyte, add, two leaves) with a single
-// fuel check. The generic node is kept as the slow path for exact sequencing
-// near fuel exhaustion.
-func (fc *funcCompiler) fuseLoadZX(x lang.Cvt, generic *cCvt) cExpr {
+// ZX(w, In(Add(leaf, leaf))) — for the opPushLoadZX/opAssignLoadZX
+// superinstruction covering all five step charges.
+func matchLoadZX(x lang.Cvt) (lang.Expr, lang.Expr, bool) {
 	if x.Signed {
-		return nil
+		return nil, nil, false
 	}
 	ib, ok := x.A.(lang.InByte)
 	if !ok {
-		return nil
+		return nil, nil, false
 	}
 	bn, ok := ib.Idx.(lang.Bin)
-	if !ok || bn.Op != lang.OpAdd {
-		return nil
+	if !ok || bn.Op != lang.OpAdd || !isLeaf(bn.A) || !isLeaf(bn.B) {
+		return nil, nil, false
 	}
-	a, b := fc.operand(bn.A), fc.operand(bn.B)
-	if a.kind == opGen || b.kind == opGen {
-		return nil
-	}
-	return &cLoadByteZX{w: x.W, a: a, b: b, slow: generic}
+	return bn.A, bn.B, true
 }
 
-// stepPrefix computes the contiguous run of step charges at the head of a
-// node's evaluation: the node's own step plus one per *leading* leaf operand
-// (variables and literals). A leaf operand's evaluation is its step charge
-// followed by at most an undefined-variable error — no other effect can
-// intervene — so the Machine charges the whole prefix against the fuel
-// budget in a single check, falling back to exact per-step sequencing when
-// fuel is about to run out (see the fused eval paths in machine.go).
-func stepPrefix(ops ...operand) int64 {
-	pre := int64(1)
-	for i := range ops {
-		if ops[i].kind == opGen {
-			break
+// condBranch lowers a branch condition plus the conditional jump, fusing the
+// two-leaf comparison (the cmp-immediate loop-head idiom) into one opJcc.
+// The returned instruction index's dst must be patched to the false target.
+func (l *lowerer) condBranch(label string, cond lang.BoolExpr) int32 {
+	if cmp, ok := cond.(lang.Cmp); ok && isLeaf(cmp.A) && isLeaf(cmp.B) {
+		a, ak, _ := l.leafRef(cmp.A)
+		b, bk, _ := l.leafRef(cmp.B)
+		return l.emit(instr{op: opJcc, sub: uint8(cmp.Op), flg: ak | bk<<2, charge: l.take(3), aux: l.str(label), a: a, b: b})
+	}
+	l.lowerBool(cond)
+	l.bdepth--
+	return l.emit(instr{op: opBranch, aux: l.str(label)})
+}
+
+func (l *lowerer) lowerBool(b lang.BoolExpr) {
+	switch x := b.(type) {
+	case lang.BoolLit:
+		var f uint8
+		if x.V {
+			f = flgBit
 		}
-		pre++
+		l.emit(instr{op: opPushBool, flg: f, charge: l.take(1)})
+		l.pushB()
+	case lang.Cmp:
+		l.pending++
+		l.pushExpr(x.A)
+		l.pushExpr(x.B)
+		l.emit(instr{op: opCmpPop, sub: uint8(x.Op)})
+		l.depth -= 2
+		l.pushB()
+	case lang.NotE:
+		l.pending++
+		l.lowerBool(x.A)
+		l.emit(instr{op: opNotPop})
+	case lang.AndE:
+		l.pending++
+		l.lowerBool(x.A)
+		l.lowerBool(x.B)
+		l.emit(instr{op: opAndPop})
+		l.bdepth--
+	case lang.OrE:
+		l.pending++
+		l.lowerBool(x.A)
+		l.lowerBool(x.B)
+		l.emit(instr{op: opOrPop})
+		l.bdepth--
+	default:
+		panic(fmt.Sprintf("interp: Compile: unknown boolean expression %T", b))
 	}
-	return pre
 }
 
-// --- compiled node types ---
-
-// Compiled nodes return bare values; exceptional exits travel as vmError
-// panics (see Machine).
-type cStmt interface{ exec(m *Machine) }
-
-// operand kinds: generic subexpression, inline variable read, inline literal.
-const (
-	opGen uint8 = iota
-	opVar
-	opLit
-)
-
-// operand is a pre-resolved expression position (see funcCompiler.operand).
-type operand struct {
-	kind uint8
-	w    uint8
-	slot slotRef
-	v    uint64
-	name string
-	e    cExpr // opGen only
+// matchStoreLoop recognizes the canonical memset-style loop
+//
+//	While(Cmp(op, X, Y)) { Store(p, OFF, v); i = i ± k }
+//
+// with X, Y drawn from {Lit, Var, Mul(Var, Lit)} and OFF additionally
+// allowing ZX(64, ·) and Add(ZX(64, ·), Lit64) — the guests' row-fill and
+// scaled-index idioms. The matched loop runs as a bulk opStoreLoop
+// instruction in plain mode; the generic lowering still follows it and
+// handles every case the fast path bails on.
+func (l *lowerer) matchStoreLoop(st lang.While) (storeLoop, bool) {
+	var lp storeLoop
+	if len(st.Body) != 2 {
+		return lp, false
+	}
+	store, ok := st.Body[0].(lang.Store)
+	if !ok {
+		return lp, false
+	}
+	asg, ok := st.Body[1].(lang.Assign)
+	if !ok {
+		return lp, false
+	}
+	bin, ok := asg.E.(lang.Bin)
+	if !ok || (bin.Op != lang.OpAdd && bin.Op != lang.OpSub) {
+		return lp, false
+	}
+	ivr, ok := bin.A.(lang.VarRef)
+	if !ok || ivr.Name != asg.Var {
+		return lp, false
+	}
+	kl, ok := bin.B.(lang.Lit)
+	if !ok {
+		return lp, false
+	}
+	cmp, ok := st.Cond.(lang.Cmp)
+	if !ok {
+		return lp, false
+	}
+	condA, ok := l.loopOperand(cmp.A, false)
+	if !ok {
+		return lp, false
+	}
+	condB, ok := l.loopOperand(cmp.B, false)
+	if !ok {
+		return lp, false
+	}
+	ptr, ok := store.Ptr.(lang.VarRef)
+	if !ok || ptr.Name == asg.Var {
+		return lp, false
+	}
+	off, ok := l.loopOperand(store.Off, true)
+	if !ok {
+		return lp, false
+	}
+	switch v := store.Val.(type) {
+	case lang.Lit:
+		lp.valIsLit = true
+		lp.val = value{v: v.V & bv.Mask(v.W), w: v.W}
+	case lang.VarRef:
+		if v.Name == asg.Var {
+			return lp, false
+		}
+		lp.valSlot, lp.valGlobal = l.varSlotOf(v.Name)
+	default:
+		return lp, false
+	}
+	lp.ptrSlot, lp.ptrGlobal = l.varSlotOf(ptr.Name)
+	lp.ivSlot, lp.ivGlobal = l.varSlotOf(asg.Var)
+	lp.cmp = cmp.Op
+	lp.condA, lp.condB, lp.off = condA, condB, off
+	lp.sub = bin.Op == lang.OpSub
+	lp.k = kl.V & bv.Mask(kl.W)
+	lp.kw = kl.W
+	condC := 1 + condA.charge + condB.charge
+	storeC := 1 + 1 + off.charge + 1
+	const incrC = 4 // assign + binop + variable + literal steps
+	lp.perIter = condC + storeC + incrC
+	return lp, true
 }
 
-type (
-	cAssign struct {
-		dst slotRef
-		e   operand
+// loopOperand classifies a loop-condition or offset operand for the bulk
+// store loop, recording the tree step charges one evaluation costs.
+func (l *lowerer) loopOperand(e lang.Expr, allowZX bool) (loopOp, bool) {
+	switch x := e.(type) {
+	case lang.Lit:
+		return loopOp{kind: lkLit, litV: x.V & bv.Mask(x.W), litW: x.W, charge: 1}, true
+	case lang.VarRef:
+		s, g := l.varSlotOf(x.Name)
+		return loopOp{kind: lkVar, slot: s, global: g, charge: 1}, true
+	case lang.Bin:
+		switch {
+		case x.Op == lang.OpMul:
+			vr, ok := x.A.(lang.VarRef)
+			if !ok {
+				return loopOp{}, false
+			}
+			cl, ok := x.B.(lang.Lit)
+			if !ok {
+				return loopOp{}, false
+			}
+			s, g := l.varSlotOf(vr.Name)
+			return loopOp{kind: lkVar, slot: s, global: g, mul: true, coef: cl.V & bv.Mask(cl.W), coefW: cl.W, charge: 3}, true
+		case allowZX && x.Op == lang.OpAdd:
+			cv, ok := x.A.(lang.Cvt)
+			if !ok || cv.Signed || cv.W != 64 {
+				return loopOp{}, false
+			}
+			al, ok := x.B.(lang.Lit)
+			if !ok || al.W != 64 {
+				return loopOp{}, false
+			}
+			base, ok := l.loopOperand(cv.A, false)
+			if !ok || base.kind != lkVar {
+				return loopOp{}, false
+			}
+			base.kind = lkZXAdd
+			base.addend = al.V
+			base.charge = 3 + base.charge // add + zx + literal steps
+			return base, true
+		}
+	case lang.Cvt:
+		if allowZX && !x.Signed && x.W == 64 {
+			base, ok := l.loopOperand(x.A, false)
+			if !ok || base.kind != lkVar {
+				return loopOp{}, false
+			}
+			base.kind = lkZX
+			base.charge = 1 + base.charge
+			return base, true
+		}
 	}
-	cAssignBin struct {
-		dst slotRef
-		pre int64 // assignment step + the binop's fused prefix
-		bin *cBin
-	}
-	cAlloc struct {
-		dst  slotRef
-		site string
-		size operand
-	}
-	cStore struct{ ptr, off, val operand }
-	cIf    struct {
-		label     string
-		cond      cBool
-		then, els []cStmt
-	}
-	cWhile struct {
-		label string
-		cond  cBool
-		body  []cStmt
-	}
-	cExprStmt struct{ e operand }
-	cReturn   struct {
-		has bool
-		e   operand
-	}
-	cAbort struct{ msg string }
-	cWarn  struct{ msg string }
-)
-
-type cExpr interface{ eval(m *Machine) value }
-
-type (
-	cLit struct {
-		v uint64
-		w uint8
-	}
-	cVar struct {
-		src  slotRef
-		name string // original name, for error messages
-	}
-	cBin struct {
-		op   lang.BinOp
-		pre  int64 // steps batched into one fuel check (node + leading leaf operands)
-		a, b operand
-	}
-	cUn struct {
-		neg bool
-		pre int64
-		a   operand
-	}
-	cCvt struct {
-		w      uint8
-		signed bool
-		pre    int64
-		a      operand
-	}
-	cInByte struct {
-		pre int64
-		idx operand
-	}
-	// cLoadByteZX is the fused ZX(w, In(Add(leaf, leaf))) superinstruction
-	// (see fuseLoadZX); slow replays the generic five-step sequence when fuel
-	// is nearly exhausted.
-	cLoadByteZX struct {
-		w    uint8
-		a, b operand
-		slow *cCvt
-	}
-	cInLen struct{}
-	cLoad  struct{ ptr, off operand }
-	cCall  struct {
-		fn   *cFunc
-		args []operand
-	}
-)
-
-type cBool interface {
-	evalBool(m *Machine) (bool, *bv.Bool, *taint.Set)
+	return loopOp{}, false
 }
-
-type (
-	cBoolLit struct{ v bool }
-	cCmp     struct {
-		op   lang.CmpOp
-		pre  int64
-		a, b operand
-	}
-	cNot struct{ a cBool }
-	cAnd struct{ a, b cBool }
-	cOr  struct{ a, b cBool }
-)

@@ -5,25 +5,21 @@ import (
 	"fmt"
 
 	"diode/internal/bv"
-	"diode/internal/lang"
 	"diode/internal/taint"
 )
 
 // Machine executes a Compiled program with the same small-step semantics as
 // the tree-walking interpreter (byte-identical Outcomes — pinned by the
-// parity tests) but over slot-indexed frames instead of string-keyed maps,
-// and with all per-run storage reused across Reset/Run cycles: frame slots,
-// block bookkeeping, the outcome's event slices, and the per-input-byte
-// taint-label and symbolic-variable caches. One Machine executing the same
-// program thousands of times — the Figure 7 enforcement loop, the §5.5/§5.6
-// success-rate sweeps — therefore pays allocation and name-resolution costs
-// once instead of per run.
-//
-// Internally the Machine uses panic-based control flow for every exceptional
-// exit (fuel exhaustion, abort, simulated signals, guest runtime errors):
-// compiled nodes return bare values and Run's recover classifies the vmError
-// sentinel, so the per-node hot path carries no error plumbing. The panics
-// never escape Run.
+// parity tests) but through the direct-threaded dispatch loop in threaded.go:
+// one flat instruction stream per function, slot-indexed frames instead of
+// string-keyed maps, an explicit value/bool/call stack instead of Go-level
+// recursion, and all per-run storage reused across Reset/Run cycles — frame
+// slots, the operand stacks, block bookkeeping, the outcome's event slices,
+// and the per-input-byte taint-label and symbolic-variable caches. One
+// Machine executing the same program thousands of times — the Figure 7
+// enforcement loop, the §5.5/§5.6 success-rate sweeps — therefore pays
+// allocation and name-resolution costs once instead of per run; a plain-mode
+// (no taint, no symbolic) Run allocates nothing at all once warm.
 //
 // A Machine is not safe for concurrent use; create one per goroutine (the
 // core Hunter owns one per site hunt, which is what keeps the Scheduler's
@@ -41,17 +37,20 @@ type Machine struct {
 	fp      int
 	globals cframe
 
+	// Operand and call stacks for the dispatch loop, sized on demand and
+	// retained across runs.
+	stack  []value
+	bstack []bval
+	calls  []callSite
+
 	blocks     map[uint64]*block
 	freeBlocks []*block // recycled blocks, cells cleared
 	canary     *block   // first block whose red zone was clobbered
 	nextID     uint64
 
-	out       Outcome
-	returning bool
-	retVal    value
-	hasRet    bool
-	ready     bool
-	plain     bool // run tracks neither taint nor symbolic state
+	out   Outcome
+	ready bool
+	plain bool // run tracks neither taint nor symbolic state
 
 	// Per-input-byte caches, valid across runs: taint label sets and (for the
 	// default "in[i]" naming) interned symbolic variables.
@@ -61,16 +60,6 @@ type Machine struct {
 	// cancelPoll counts down branch evaluations until the next poll of
 	// opts.Cancel (see cancelPollInterval).
 	cancelPoll int
-}
-
-// vmError is the panic sentinel carrying an exceptional machine exit: one of
-// the control-flow errors (errAbort, errSegv, errAbrt, errFuel) or a guest
-// runtime error. Run recovers it; any other panic propagates.
-type vmError struct{ err error }
-
-// throw raises a machine exit.
-func throw(err error) {
-	panic(vmError{err})
 }
 
 // eventPoolCap bounds the event-slice capacity a Machine retains across
@@ -135,13 +124,17 @@ func (m *Machine) Reset(input []byte, opts Options) {
 	m.fuel = opts.Fuel
 	m.fp = -1
 	m.globals.ensure(m.code.numGlobals)
-	// Recycle a bounded number of blocks; a pathological run that allocated
-	// thousands (a fuel-burning allocation loop) must not leave the machine
-	// holding their dense-cell storage forever — the GC scan cost of an
-	// unbounded pointer-laden pool would tax every later run.
-	for _, b := range m.blocks {
-		if len(m.freeBlocks) >= blockPoolCap {
-			break
+	// Recycle a bounded number of blocks in allocation order (block IDs are
+	// dense, so this is deterministic — map iteration order would recycle a
+	// random subset and defeat the capacity-aware reuse in newBlock); a
+	// pathological run that allocated thousands (a fuel-burning allocation
+	// loop) must not leave the machine holding their dense-cell storage
+	// forever — the GC scan cost of an unbounded pointer-laden pool would
+	// tax every later run.
+	for id := uint64(1); id <= m.nextID && len(m.freeBlocks) < blockPoolCap; id++ {
+		b, ok := m.blocks[id<<32]
+		if !ok {
+			continue
 		}
 		b.far.recycle()
 		b.canary = false
@@ -163,8 +156,6 @@ func (m *Machine) Reset(input []byte, opts Options) {
 		Branches: recycleEvents(m.out.Branches),
 		Warnings: recycleEvents(m.out.Warnings),
 	}
-	m.returning = false
-	m.hasRet = false
 	m.plain = !opts.TrackTaint
 	m.cancelPoll = 0
 	m.ready = true
@@ -178,7 +169,7 @@ func (m *Machine) Run() *Outcome {
 		panic("interp: Machine.Run without a preceding Reset")
 	}
 	m.ready = false
-	err := m.runMain()
+	err := m.exec()
 	m.out.Steps = m.opts.Fuel - m.fuel
 	switch {
 	case err == nil || errors.Is(err, errAbort):
@@ -202,30 +193,6 @@ func (m *Machine) Run() *Outcome {
 	return &m.out
 }
 
-// runMain executes main, converting the vmError panic back into the
-// classified error.
-func (m *Machine) runMain() (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			ve, ok := r.(vmError)
-			if !ok {
-				panic(r)
-			}
-			err = ve.err
-		}
-	}()
-	m.pushFrame(m.code.main)
-	m.execBlock(m.code.main.body)
-	return nil
-}
-
-func (m *Machine) step() {
-	m.fuel--
-	if m.fuel <= 0 {
-		throw(errFuel)
-	}
-}
-
 func (m *Machine) pushFrame(fn *cFunc) *cframe {
 	m.fp++
 	if m.fp == len(m.frames) {
@@ -236,132 +203,24 @@ func (m *Machine) pushFrame(fn *cFunc) *cframe {
 	return f
 }
 
-// frameFor returns the frame a slot reference resolves into.
-func (m *Machine) frameFor(s slotRef) *cframe {
-	if s.global {
-		return &m.globals
-	}
-	return &m.frames[m.fp]
-}
-
-func (m *Machine) setSlot(s slotRef, v value) {
-	f := m.frameFor(s)
-	f.vals[s.idx] = v
-	f.set[s.idx] = true
-}
-
-// eval evaluates an operand. The opVar and opLit fast paths replicate
-// cVar.eval/cLit.eval exactly — including the step charge and the
-// undefined-variable error — without an interface dispatch.
-func (o *operand) eval(m *Machine) value {
-	switch o.kind {
-	case opVar:
-		m.step()
-		f := m.frameFor(o.slot)
-		if !f.set[o.slot.idx] {
-			throw(fmt.Errorf("interp: undefined variable %q", o.name))
-		}
-		return f.vals[o.slot.idx]
-	case opLit:
-		m.step()
-		return value{v: o.v, w: o.w}
-	default:
-		return o.e.eval(m)
-	}
-}
-
-// read evaluates a leaf operand whose step charge was already batched into
-// the parent node's fused fuel check (stepPrefix). Only called for
-// opVar/opLit operands.
-func (o *operand) read(m *Machine) value {
-	if o.kind == opVar {
-		f := m.frameFor(o.slot)
-		if !f.set[o.slot.idx] {
-			throw(fmt.Errorf("interp: undefined variable %q", o.name))
-		}
-		return f.vals[o.slot.idx]
-	}
-	return value{v: o.v, w: o.w}
-}
-
-func (m *Machine) execBlock(b []cStmt) {
-	for _, s := range b {
-		s.exec(m)
-		if m.returning {
-			return
-		}
-	}
-}
-
-// --- statements ---
-
-func (s *cAssign) exec(m *Machine) {
-	m.step()
-	m.setSlot(s.dst, s.e.eval(m))
-}
-
-func (s *cAssignBin) exec(m *Machine) {
-	e := s.bin
-	var a, b value
-	if m.fuel <= s.pre {
-		m.step()
-		m.setSlot(s.dst, e.eval(m))
-		return
-	}
-	m.fuel -= s.pre
-	switch e.pre {
-	case 3:
-		a = e.a.read(m)
-		b = e.b.read(m)
-	case 2:
-		a = e.a.read(m)
-		b = e.b.eval(m)
-	default:
-		a = e.a.eval(m)
-		b = e.b.eval(m)
-	}
-	if a.w != b.w {
-		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", e.op, a.w, b.w))
-	}
-	v, err := binopVal(e.op, &a, &b, m.opts.TrackTaint)
-	if err != nil {
-		throw(err)
-	}
-	m.setSlot(s.dst, v)
-}
-
-func (s *cAlloc) exec(m *Machine) {
-	m.step()
-	size := s.size.eval(m)
-	// Heap-corruption check: glibc-style abort when a previously clobbered
-	// red zone (allocator metadata) is observed by the allocator.
-	if b := m.canary; b != nil {
-		m.out.MemErrs = append(m.out.MemErrs, MemError{
-			Kind: InvalidWrite, Site: b.site, Offset: b.size, Size: b.size,
-		})
-		throw(errAbrt)
-	}
-	m.nextID++
-	base := m.nextID << 32
-	m.blocks[base] = m.newBlock(s.site, size.v)
-	m.out.Allocs = append(m.out.Allocs, AllocEvent{
-		Site:       s.site,
-		Seq:        len(m.out.Allocs),
-		Size:       size.v,
-		Width:      size.w,
-		Sym:        size.sym,
-		Taint:      size.tnt,
-		Wrapped:    size.wrapped,
-		BranchMark: len(m.out.Branches),
-	})
-	m.setSlot(s.dst, value{v: base, w: 64})
-}
-
 func (m *Machine) newBlock(site string, size uint64) *block {
+	want := size + RedZone
+	if want > denseLimit || want < size { // cap, and guard size overflow
+		want = denseLimit
+	}
 	var b *block
 	if n := len(m.freeBlocks); n > 0 {
-		b = m.freeBlocks[n-1]
-		m.freeBlocks = m.freeBlocks[:n-1]
+		// Prefer a recycled block whose dense storage already fits, so a
+		// steady state mixing allocation sizes reuses without reallocating.
+		pick := n - 1
+		for i := n - 1; i >= 0; i-- {
+			if uint64(len(m.freeBlocks[i].dense)) >= want {
+				pick = i
+				break
+			}
+		}
+		b = m.freeBlocks[pick]
+		m.freeBlocks = append(m.freeBlocks[:pick], m.freeBlocks[pick+1:]...)
 		b.site, b.size, b.canary = site, size, false
 		b.gen++
 		if b.gen == 0 { // stamp wraparound: invalidate explicitly
@@ -372,276 +231,12 @@ func (m *Machine) newBlock(site string, size uint64) *block {
 	} else {
 		b = &block{site: site, size: size, gen: 1}
 	}
-	want := size + RedZone
-	if want > denseLimit || want < size { // cap, and guard size overflow
-		want = denseLimit
-	}
 	if uint64(len(b.dense)) < want {
 		b.dense = make([]value, want)
 		b.stamp = make([]uint32, want)
 		b.gen = 1
 	}
 	return b
-}
-
-func (s *cStore) exec(m *Machine) {
-	m.step()
-	ptr := s.ptr.eval(m)
-	off := s.off.eval(m)
-	val := s.val.eval(m)
-	b, ok := m.blocks[ptr.v]
-	if !ok {
-		throw(fmt.Errorf("interp: store through non-pointer %#x", ptr.v))
-	}
-	if off.v >= b.size {
-		if off.v >= b.size+RedZone {
-			m.out.MemErrs = append(m.out.MemErrs, MemError{
-				Kind: InvalidWrite, Site: b.site, Offset: off.v, Size: b.size,
-			})
-			throw(errSegv)
-		}
-		m.out.MemErrs = append(m.out.MemErrs, MemError{
-			Kind: InvalidWrite, Site: b.site, Offset: off.v, Size: b.size,
-		})
-		b.canary = true // allocator metadata clobbered
-		if m.canary == nil {
-			m.canary = b
-		}
-	}
-	b.storeCell(off.v, val, m.plain)
-}
-
-func (s *cIf) exec(m *Machine) {
-	m.step()
-	if m.condBranch(s.label, s.cond) {
-		m.execBlock(s.then)
-		return
-	}
-	m.execBlock(s.els)
-}
-
-func (s *cWhile) exec(m *Machine) {
-	m.step()
-	for {
-		if !m.condBranch(s.label, s.cond) {
-			return
-		}
-		m.execBlock(s.body)
-		if m.returning {
-			return
-		}
-	}
-}
-
-func (s *cExprStmt) exec(m *Machine) {
-	m.step()
-	s.e.eval(m)
-}
-
-func (s *cReturn) exec(m *Machine) {
-	m.step()
-	if s.has {
-		m.retVal = s.e.eval(m)
-		m.hasRet = true
-	} else {
-		m.hasRet = false
-	}
-	m.returning = true
-}
-
-func (s *cAbort) exec(m *Machine) {
-	m.step()
-	m.out.AbortMsg = s.msg
-	throw(errAbort)
-}
-
-func (s *cWarn) exec(m *Machine) {
-	m.step()
-	m.out.Warnings = append(m.out.Warnings, s.msg)
-}
-
-// --- expressions ---
-
-func (e *cLit) eval(m *Machine) value {
-	m.step()
-	return value{v: e.v, w: e.w}
-}
-
-func (e *cVar) eval(m *Machine) value {
-	m.step()
-	f := m.frameFor(e.src)
-	if !f.set[e.src.idx] {
-		throw(fmt.Errorf("interp: undefined variable %q", e.name))
-	}
-	return f.vals[e.src.idx]
-}
-
-// The fused eval paths below charge a node's step prefix (its own step plus
-// the leading leaf operands', see stepPrefix) against the fuel budget in one
-// check, reading the prefetched leaves without a second check. Near fuel
-// exhaustion they fall back to exact per-step sequencing, so the
-// fuel-exhaustion point (and any undefined-variable error racing it) stays
-// byte-identical to the tree-walker's.
-
-func (e *cBin) eval(m *Machine) value {
-	var a, b value
-	if m.fuel <= e.pre {
-		m.step()
-		a = e.a.eval(m)
-		b = e.b.eval(m)
-	} else {
-		m.fuel -= e.pre
-		switch e.pre {
-		case 3: // both operands are leaves
-			a = e.a.read(m)
-			b = e.b.read(m)
-		case 2: // first operand is a leaf
-			a = e.a.read(m)
-			b = e.b.eval(m)
-		default:
-			a = e.a.eval(m)
-			b = e.b.eval(m)
-		}
-	}
-	if a.w != b.w {
-		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", e.op, a.w, b.w))
-	}
-	v, err := binopVal(e.op, &a, &b, m.opts.TrackTaint)
-	if err != nil {
-		throw(err)
-	}
-	return v
-}
-
-func (e *cUn) eval(m *Machine) value {
-	var a value
-	if m.fuel <= e.pre {
-		m.step()
-		a = e.a.eval(m)
-	} else {
-		m.fuel -= e.pre
-		if e.pre == 2 {
-			a = e.a.read(m)
-		} else {
-			a = e.a.eval(m)
-		}
-	}
-	return unop(e.neg, a)
-}
-
-func (e *cCvt) eval(m *Machine) value {
-	var a value
-	if m.fuel <= e.pre {
-		m.step()
-		a = e.a.eval(m)
-	} else {
-		m.fuel -= e.pre
-		if e.pre == 2 {
-			a = e.a.read(m)
-		} else {
-			a = e.a.eval(m)
-		}
-	}
-	return convert(e.w, e.signed, a)
-}
-
-func (e *cInByte) eval(m *Machine) value {
-	var idx value
-	if m.fuel <= e.pre {
-		m.step()
-		idx = e.idx.eval(m)
-	} else {
-		m.fuel -= e.pre
-		if e.pre == 2 {
-			idx = e.idx.read(m)
-		} else {
-			idx = e.idx.eval(m)
-		}
-	}
-	return m.readInput(idx)
-}
-
-func (e *cLoadByteZX) eval(m *Machine) value {
-	if m.fuel <= 5 {
-		return e.slow.eval(m)
-	}
-	m.fuel -= 5
-	a := e.a.read(m)
-	b := e.b.read(m)
-	if a.w != b.w {
-		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", lang.OpAdd, a.w, b.w))
-	}
-	if !m.opts.TrackTaint {
-		// Plain mode: no value in the machine carries taint or symbolic
-		// state, readInput drops the index's wrapped flag, and the unsigned
-		// widening only moves the byte — compute the whole chain inline.
-		i := int((a.v + b.v) & bv.Mask(a.w))
-		var v uint64
-		if i >= 0 && i < len(m.input) {
-			v = uint64(m.input[i])
-		}
-		if e.w < 8 {
-			v &= bv.Mask(e.w)
-		}
-		return value{v: v, w: e.w}
-	}
-	idx, err := binopVal(lang.OpAdd, &a, &b, true)
-	if err != nil {
-		throw(err)
-	}
-	return convert(e.w, false, m.readInput(idx))
-}
-
-func (cInLen) eval(m *Machine) value {
-	m.step()
-	return value{v: uint64(len(m.input)), w: 32}
-}
-
-func (e *cLoad) eval(m *Machine) value {
-	m.step()
-	ptr := e.ptr.eval(m)
-	off := e.off.eval(m)
-	b, ok := m.blocks[ptr.v]
-	if !ok {
-		throw(fmt.Errorf("interp: load through non-pointer %#x", ptr.v))
-	}
-	if off.v >= b.size {
-		m.out.MemErrs = append(m.out.MemErrs, MemError{
-			Kind: InvalidRead, Site: b.site, Offset: off.v, Size: b.size,
-		})
-		if off.v >= b.size+RedZone {
-			throw(errSegv)
-		}
-	}
-	return b.loadCell(off.v)
-}
-
-func (e *cCall) eval(m *Machine) value {
-	m.step()
-	// Arguments evaluate in the caller's frame, before the callee's frame is
-	// pushed (matching the tree-walker's call order).
-	var abuf [6]value
-	args := abuf[:0]
-	if len(e.args) > len(abuf) {
-		args = make([]value, 0, len(e.args))
-	}
-	for i := range e.args {
-		args = append(args, e.args[i].eval(m))
-	}
-	f := m.pushFrame(e.fn)
-	for i, s := range e.fn.params {
-		f.vals[s.idx] = args[i]
-		f.set[s.idx] = true
-	}
-	m.execBlock(e.fn.body)
-	m.fp--
-	ret := value{w: 32}
-	if m.hasRet {
-		ret = m.retVal
-	}
-	m.returning = false
-	m.hasRet = false
-	return ret
 }
 
 // readInput mirrors the tree-walker's input access, with the taint-label and
@@ -677,103 +272,4 @@ func (m *Machine) inputTerm(i int) *bv.Term {
 		m.inTerms = append(m.inTerms, bv.Var(8, fmt.Sprintf("in[%d]", len(m.inTerms))))
 	}
 	return m.inTerms[i]
-}
-
-// --- boolean evaluation and branch recording ---
-
-// condBranch evaluates a branch condition, appends to φ when the condition is
-// input-dependent, and returns the direction taken. It is the cancellation
-// point: every loop iteration passes through here, so a closed Options.Cancel
-// channel is observed within cancelPollInterval branches. (Polling rides the
-// same periodic boundary as the fuel budget, without consuming fuel, so
-// Outcomes of uncancelled runs stay byte-identical to the tree-walker's.)
-func (m *Machine) condBranch(label string, c cBool) bool {
-	if m.opts.Cancel != nil {
-		if m.cancelPoll--; m.cancelPoll <= 0 {
-			m.cancelPoll = cancelPollInterval
-			select {
-			case <-m.opts.Cancel:
-				throw(errCancel)
-			default:
-			}
-		}
-	}
-	taken, sym, _ := c.evalBool(m)
-	if m.opts.TrackSymbolic && sym != nil {
-		cond := sym
-		if !taken {
-			cond = bv.NotB(cond)
-		}
-		m.out.Branches = append(m.out.Branches, BranchRecord{
-			Label: label,
-			Taken: taken,
-			Cond:  cond,
-		})
-	}
-	return taken
-}
-
-func (e cBoolLit) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
-	m.step()
-	return e.v, nil, nil
-}
-
-func (e *cCmp) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
-	var a, b value
-	if m.fuel <= e.pre {
-		m.step()
-		a = e.a.eval(m)
-		b = e.b.eval(m)
-	} else {
-		m.fuel -= e.pre
-		switch e.pre {
-		case 3:
-			a = e.a.read(m)
-			b = e.b.read(m)
-		case 2:
-			a = e.a.read(m)
-			b = e.b.eval(m)
-		default:
-			a = e.a.eval(m)
-			b = e.b.eval(m)
-		}
-	}
-	if a.w != b.w {
-		throw(fmt.Errorf("interp: width mismatch in %s: %d vs %d bits", e.op, a.w, b.w))
-	}
-	cv := concreteCmp(e.op, a, b)
-	var sym *bv.Bool
-	if a.sym != nil || b.sym != nil {
-		sym = symCmp(e.op, a.term(), b.term())
-	}
-	var tn *taint.Set
-	if m.opts.TrackTaint {
-		tn = a.tnt.Union(b.tnt)
-	}
-	return cv, sym, tn
-}
-
-func (e *cNot) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
-	m.step()
-	v, sym, tn := e.a.evalBool(m)
-	if sym != nil {
-		sym = bv.NotB(sym)
-	}
-	return !v, sym, tn
-}
-
-func (e *cAnd) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
-	m.step()
-	av, asym, at := e.a.evalBool(m)
-	bvv, bsym, bt := e.b.evalBool(m)
-	sym := combineBool(av, asym, bvv, bsym, true)
-	return av && bvv, sym, at.Union(bt)
-}
-
-func (e *cOr) evalBool(m *Machine) (bool, *bv.Bool, *taint.Set) {
-	m.step()
-	av, asym, at := e.a.evalBool(m)
-	bvv, bsym, bt := e.b.evalBool(m)
-	sym := combineBool(av, asym, bvv, bsym, false)
-	return av || bvv, sym, at.Union(bt)
 }

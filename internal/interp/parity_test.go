@@ -242,6 +242,131 @@ func TestCompiledParityUnits(t *testing.T) {
 	}
 }
 
+// TestCompiledParityFusion aims the parity check at the shapes the lowerer
+// fuses into superinstructions — bulk memset-style store loops (including
+// red-zone crossings, mid-loop segfaults, affine Mul/ZX offsets, and loops
+// that run past the dense-cell limit into far storage), load-op-store, and
+// the undefined-operand refund paths of the fused binop/load forms — so a
+// fusion that drifts from per-cell/per-step semantics diverges here even if
+// the app sweep never hits its bail conditions.
+func TestCompiledParityFusion(t *testing.T) {
+	progs := map[string]*lang.Program{
+		// Canonical memset loop that runs off the allocation into the red
+		// zone: cells 0..7 are clean writes, 8..17 clobber the canary — the
+		// bulk loop must warn/mark exactly like per-cell stores.
+		"memset-redzone": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(8)),
+			lang.Let("i", lang.U32(0)),
+			lang.Loop("fill", lang.Ult(lang.V("i"), lang.U32(18)),
+				lang.Put(lang.V("buf"), lang.V("i"), lang.U8(0xAA)),
+				lang.Let("i", lang.Add(lang.V("i"), lang.U32(1))),
+			),
+			lang.AllocAt("next", "t@2", lang.U32(4)),
+		)),
+		// Input-bounded fill: the trip count comes from the input byte, so
+		// fuel exhaustion, clean termination, and canary clobbering are all
+		// reachable, and the loop condition is taint/symbolic-carrying.
+		"memset-input-bound": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(32)),
+			lang.Let("n", lang.ZX(32, lang.InAt(0))),
+			lang.Let("i", lang.U32(0)),
+			lang.Loop("fill", lang.Ult(lang.V("i"), lang.V("n")),
+				lang.Put(lang.V("buf"), lang.V("i"), lang.U8(1)),
+				lang.Let("i", lang.Add(lang.V("i"), lang.U32(1))),
+			),
+		)),
+		// Affine offsets: Mul-scaled loop variable wrapped in ZX(64, ·) —
+		// the scaled-index idiom the matcher accepts — striding far enough
+		// to segfault mid-loop, so the bail must not consume the bailing
+		// iteration's charges.
+		"memset-affine-segv": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(64)),
+			lang.Let("i", lang.U32(0)),
+			lang.Loop("stride", lang.Ult(lang.V("i"), lang.U32(40000)),
+				lang.Put(lang.V("buf"), lang.ZX(64, lang.Mul(lang.V("i"), lang.U32(8))), lang.U8(2)),
+				lang.Let("i", lang.Add(lang.V("i"), lang.U32(1))),
+			),
+		)),
+		// A fill that crosses denseLimit (4096 cells): the bulk path must
+		// hand far-cell stores the same semantics as the per-cell store.
+		"memset-past-dense": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(5000)),
+			lang.Let("i", lang.U32(0)),
+			lang.Loop("fill", lang.Ult(lang.V("i"), lang.U32(4500)),
+				lang.Put(lang.V("buf"), lang.V("i"), lang.U8(3)),
+				lang.Let("i", lang.Add(lang.V("i"), lang.U32(1))),
+			),
+			lang.Let("back", lang.Load(lang.V("buf"), lang.U32(4400))),
+			lang.AllocAt("sz", "t@2", lang.Add(lang.ZX(32, lang.V("back")), lang.U32(1))),
+		)),
+		// Load-op-store fusion (buf[i] = buf[i] + k) plus its load-error
+		// path when the offset runs past the block.
+		"load-op-store": mustProg(t, lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(8)),
+			lang.Put(lang.V("buf"), lang.U32(3), lang.U8(40)),
+			lang.Put(lang.V("buf"), lang.U32(3), lang.Add(lang.Load(lang.V("buf"), lang.U32(3)), lang.U8(2))),
+			lang.Let("off", lang.ZX(32, lang.InAt(0))),
+			lang.Put(lang.V("buf"), lang.V("off"), lang.Add(lang.Load(lang.V("buf"), lang.V("off")), lang.U8(1))),
+			lang.AllocAt("sz", "t@2", lang.ZX(32, lang.Load(lang.V("buf"), lang.U32(3)))),
+		)),
+		// Undefined operands inside fused forms: the fused instructions
+		// charge up front and must refund exactly what the tree-walker never
+		// charged when the first read fails.
+		"undef-in-fused-bin": mustProg(t, lang.Fn("main", nil,
+			lang.Let("a", lang.U32(1)),
+			lang.Let("x", lang.Add(lang.V("a"), lang.V("nope"))),
+		)),
+		"undef-in-loadzx": mustProg(t, lang.Fn("main", nil,
+			lang.Let("x", lang.ZX(32, lang.InByte{Idx: lang.Add(lang.V("nope"), lang.U32(1))})),
+		)),
+	}
+	inputs := [][]byte{nil, {0}, {5}, {40}, {0xFF}}
+	for name, prog := range progs {
+		m := interp.NewMachine(interp.Compile(prog))
+		for i, input := range inputs {
+			for mode, opts := range parityModes() {
+				checkParity(t, fmt.Sprintf("%s input#%d mode=%s", name, i, mode), prog, m, input, opts)
+			}
+		}
+	}
+}
+
+// TestCompiledParityFuelSweep runs a program mixing every fused shape under
+// every fuel value up to past its natural step count, in plain and symbolic
+// modes. Step-count parity means exhaustion must bite at the identical point
+// on both interpreters for every single cutoff — the strongest check on the
+// lowerer's charge-attachment rule (charges lumped onto fused instructions
+// must equal the tree-walker's pre-order step accounting at every prefix).
+func TestCompiledParityFuelSweep(t *testing.T) {
+	prog := mustProg(t,
+		lang.Fn("bump", []string{"v"},
+			lang.Ret(lang.Add(lang.V("v"), lang.U32(1))),
+		),
+		lang.Fn("main", nil,
+			lang.AllocAt("buf", "t@1", lang.U32(16)),
+			lang.Let("i", lang.U32(0)),
+			lang.Loop("fill", lang.Ult(lang.V("i"), lang.U32(12)),
+				lang.Put(lang.V("buf"), lang.V("i"), lang.U8(7)),
+				lang.Let("i", lang.Add(lang.V("i"), lang.U32(1))),
+			),
+			lang.Let("x", lang.ZX(32, lang.InByte{Idx: lang.Add(lang.ZX(32, lang.InAt(0)), lang.U32(1))})),
+			lang.Put(lang.V("buf"), lang.U32(2), lang.Add(lang.Load(lang.V("buf"), lang.U32(2)), lang.U8(1))),
+			lang.Let("y", lang.Call("bump", lang.V("x"))),
+			lang.IfThen("big", lang.Ugt(lang.V("y"), lang.U32(3)),
+				lang.AllocAt("b2", "t@2", lang.V("y")),
+			),
+		),
+	)
+	m := interp.NewMachine(interp.Compile(prog))
+	input := []byte{1, 9, 5}
+	for _, mode := range []string{"plain", "symbolic"} {
+		for fuel := int64(1); fuel <= 400; fuel++ {
+			opts := interp.Options{Fuel: fuel, TrackSymbolic: mode == "symbolic"}
+			checkParity(t, fmt.Sprintf("fuel=%d mode=%s", fuel, mode), prog, m, input, opts)
+		}
+	}
+}
+
 // TestCompiledCustomInputVarName pins that a caller-supplied InputVarName is
 // honored identically on both paths (field-named symbolic variables).
 func TestCompiledCustomInputVarName(t *testing.T) {

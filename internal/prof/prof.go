@@ -1,0 +1,64 @@
+// Package prof wires the standard runtime/pprof file profiles into the CLIs.
+// It exists so cmd/diode and cmd/diode-tables share one tested implementation
+// of the -cpuprofile/-memprofile contract: profiles must be flushed on every
+// exit path (os.Exit skips defers, so the commands funnel through a
+// single-exit run function that defers Stop).
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the in-flight profiling state started by Start.
+type Profiles struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins the profiles selected by the -cpuprofile/-memprofile flag
+// values; an empty path disables that profile. Call Stop exactly once before
+// process exit to flush them.
+func Start(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop ends the CPU profile and writes the heap profile. The heap profile is
+// taken at Stop (not Start) so it reflects live allocations at the end of the
+// run, after a GC cycle brings the allocation statistics up to date.
+func (p *Profiles) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return err
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
