@@ -6,7 +6,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race lint vet staticcheck check bench-smoke bench-json cache-smoke discover-smoke fuzz-smoke worker-smoke
+.PHONY: all build test race lint diodelint vet staticcheck check bench-smoke bench-json cache-smoke discover-smoke triage-smoke fuzz-smoke worker-smoke
 
 all: check test
 
@@ -30,8 +30,14 @@ staticcheck:
 		echo "  $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
 	fi
 
-# lint = gofmt (check only) + go vet + staticcheck, matching CI.
-lint: vet staticcheck
+# diodelint = the repo-specific structural linter (cmd/diodelint): checks the
+# dispatch cache-key flip tables cover every Options/Job field and the
+# threaded interpreter's exec switch handles every op* constant.
+diodelint:
+	$(GO) run ./cmd/diodelint ./internal/dispatch ./internal/interp
+
+# lint = gofmt (check only) + go vet + staticcheck + diodelint, matching CI.
+lint: vet staticcheck diodelint
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
@@ -52,7 +58,7 @@ bench-smoke:
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' \
-	  -bench '^(BenchmarkTable1|BenchmarkMachineSteps|BenchmarkGuestExec|BenchmarkDispatchLocal|BenchmarkHuntIncremental|BenchmarkSweepWarmVsCold|BenchmarkSampleModels|BenchmarkPortfolioSolve)$$' \
+	  -bench '^(BenchmarkTable1|BenchmarkMachineSteps|BenchmarkGuestExec|BenchmarkDispatchLocal|BenchmarkHuntIncremental|BenchmarkSweepWarmVsCold|BenchmarkSampleModels|BenchmarkPortfolioSolve|BenchmarkTriagePrune)$$' \
 	  -benchtime=1x . > BENCH_SMOKE.txt
 	cat BENCH_SMOKE.txt
 	./bin/benchjson -o BENCH_SMOKE.json < BENCH_SMOKE.txt
@@ -90,6 +96,21 @@ discover-smoke:
 	done; \
 	echo "discover smoke ok: 7 listings match goldens"
 
+# Triage smoke: run `diode -triage` for every application and diff the
+# abstract-interpretation triage listing against the checked-in goldens
+# (internal/apps/testdata/triage). Catches an absint or guest-program edit
+# that changes a triage verdict without a matching
+# `go test ./internal/apps -update-triage` run.
+triage-smoke:
+	$(GO) build -o bin/diode ./cmd/diode
+	@for app in dillo vlc swfplay cwebp imagemagick gifview tifthumb; do \
+		./bin/diode -app "$$app" -triage > "bin/$$app.triage" || exit 1; \
+		cmp "bin/$$app.triage" "internal/apps/testdata/triage/$$app.golden" || { \
+			echo "triage smoke failed: $$app listing differs from golden"; exit 1; }; \
+		rm -f "bin/$$app.triage"; \
+	done; \
+	echo "triage smoke ok: 7 listings match goldens"
+
 # Short live-fuzz pass: the per-format fix-up invariant targets, the
 # cross-layer FuzzHunt engine-robustness target, the dispatch-layer
 # Job/Result codec round-trip target, and the differential
@@ -101,6 +122,7 @@ fuzz-smoke:
 	$(GO) test -run '^FuzzHunt$$' -fuzz '^FuzzHunt$$' -fuzztime 5s ./internal/core
 	$(GO) test -run '^FuzzJobResultCodec$$' -fuzz '^FuzzJobResultCodec$$' -fuzztime 5s ./internal/dispatch
 	$(GO) test -run '^FuzzMachineParity$$' -fuzz '^FuzzMachineParity$$' -fuzztime 5s ./internal/interp
+	$(GO) test -run '^FuzzAbsintSoundness$$' -fuzz '^FuzzAbsintSoundness$$' -fuzztime 5s ./internal/absint
 
 # End-to-end work-queue smoke: build the real worker binary, pipe a three-job
 # batch through its stdin/stdout protocol, and assert the verdicts (the

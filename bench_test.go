@@ -905,3 +905,59 @@ func BenchmarkGuestExec(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTriagePrune measures the static value-range triage on the
+// extended arith-hunting sweep: the same two-application arith wave runs
+// with the triage enabled (statically safe sites fold to unsatisfiable
+// without dispatching a hunt) and under the NoTriage ablation (every arith
+// site hunts). Reported metrics: pruned-hunts (how many solver sessions the
+// triage removed) and no-triage-time-ratio (ablation wall-clock over triaged
+// wall-clock). The application pair is chosen to keep the ablation wave
+// affordable — cwebp's hard-unsatisfiable addition constraints cost the
+// solver minutes to certify, which is exactly the cost profile the triage
+// exists to avoid, but too slow for a smoke benchmark.
+func BenchmarkTriagePrune(b *testing.B) {
+	var appList []*apps.App
+	for _, short := range []string{"gifview", "tifthumb"} {
+		a, err := apps.ByName(short)
+		if err != nil {
+			b.Fatal(err)
+		}
+		appList = append(appList, a)
+	}
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		on := harness.Evaluate(harness.Config{Seed: 21, Arith: true}, appList)
+		triagedDur := time.Since(start)
+		start = time.Now()
+		off := harness.Evaluate(harness.Config{Seed: 21, Arith: true,
+			Engine: core.Options{NoTriage: true}}, appList)
+		ablationDur := time.Since(start)
+		pruned := 0
+		for _, o := range on {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			for _, as := range o.Arith {
+				if as.Pruned {
+					pruned++
+				}
+			}
+		}
+		for _, o := range off {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			for _, as := range o.Arith {
+				if as.Pruned {
+					b.Fatalf("%s: pruned site under the NoTriage ablation", as.Site.Name)
+				}
+			}
+		}
+		if pruned == 0 {
+			b.Fatal("triage pruned no arith hunts; the benchmark measures nothing")
+		}
+		b.ReportMetric(float64(pruned), "pruned-hunts")
+		b.ReportMetric(ablationDur.Seconds()/triagedDur.Seconds(), "no-triage-time-ratio")
+	}
+}

@@ -17,11 +17,17 @@
 //	diode-tables [-table all|1|2|samepath|extended] [-n 200] [-seed 1]
 //	             [-parallel N] [-workers N] [-backend local|exec] [-worker BIN]
 //	             [-cache-dir DIR] [-no-cache] [-json] [-progress] [-db out.json]
-//	             [-discover] [-cpuprofile FILE] [-memprofile FILE]
+//	             [-discover] [-triage] [-no-triage] [-arith]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 //
 // -discover appends the statically discovered-site table (per-application
 // alloc/arith counts from the internal/discover pass) after the selected
-// tables.
+// tables. -triage appends the static value-range triage table (sites by
+// triage verdict, plus the arith hunts the triage prunes). -no-triage
+// disables the triage during hunts (ablation; the curated tables are
+// byte-identical either way). -arith additionally hunts every discovered
+// arith site through the probe transform and appends a per-application
+// summary; expect multi-minute solver exhaustion on some sites.
 //
 // -cache-dir points at a shared on-disk result cache: a repeated sweep
 // against the same directory serves every job from the cache (byte-identical
@@ -65,6 +71,9 @@ func run() (code int) {
 	portfolio := flag.Int("portfolio", 0, "race this many solver configurations per hard CDCL solve (0/1 = single engine)")
 	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
 	discoverMode := flag.Bool("discover", false, "append the statically discovered-site table after the selected tables")
+	triageTable := flag.Bool("triage", false, "append the static value-range triage table after the selected tables")
+	arithWave := flag.Bool("arith", false, "also hunt the discovered arith sites (probe transform) and append a per-application summary; hard-unsatisfiable sites can cost the solver minutes")
+	noTriage := flag.Bool("no-triage", false, "ablation: disable the static triage (no hunt short-circuits; arith sites all hunt)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -96,8 +105,8 @@ func run() (code int) {
 	// local backend's hunts share it, and -cache-dir makes results persist
 	// so a repeated sweep is served without re-running any hunt.
 	jc := diode.NewJobCache(diode.JobCacheConfig{Dir: *cacheDir, NoResults: *noCache})
-	cfg := harness.Config{Seed: *seed, Parallelism: *parallel, Workers: *workers, Cache: jc,
-		Engine: diode.Options{Portfolio: *portfolio, OneShotSampling: *blockingSampling}}
+	cfg := harness.Config{Seed: *seed, Parallelism: *parallel, Workers: *workers, Cache: jc, Arith: *arithWave,
+		Engine: diode.Options{Portfolio: *portfolio, OneShotSampling: *blockingSampling, NoTriage: *noTriage}}
 	var appList []*diode.App
 	switch *table {
 	case "1":
@@ -215,6 +224,37 @@ func run() (code int) {
 				return 1
 			}
 			fmt.Println(out)
+		}
+		if *triageTable {
+			out, err := diode.TableTriage(appList)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println(out)
+		}
+		if *arithWave {
+			fmt.Println("Arith-site hunts (overflow constraints derived at the arith node;")
+			fmt.Println("pruned = statically safe, folded without a solver session):")
+			for _, o := range outcomes {
+				var pruned, exposed int
+				for _, as := range o.Arith {
+					if as.Pruned {
+						pruned++
+					}
+					if as.Verdict == diode.VerdictExposed {
+						exposed++
+					}
+				}
+				fmt.Printf("  %-16s %3d sites: %d exposed, %d pruned\n",
+					o.App.Short, len(o.Arith), exposed, pruned)
+				for _, as := range o.Arith {
+					if as.Verdict == diode.VerdictExposed {
+						fmt.Printf("    %-48s %s\n", as.Site.Name, as.ErrorType)
+					}
+				}
+			}
+			fmt.Println()
 		}
 	}
 

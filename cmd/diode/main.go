@@ -14,13 +14,16 @@
 //
 //	diode -app dillo [-seed 1] [-parallel N] [-backend local|exec] [-worker BIN]
 //	      [-cache-dir DIR] [-no-cache] [-expr] [-v] [-json] [-progress]
-//	      [-sites] [-discover] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-sites] [-triage] [-no-triage] [-discover]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // -sites prints the application's statically discovered overflow sites (the
 // internal/discover listing: name, kind, function, taint sources, rendered
-// expression) and exits without hunting. -discover runs the normal hunt but
-// sweeps the sites in static discovery order and appends a discovery summary
-// line to the report.
+// expression) and exits without hunting. -triage prints the same sites with
+// their static value-range triage verdict and bounds and exits. -no-triage
+// disables the triage during hunts (ablation). -discover runs the normal
+// hunt but sweeps the sites in static discovery order and appends a
+// discovery summary line to the report.
 //
 // -cache-dir points at a shared on-disk result cache: a repeated run against
 // the same directory serves every hunt from the cache (byte-identical
@@ -64,6 +67,8 @@ func run() (code int) {
 	portfolio := flag.Int("portfolio", 0, "race this many solver configurations per hard CDCL solve (0/1 = single engine)")
 	blockingSampling := flag.Bool("blocking-sampling", false, "ablation: enumerate sample models via blocking clauses instead of randomized restarts")
 	sitesMode := flag.Bool("sites", false, "list the statically discovered sites (name, kind, function, taint, expression) and exit without hunting")
+	triageMode := flag.Bool("triage", false, "list the discovered sites with their static value-range triage (verdict, bounds) and exit without hunting")
+	noTriage := flag.Bool("no-triage", false, "ablation: disable the static triage (no hunt short-circuits; arith sites all hunt)")
 	discoverMode := flag.Bool("discover", false, "sweep in static discovery order and append the discovered-site summary")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -100,10 +105,19 @@ func run() (code int) {
 		fmt.Print(out)
 		return 0
 	}
+	if *triageMode {
+		out, err := triageListing(app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "triage failed:", err)
+			return 1
+		}
+		fmt.Print(out)
+		return 0
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := diode.Options{Seed: *seed, Portfolio: *portfolio, OneShotSampling: *blockingSampling}
+	opts := diode.Options{Seed: *seed, Portfolio: *portfolio, OneShotSampling: *blockingSampling, NoTriage: *noTriage}
 	// The job cache memoizes the analysis and, with -cache-dir, serves whole
 	// job results from disk so repeated runs skip the hunts entirely.
 	jc := diode.NewJobCache(diode.JobCacheConfig{Dir: *cacheDir, NoResults: *noCache})

@@ -18,6 +18,17 @@ func sitesListing(app *diode.App) (string, error) {
 	return diode.FormatDiscovered(sites), nil
 }
 
+// triageListing returns the -triage output for one application: exactly the
+// triage listing, so the bytes match the golden files under
+// internal/apps/testdata/triage and the `make triage-smoke` diff.
+func triageListing(app *diode.App) (string, error) {
+	sites, err := diode.Triaged(app)
+	if err != nil {
+		return "", err
+	}
+	return diode.FormatTriage(sites), nil
+}
+
 // discoveryOrder reorders analyzed targets into static discovery order
 // (program traversal order), the -discover sweep order. Analysis order is
 // seed-execution order; discovery order is the stable program-text order,

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a source file into dir, creating it as a fake package root.
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const dispatchSrc = `package dispatch
+type Options struct {
+	Seed int
+	Fuel int
+}
+type Job struct {
+	ID   int
+	Site string
+}
+`
+
+const cacheTestSrc = `package dispatch
+var optionsKeyFlips = map[string]func(*Options){
+	"Seed": func(o *Options) { o.Seed++ },
+	"Fuel": func(o *Options) { o.Fuel++ },
+}
+var jobKeyFlips = map[string]func(*Job){
+	"Site": func(j *Job) { j.Site = "x" },
+}
+var jobKeyExcluded = map[string]func(*Job){
+	"ID": func(j *Job) { j.ID++ },
+}
+`
+
+// TestFlipTableCheckClean pins that a consistent field/table pair passes.
+func TestFlipTableCheckClean(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "dispatch.go", dispatchSrc)
+	write(t, dir, "cache_test.go", cacheTestSrc)
+	if problems := checkFlipTables(dir); len(problems) != 0 {
+		t.Fatalf("clean package flagged: %v", problems)
+	}
+}
+
+// TestFlipTableCheckViolations pins the three failure modes: a struct field
+// with no table entry, a stale table key, and a Job field in both tables.
+func TestFlipTableCheckViolations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "dispatch.go", `package dispatch
+type Options struct {
+	Seed    int
+	Orphan  int
+}
+type Job struct {
+	ID   int
+	Site string
+}
+`)
+	write(t, dir, "cache_test.go", `package dispatch
+var optionsKeyFlips = map[string]func(*Options){
+	"Seed":    func(o *Options) { o.Seed++ },
+	"Renamed": func(o *Options) {},
+}
+var jobKeyFlips = map[string]func(*Job){
+	"Site": func(j *Job) { j.Site = "x" },
+	"ID":   func(j *Job) { j.ID++ },
+}
+var jobKeyExcluded = map[string]func(*Job){
+	"ID": func(j *Job) { j.ID++ },
+}
+`)
+	problems := strings.Join(checkFlipTables(dir), "\n")
+	for _, want := range []string{
+		"Options.Orphan has no optionsKeyFlips entry",
+		`optionsKeyFlips["Renamed"] names no Options field`,
+		"Job.ID is in both jobKeyFlips and jobKeyExcluded",
+	} {
+		if !strings.Contains(problems, want) {
+			t.Errorf("missing violation %q in:\n%s", want, problems)
+		}
+	}
+}
+
+const threadedSrc = `package interp
+const (
+	opA uint8 = iota
+	opB
+	opC
+)
+const opColdMark = opB
+type Machine struct{}
+type instr struct{ op uint8 }
+func (m *Machine) exec() error {
+	var in instr
+	switch in.op {
+	case opA:
+	case opB, opC:
+	}
+	return nil
+}
+`
+
+// TestOpcodeCheckClean pins that a fully handled opcode set passes, with
+// boundary-marker aliases exempt.
+func TestOpcodeCheckClean(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "threaded.go", threadedSrc)
+	if problems := checkOpcodeSwitch(dir); len(problems) != 0 {
+		t.Fatalf("clean package flagged: %v", problems)
+	}
+}
+
+// TestOpcodeCheckViolations pins both directions: an unhandled opcode and a
+// case naming a constant that does not exist.
+func TestOpcodeCheckViolations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "threaded.go", `package interp
+const (
+	opA uint8 = iota
+	opB
+	opGhostless
+)
+type Machine struct{}
+type instr struct{ op uint8 }
+func (m *Machine) exec() error {
+	var in instr
+	switch in.op {
+	case opA:
+	case opB:
+	case opDeleted:
+	}
+	return nil
+}
+`)
+	problems := strings.Join(checkOpcodeSwitch(dir), "\n")
+	for _, want := range []string{
+		"opcode opGhostless has no case",
+		"case opDeleted matches no declared op* constant",
+	} {
+		if !strings.Contains(problems, want) {
+			t.Errorf("missing violation %q in:\n%s", want, problems)
+		}
+	}
+}
+
+// TestRealPackagesPass runs the linter against the actual repo packages —
+// the same invocation `make diodelint` and CI use.
+func TestRealPackagesPass(t *testing.T) {
+	for dir, check := range map[string]func(string) []string{
+		"../../internal/dispatch": checkFlipTables,
+		"../../internal/interp":   checkOpcodeSwitch,
+	} {
+		if problems := check(dir); len(problems) != 0 {
+			t.Errorf("%s: %v", dir, problems)
+		}
+	}
+}

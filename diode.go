@@ -53,6 +53,7 @@ package diode
 import (
 	"context"
 
+	"diode/internal/absint"
 	"diode/internal/apps"
 	"diode/internal/cache"
 	"diode/internal/core"
@@ -98,6 +99,34 @@ const DiscoverVersion = discover.Version
 // FormatDiscovered renders discovered sites as the tab-aligned listing
 // `diode -sites` prints (pure rows, safe to diff against goldens).
 func FormatDiscovered(sites []DiscoveredSite) string { return discover.Format(sites) }
+
+// Triage is the static value-range triage verdict attached to discovered
+// sites by the abstract-interpretation pass (App.Triaged).
+type Triage = discover.Triage
+
+// Triage verdicts.
+const (
+	// TriageSafe: the site's value provably never wraps (or the site never
+	// executes); its overflow constraint is unsatisfiable.
+	TriageSafe = discover.TriageSafe
+	// TriageMustOverflow: every execution reaching the site wraps.
+	TriageMustOverflow = discover.TriageMustOverflow
+	// TriageUnknown: the analysis cannot decide; the site is hunted
+	// dynamically as usual.
+	TriageUnknown = discover.TriageUnknown
+)
+
+// AbsintVersion is the static-triage pass revision; it participates in job
+// cache keys so results computed under an older triage miss cleanly.
+const AbsintVersion = absint.Version
+
+// Triaged returns the application's discovered sites annotated with the
+// static value-range triage verdict and bounds.
+func Triaged(app *App) ([]DiscoveredSite, error) { return app.Triaged() }
+
+// FormatTriage renders triaged sites as the tab-aligned listing
+// `diode -triage` prints (pure rows, safe to diff against goldens).
+func FormatTriage(sites []DiscoveredSite) string { return discover.FormatTriage(sites) }
 
 // Options configure the pipeline. The zero value uses sensible defaults; set
 // Seed for reproducible hunts and Parallelism for concurrent site hunts.
@@ -327,4 +356,11 @@ func TableExtended(appList []*App, recs []*AppRecord) string {
 // sites by kind per application, next to the curated paper-table sizes.
 func TableDiscovered(appList []*App) (string, error) {
 	return report.TableDiscovered(appList)
+}
+
+// TableTriage renders the static value-range triage summary: discovered
+// sites by triage verdict per application, plus the arith hunts the triage
+// prunes from an extended sweep.
+func TableTriage(appList []*App) (string, error) {
+	return report.TableTriage(appList)
 }

@@ -1,0 +1,283 @@
+package absint
+
+import (
+	"math/bits"
+
+	"diode/internal/lang"
+)
+
+// binOp is the abstract counterpart of interp's binopVal: identical wrap
+// conditions (carry out on add, borrow on sub, ideal-product overflow on
+// mul, shifted-out bits on shl), identical division-by-zero results (udiv
+// by 0 yields the all-ones value, urem by 0 the dividend), and the same
+// sticky wrapped-flag propagation (the result's flag includes both
+// operands' flags for every operator).
+func binOp(op lang.BinOp, a, b Value) Value {
+	if a.Bot || b.Bot {
+		return bottom()
+	}
+	mayP := a.MayWrap || b.MayWrap
+	mustP := a.MustWrap || b.MustWrap
+	if a.W == 0 || b.W == 0 {
+		// Unknown operand width: no interval survives, but flag
+		// propagation does.
+		out := anyTop()
+		out.MustWrap = mustP
+		return out
+	}
+	if a.W != b.W {
+		// The interpreter rejects width mismatches (the run dies), so no
+		// concrete value exists here.
+		return bottom()
+	}
+	w := a.W
+	m := Mask(w)
+	out := Value{W: w, Hi: m, MayWrap: mayP, MustWrap: mustP}
+
+	switch op {
+	case lang.OpAdd:
+		loSum, loCarry := bits.Add64(a.Lo, b.Lo, 0)
+		hiSum, hiCarry := bits.Add64(a.Hi, b.Hi, 0)
+		mayC := hiCarry != 0 || hiSum > m
+		mustC := loCarry != 0 || loSum > m
+		out.MayWrap = mayP || mayC
+		out.MustWrap = mustP || mustC
+		switch {
+		case !mayC:
+			out.Lo, out.Hi = loSum, hiSum
+		case mustC:
+			// Every sum wraps exactly once (operands < 2^w, so the ideal
+			// sum is < 2^(w+1)): the masked endpoints stay ordered.
+			out.Lo, out.Hi = loSum&m, hiSum&m
+		}
+	case lang.OpSub:
+		mayB := b.Hi > a.Lo
+		mustB := b.Lo > a.Hi
+		out.MayWrap = mayP || mayB
+		out.MustWrap = mustP || mustB
+		switch {
+		case !mayB:
+			out.Lo, out.Hi = a.Lo-b.Hi, a.Hi-b.Lo
+		case mustB:
+			// Every difference borrows exactly once: masked endpoints
+			// stay ordered.
+			out.Lo, out.Hi = (a.Lo-b.Hi)&m, (a.Hi-b.Lo)&m
+		}
+	case lang.OpMul:
+		hiHi, hiLo := bits.Mul64(a.Hi, b.Hi)
+		loHi, loLo := bits.Mul64(a.Lo, b.Lo)
+		mayC := hiHi != 0 || hiLo > m
+		mustC := loHi != 0 || loLo > m
+		out.MayWrap = mayP || mayC
+		out.MustWrap = mustP || mustC
+		if !mayC {
+			out.Lo, out.Hi = loLo, hiLo
+		}
+	case lang.OpUDiv:
+		switch {
+		case b.Hi == 0:
+			// Division by a certain zero yields the all-ones value.
+			return Const(w, m).withFlags(mayP, mustP)
+		case b.Lo == 0:
+			// Zero divisor possible: join the quotient range with m.
+			out.Lo, out.Hi = a.Lo/b.Hi, m
+		default:
+			out.Lo, out.Hi = a.Lo/b.Hi, a.Hi/b.Lo
+		}
+	case lang.OpURem:
+		switch {
+		case b.Hi == 0:
+			// Modulo by a certain zero yields the dividend.
+			out.Lo, out.Hi = a.Lo, a.Hi
+		case b.Lo == 0:
+			// Zero divisor possible (result = dividend) joined with the
+			// proper remainder range [0, b.Hi-1].
+			out.Lo, out.Hi = 0, a.Hi
+		case a.Hi < b.Lo:
+			// Dividend always below the divisor: identity.
+			out.Lo, out.Hi = a.Lo, a.Hi
+		default:
+			out.Lo, out.Hi = 0, min(a.Hi, b.Hi-1)
+		}
+	case lang.OpAnd:
+		kz := (a.KnownMask &^ a.KnownVal) | (b.KnownMask &^ b.KnownVal)
+		ko := (a.KnownMask & a.KnownVal) & (b.KnownMask & b.KnownVal)
+		out.KnownMask, out.KnownVal = kz|ko, ko
+		out.Hi = min(a.Hi, b.Hi)
+	case lang.OpOr:
+		kz := (a.KnownMask &^ a.KnownVal) & (b.KnownMask &^ b.KnownVal)
+		ko := (a.KnownMask & a.KnownVal) | (b.KnownMask & b.KnownVal)
+		out.KnownMask, out.KnownVal = kz|ko, ko
+		out.Lo = max(a.Lo, b.Lo)
+		out.Hi = lenCap(a.Hi|b.Hi, m)
+	case lang.OpXor:
+		out.KnownMask = a.KnownMask & b.KnownMask
+		out.KnownVal = (a.KnownVal ^ b.KnownVal) & out.KnownMask
+		out.Hi = lenCap(a.Hi|b.Hi, m)
+	case lang.OpShl:
+		return shl(a, b, w, m, mayP, mustP)
+	case lang.OpLShr:
+		if b.Lo < uint64(w) {
+			out.Lo = a.Lo >> b.Hi
+			if b.Hi >= uint64(w) {
+				out.Lo = 0 // shifts ≥ w yield 0
+			}
+			out.Hi = a.Hi >> b.Lo
+		} else {
+			out.Lo, out.Hi = 0, 0
+			out.KnownMask = m
+		}
+		if b.Lo == b.Hi && b.Lo < uint64(w) {
+			s := b.Lo
+			out.KnownMask = a.KnownMask>>s | (m &^ (m >> s))
+			out.KnownVal = a.KnownVal >> s
+		}
+	case lang.OpAShr:
+		half := uint64(1) << (w - 1)
+		bLo, bHi := min(b.Lo, uint64(w-1)), min(b.Hi, uint64(w-1))
+		switch {
+		case a.Hi < half:
+			// Sign bit provably clear: behaves as a logical shift with
+			// the shift amount clamped to w-1.
+			out.Lo, out.Hi = a.Lo>>bHi, a.Hi>>bLo
+		case a.Lo >= half:
+			// Sign bit provably set: it is preserved by the shift.
+			out.Lo = half
+			out.KnownMask, out.KnownVal = half, half
+		}
+	}
+	return out.norm()
+}
+
+func (v Value) withFlags(may, must bool) Value {
+	v.MayWrap = v.MayWrap || may
+	v.MustWrap = v.MustWrap || must
+	if v.MustWrap {
+		v.MayWrap = true
+	}
+	return v
+}
+
+// lenCap bounds a bitwise-or/xor result: it cannot exceed the all-ones
+// value of the operands' joint bit length.
+func lenCap(orHi, m uint64) uint64 {
+	n := bits.Len64(orHi)
+	if n >= 64 {
+		return m
+	}
+	return min((uint64(1)<<n)-1, m)
+}
+
+// shl mirrors binopVal's OpShl case: shifts ≥ w yield 0 and wrap iff the
+// operand was nonzero; smaller shifts wrap iff nonzero bits shift out.
+func shl(a, b Value, w lang.Width, m uint64, mayP, mustP bool) Value {
+	out := Value{W: w, Hi: m}
+	switch {
+	case b.Lo >= uint64(w):
+		// Every shift amount is ≥ w: the result is exactly 0.
+		out.Lo, out.Hi = 0, 0
+		out.KnownMask = m
+		return out.withFlags(mayP || a.Hi != 0, mustP || a.Lo > 0).norm()
+	case b.Lo == b.Hi:
+		s := b.Lo
+		mayC := s != 0 && a.Hi>>(uint64(w)-s) != 0
+		mustC := s != 0 && a.Lo>>(uint64(w)-s) != 0
+		if !mayC {
+			out.Lo, out.Hi = a.Lo<<s, a.Hi<<s
+		}
+		// Bit i of (a << s) & m is bit i-s of a (or 0 for i < s), whether
+		// or not the shift wraps — so the shifted known bits always hold.
+		out.KnownMask = (a.KnownMask << s & m) | (m & ((uint64(1) << s) - 1))
+		out.KnownVal = a.KnownVal << s & m
+		return out.withFlags(mayP || mayC, mustP || mustC).norm()
+	case b.Hi < uint64(w) && a.Hi>>(uint64(w)-b.Hi) == 0:
+		// Even the largest shift keeps every operand bit: no wrap, and
+		// the endpoints bound the result.
+		out.Lo, out.Hi = a.Lo<<b.Lo, a.Hi<<b.Hi
+		out.KnownMask = m & ((uint64(1) << b.Lo) - 1)
+		return out.withFlags(mayP, mustP).norm()
+	default:
+		if b.Lo < uint64(w) {
+			out.KnownMask = m & ((uint64(1) << b.Lo) - 1)
+		} else {
+			out.KnownMask = m
+		}
+		may := a.Hi != 0 && b.Hi != 0
+		return out.withFlags(mayP || may, mustP).norm()
+	}
+}
+
+// unOp mirrors interp's unop: negation or bitwise not, wrapped flag
+// propagated and never set.
+func unOp(neg bool, a Value) Value {
+	if a.Bot {
+		return bottom()
+	}
+	if a.W == 0 {
+		out := anyTop()
+		out.MayWrap, out.MustWrap = a.MayWrap, a.MustWrap
+		return out
+	}
+	m := Mask(a.W)
+	out := Value{W: a.W, Hi: m, MayWrap: a.MayWrap, MustWrap: a.MustWrap}
+	if neg {
+		switch {
+		case a.Hi == 0:
+			out.Lo, out.Hi = 0, 0
+		case a.Lo > 0:
+			// 0 excluded: -x = 2^w - x is decreasing on [1, m].
+			out.Lo, out.Hi = (-a.Hi)&m, (-a.Lo)&m
+		}
+	} else {
+		out.Lo, out.Hi = m-a.Hi, m-a.Lo
+		out.KnownMask = a.KnownMask
+		out.KnownVal = ^a.KnownVal & a.KnownMask
+	}
+	return out.norm()
+}
+
+// cvt mirrors interp's convert: zero/sign extension on widening, masking on
+// truncation, wrapped flag propagated and never set.
+func cvt(w lang.Width, signed bool, a Value) Value {
+	if a.Bot {
+		return bottom()
+	}
+	if a.W == 0 {
+		out := Top(w)
+		out.MayWrap, out.MustWrap = a.MayWrap, a.MustWrap
+		return out
+	}
+	if w == a.W {
+		return a
+	}
+	m := Mask(w)
+	out := Value{W: w, Hi: m, MayWrap: a.MayWrap, MustWrap: a.MustWrap}
+	if w > a.W {
+		am := Mask(a.W)
+		if !signed || a.Hi < (uint64(1)<<(a.W-1)) {
+			// Zero extension (or sign extension of provably non-negative
+			// values): the value and its known bits carry over, with the
+			// new high bits known zero.
+			out.Lo, out.Hi = a.Lo, a.Hi
+			out.KnownMask = a.KnownMask | (m &^ am)
+			out.KnownVal = a.KnownVal
+		} else if a.Lo >= (uint64(1) << (a.W - 1)) {
+			// Sign bit provably set: extension fills the high bits with
+			// ones; x ↦ x | (m &^ am) is increasing.
+			out.Lo = a.Lo | (m &^ am)
+			out.Hi = a.Hi | (m &^ am)
+			out.KnownMask = a.KnownMask | (m &^ am)
+			out.KnownVal = a.KnownVal | (m &^ am)
+		}
+		return out.norm()
+	}
+	// Truncation: low bits survive.
+	out.KnownMask = a.KnownMask & m
+	out.KnownVal = a.KnownVal & m
+	if a.Lo>>w == a.Hi>>w {
+		// The discarded high part is constant across the interval, so the
+		// masked endpoints stay ordered.
+		out.Lo, out.Hi = a.Lo&m, a.Hi&m
+	}
+	return out.norm()
+}

@@ -1,0 +1,156 @@
+package absint
+
+import (
+	"testing"
+
+	"diode/internal/lang"
+)
+
+// TestBinOpTransfer pins the wrap semantics of the arithmetic transfer
+// functions against the interpreter's concrete rules: carry out on add,
+// borrow on sub, ideal-product overflow on mul, plus sticky flag
+// propagation and the division-by-zero conventions.
+func TestBinOpTransfer(t *testing.T) {
+	u32 := func(lo, hi uint64) Value { return Range(32, lo, hi) }
+	tests := []struct {
+		name     string
+		op       lang.BinOp
+		a, b     Value
+		lo, hi   uint64
+		may, mst bool
+	}{
+		{"add/no-wrap", lang.OpAdd, u32(0, 10), u32(0, 20), 0, 30, false, false},
+		{"add/may-wrap", lang.OpAdd, u32(0, 0xffff_ffff), u32(0, 1), 0, 0xffff_ffff, true, false},
+		{"add/must-wrap", lang.OpAdd, Const(32, 0xffff_ffff), u32(1, 2), 0, 1, true, true},
+		{"sub/no-borrow", lang.OpSub, u32(100, 200), u32(0, 50), 50, 200, false, false},
+		{"sub/may-borrow", lang.OpSub, u32(0, 100), u32(0, 50), 0, 0xffff_ffff, true, false},
+		{"sub/must-borrow", lang.OpSub, Const(32, 0), u32(1, 1), 0xffff_ffff, 0xffff_ffff, true, true},
+		{"mul/no-wrap", lang.OpMul, u32(0, 0xffff), u32(0, 0xffff), 0, 0xfffe0001, false, false},
+		{"mul/may-wrap", lang.OpMul, u32(0, 0x1_0000), u32(0, 0x1_0000), 0, 0xffff_ffff, true, false},
+		{"mul/must-wrap", lang.OpMul, Const(32, 0x1_0000), Const(32, 0x1_0000), 0, 0xffff_ffff, true, true},
+		{"udiv/by-zero", lang.OpUDiv, u32(10, 20), Const(32, 0), 0xffff_ffff, 0xffff_ffff, false, false},
+		{"udiv/maybe-zero", lang.OpUDiv, u32(100, 100), u32(0, 10), 10, 0xffff_ffff, false, false},
+		{"urem/by-zero-is-dividend", lang.OpURem, u32(10, 20), Const(32, 0), 10, 20, false, false},
+		{"urem/bounded", lang.OpURem, u32(0, 0xffff_ffff), u32(1, 16), 0, 15, false, false},
+		// Sticky flag propagation: an already-wrapped operand taints the
+		// result even when the operation itself cannot wrap.
+		{"add/sticky-flag", lang.OpAdd, u32(0, 1).withFlags(true, true), u32(0, 1), 0, 2, true, true},
+		{"and/clears-wrapless", lang.OpAnd, u32(0, 0xffff_ffff), Const(32, 0xff), 0, 0xff, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := binOp(tc.op, tc.a, tc.b)
+			if got.Bot {
+				t.Fatalf("%s: unexpected bottom", tc.name)
+			}
+			if got.Lo != tc.lo || got.Hi != tc.hi {
+				t.Errorf("%s: interval [%d, %d], want [%d, %d]", tc.name, got.Lo, got.Hi, tc.lo, tc.hi)
+			}
+			if got.MayWrap != tc.may || got.MustWrap != tc.mst {
+				t.Errorf("%s: may/must = %v/%v, want %v/%v", tc.name, got.MayWrap, got.MustWrap, tc.may, tc.mst)
+			}
+		})
+	}
+}
+
+// TestBinOpWidthMismatch pins that mismatched operand widths yield bottom
+// (the interpreter kills such runs, so no concrete value exists) and that an
+// unknown width degrades to any-width top while keeping flag propagation.
+func TestBinOpWidthMismatch(t *testing.T) {
+	if got := binOp(lang.OpAdd, Range(32, 0, 1), Range(16, 0, 1)); !got.Bot {
+		t.Errorf("width mismatch: got %+v, want bottom", got)
+	}
+	got := binOp(lang.OpAdd, anyTop(), Range(32, 0, 1).withFlags(true, true))
+	if got.Bot || got.W != 0 || !got.MayWrap || !got.MustWrap {
+		t.Errorf("unknown width: got %+v, want any-top with must-wrap", got)
+	}
+}
+
+// TestWidenConvergence pins the widening policy: a loop-shaped chain of
+// joins reaches a fixpoint in a bounded number of steps (interval growth
+// jumps to the width extreme instead of creeping), and widening with a
+// value already covered is the identity.
+func TestWidenConvergence(t *testing.T) {
+	// Abstract loop: x = 0; while (...) x = x + 3 — each iteration's join
+	// grows the interval, so plain joins would take 2^32/3 steps. Widening
+	// jumps the interval to the width extreme, but the known-bits component
+	// still narrows the result, releasing one known-zero high bit per round:
+	// convergence is O(width) steps, not O(1) — and crucially not O(2^width).
+	v := Const(32, 0)
+	steps := 0
+	for {
+		next := binOp(lang.OpAdd, v, Const(32, 3))
+		w := Widen(v, Join(v, next))
+		if w == v {
+			break
+		}
+		v = w
+		if steps++; steps > 64 {
+			t.Fatalf("widening did not converge after %d steps: %+v", steps, v)
+		}
+	}
+	if v.Lo != 0 || v.Hi != Mask(32) {
+		t.Errorf("loop fixpoint [%d, %d], want [0, %d]", v.Lo, v.Hi, Mask(32))
+	}
+	// Identity case: no growth means no widening.
+	stable := Range(32, 5, 10)
+	if got := Widen(stable, Range(32, 6, 9)); got != stable {
+		t.Errorf("widen of covered value changed it: %+v", got)
+	}
+	// The wrapped flag joins monotonically under widening too.
+	flagged := Widen(Range(32, 0, 1), Range(32, 0, 1).withFlags(true, false))
+	if !flagged.MayWrap {
+		t.Error("widening dropped the may-wrap flag")
+	}
+}
+
+// TestGuardMeets pins the branch-refinement rules: a comparison guard
+// narrows both operand intervals, an impossible guard collapses to bottom,
+// and meet intersects known bits soundly.
+func TestGuardMeets(t *testing.T) {
+	top := Range(32, 0, Mask(32))
+	tests := []struct {
+		name     string
+		op       lang.CmpOp
+		a, b     Value
+		aLo, aHi uint64
+		bLo, bHi uint64
+		bothBot  bool
+	}{
+		{"ult/narrows-both", lang.CmpUlt, top, Range(32, 0, 100), 0, 99, 1, 100, false},
+		{"ule/narrows", lang.CmpUle, top, Const(32, 64), 0, 64, 64, 64, false},
+		{"ugt/narrows", lang.CmpUgt, top, Const(32, 10), 11, Mask(32), 10, 10, false},
+		{"uge/narrows", lang.CmpUge, Range(32, 0, 50), Const(32, 20), 20, 50, 20, 20, false},
+		{"eq/becomes-constant", lang.CmpEq, top, Const(32, 7), 7, 7, 7, 7, false},
+		{"ult/impossible", lang.CmpUlt, top, Const(32, 0), 0, 0, 0, 0, true},
+		{"ne/singleton-endpoint", lang.CmpNe, Range(32, 0, 10), Const(32, 0), 1, 10, 0, 0, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ca, cb := refineBounds(tc.op, tc.a, tc.b)
+			if tc.bothBot {
+				if !ca.Bot || !cb.Bot {
+					t.Fatalf("%s: want bottom constraints, got %+v / %+v", tc.name, ca, cb)
+				}
+				return
+			}
+			ma, mb := tc.a.meet(ca), tc.b.meet(cb)
+			if ma.Lo != tc.aLo || ma.Hi != tc.aHi {
+				t.Errorf("%s: lhs meets to [%d, %d], want [%d, %d]", tc.name, ma.Lo, ma.Hi, tc.aLo, tc.aHi)
+			}
+			if mb.Lo != tc.bLo || mb.Hi != tc.bHi {
+				t.Errorf("%s: rhs meets to [%d, %d], want [%d, %d]", tc.name, mb.Lo, mb.Hi, tc.bLo, tc.bHi)
+			}
+		})
+	}
+	// Known-bits meet: contradictory known bits are an empty intersection.
+	a := Value{W: 8, Hi: 0xff, KnownMask: 1, KnownVal: 1}.norm()
+	if got := a.meet(Value{W: 8, Hi: 0xff, KnownMask: 1, KnownVal: 0}); !got.Bot {
+		t.Errorf("contradictory known bits met to %+v, want bottom", got)
+	}
+	// Flags survive a meet (guards constrain values, not wrap history).
+	fl := Range(32, 0, 100).withFlags(true, false)
+	if got := fl.meet(Range(32, 0, 10)); !got.MayWrap || got.Hi != 10 {
+		t.Errorf("meet dropped flags or misbounded: %+v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package absint
+
+import "diode/internal/discover"
+
+// TriageSites returns a copy of sites annotated with the static triage
+// verdict and bounds. A site is safe when either pass proves its value
+// never carries the wrapped flag (or never executes at all); must-overflow
+// when the guarded pass proves the flag set on every execution reaching it;
+// unknown otherwise.
+//
+// Soundness of the safe verdict: the abstract domain over-approximates
+// every concrete execution, so "safe" means no run on any input wraps at
+// the site — no hunt can ever expose an overflow there. Note the converse
+// is weaker than it looks: the hunt's φ∧β constraint may still be
+// satisfiable at a safe site, because β over-approximates the runtime
+// abort checks, so a full hunt may spell the same non-exposable outcome
+// "sanity-prevented" rather than "unsatisfiable". Downstream folds of safe
+// sites report unsatisfiable and mark the result pruned, recording that
+// the certificate is static; the invariant a pruned verdict carries is
+// "not exposable", pinned by the harness prune-parity test.
+func (a *Analysis) TriageSites(sites []discover.Site) []discover.Site {
+	out := make([]discover.Site, len(sites))
+	copy(out, sites)
+	for i := range out {
+		s := &out[i]
+		path := s.Path
+		if s.Kind == discover.KindAlloc {
+			// The triaged value of an alloc site is its size expression.
+			path += ".size"
+		}
+		vG, okG := a.ValueAt(s.Func, path)
+		vU, okU := a.ValueAtNoGuards(s.Func, path)
+		if okG {
+			b := discover.Bounds{W: vG.W, Lo: vG.Lo, Hi: vG.Hi}
+			s.Bounds = &b
+		}
+		safeNoGuards := !okU || !vU.MayWrap
+		switch {
+		case safeNoGuards || !okG || !vG.MayWrap:
+			s.Triage = discover.TriageSafe
+			s.SafeNoGuards = safeNoGuards
+		case vG.MustWrap:
+			s.Triage = discover.TriageMustOverflow
+		default:
+			s.Triage = discover.TriageUnknown
+		}
+	}
+	return out
+}

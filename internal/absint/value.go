@@ -1,0 +1,214 @@
+// Package absint implements a sound abstract interpreter over the finalized
+// lang AST: for every expression and program point it computes a product
+// domain of unsigned intervals × known-bits, plus the interpreter's sticky
+// wrapped flag in may/must form. Tops are seeded from In(...) byte widths,
+// branch guards meet the state on each side of a conditional, While loop
+// heads widen after a fixed number of join iterations, and procedure calls
+// go through joined parameter/return summaries — so the fixpoint is
+// deterministic and terminates for any program.
+//
+// The triage layer on top (TriageSites) classifies every discovered Site:
+// a site whose abstract value can never carry the wrapped flag is provably
+// safe (the dynamic hunt's target constraint is unsatisfiable for any seed
+// path), a site whose value always carries it must overflow, and the rest
+// stay unknown and are hunted dynamically as before.
+package absint
+
+import (
+	"fmt"
+	"math/bits"
+
+	"diode/internal/lang"
+)
+
+// Version identifies the abstract-interpretation algorithm revision. It
+// participates in dispatch job keys (keyVersion 3) so results cached under
+// an older triage pass miss cleanly instead of aliasing when the domain or
+// transfer functions change.
+const Version = "1"
+
+// Value is the abstract value of one expression: the product of an unsigned
+// interval [Lo, Hi] and a known-bits mask, plus the wrapped-flag component
+// (the interpreter's sticky overflow bit) and an unreachability flag.
+//
+// Concretization: a concrete interp value {v, w, wrapped} is described by a
+// Value when the Value is not Bot, the widths agree (W 0 matches any
+// width), Lo ≤ v ≤ Hi, v&KnownMask == KnownVal, wrapped implies MayWrap,
+// and MustWrap implies wrapped. Every transfer function over-approximates
+// the matching concrete operator in interp (binopVal, unop, convert), so
+// the relation is preserved by induction; FuzzAbsintSoundness pins it
+// differentially against the threaded Machine.
+type Value struct {
+	// W is the operand width in bits (8/16/32/64); 0 means the width is
+	// unknown (top over all widths, e.g. after a memory load).
+	W lang.Width
+	// Lo and Hi bound the value as an unsigned integer, inclusive.
+	Lo, Hi uint64
+	// KnownMask marks bits whose value is known; on those bits the value
+	// equals KnownVal.
+	KnownMask, KnownVal uint64
+	// MayWrap reports that the value's sticky wrapped flag may be set;
+	// MustWrap that it is set on every execution reaching this point.
+	MayWrap, MustWrap bool
+	// Bot marks the empty value (no execution produces one here).
+	Bot bool
+}
+
+// Mask returns the all-ones value of width w; width 0 (unknown) masks
+// nothing away.
+func Mask(w lang.Width) uint64 {
+	if w == 0 || w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Top returns the full-range value of width w with an unknown wrapped flag.
+func Top(w lang.Width) Value { return Value{W: w, Hi: Mask(w), MayWrap: true} }
+
+// anyTop is the top over all widths — the value of a memory load, whose
+// stored cell may have any width and a set wrapped flag.
+func anyTop() Value { return Value{W: 0, Hi: ^uint64(0), MayWrap: true} }
+
+// Const returns the singleton abstract value of an unwrapped constant.
+func Const(w lang.Width, v uint64) Value {
+	v &= Mask(w)
+	return Value{W: w, Lo: v, Hi: v, KnownMask: Mask(w), KnownVal: v}
+}
+
+// Range returns the interval [lo, hi] of width w with no wrapped flag and
+// no known bits beyond those the interval itself implies.
+func Range(w lang.Width, lo, hi uint64) Value {
+	return Value{W: w, Lo: lo, Hi: hi}.norm()
+}
+
+func bottom() Value { return Value{Bot: true} }
+
+// norm reconciles the interval and known-bits components: known bits bound
+// the interval, the interval's shared high bits become known, and an empty
+// intersection collapses to Bot. norm never changes the concretization
+// except to shrink it toward the true value set.
+func (v Value) norm() Value {
+	if v.Bot {
+		return bottom()
+	}
+	m := Mask(v.W)
+	v.KnownMask &= m
+	v.KnownVal &= v.KnownMask
+	// Known bits bound the interval: unknown bits at 0 give the minimum,
+	// at 1 the maximum.
+	if minKB := v.KnownVal; v.Lo < minKB {
+		v.Lo = minKB
+	}
+	if maxKB := v.KnownVal | (m &^ v.KnownMask); v.Hi > maxKB {
+		v.Hi = maxKB
+	}
+	if v.Lo > v.Hi {
+		return bottom()
+	}
+	// Shared high bits of Lo and Hi are shared by every value in between.
+	diff := v.Lo ^ v.Hi
+	hm := m
+	if diff != 0 {
+		hm = m &^ ((uint64(1) << bits.Len64(diff)) - 1)
+	}
+	if (v.Lo^v.KnownVal)&hm&v.KnownMask != 0 {
+		return bottom()
+	}
+	v.KnownVal = (v.KnownVal &^ hm) | (v.Lo & hm)
+	v.KnownMask |= hm
+	v.KnownVal &= v.KnownMask
+	if v.MustWrap {
+		v.MayWrap = true
+	}
+	return v
+}
+
+// Join returns the least upper bound: the union of both concretizations.
+func Join(a, b Value) Value {
+	if a.Bot {
+		return b
+	}
+	if b.Bot {
+		return a
+	}
+	out := Value{MayWrap: a.MayWrap || b.MayWrap, MustWrap: a.MustWrap && b.MustWrap}
+	if a.W != b.W {
+		out.W = 0
+		out.Hi = ^uint64(0)
+		return out
+	}
+	out.W = a.W
+	out.Lo = min(a.Lo, b.Lo)
+	out.Hi = max(a.Hi, b.Hi)
+	out.KnownMask = a.KnownMask & b.KnownMask &^ (a.KnownVal ^ b.KnownVal)
+	out.KnownVal = a.KnownVal & out.KnownMask
+	return out.norm()
+}
+
+// Widen is Join with acceleration: any interval growth jumps straight to
+// the width's extreme, so chains of widened joins reach a fixpoint after a
+// bounded number of steps regardless of the loop's arithmetic.
+func Widen(old, next Value) Value {
+	j := Join(old, next)
+	if j == old {
+		return old
+	}
+	if !old.Bot && j.W == old.W {
+		if j.Lo < old.Lo {
+			j.Lo = 0
+		}
+		if j.Hi > old.Hi {
+			j.Hi = Mask(j.W)
+		}
+	}
+	return j.norm()
+}
+
+// meet intersects v with the value constraint c (interval and known bits
+// only — c carries no wrapped-flag information, so v's flags survive).
+// An empty intersection returns Bot.
+func (v Value) meet(c Value) Value {
+	if v.Bot || c.Bot {
+		return bottom()
+	}
+	if c.W != 0 && v.W != 0 && c.W != v.W {
+		return v // width mismatch: the guard cannot constrain this value
+	}
+	if v.Lo < c.Lo {
+		v.Lo = c.Lo
+	}
+	if v.Hi > c.Hi {
+		v.Hi = c.Hi
+	}
+	if (v.KnownVal^c.KnownVal)&(v.KnownMask&c.KnownMask) != 0 {
+		return bottom()
+	}
+	v.KnownVal |= c.KnownVal & c.KnownMask
+	v.KnownMask |= c.KnownMask
+	return v.norm()
+}
+
+// Contains checks the concretization relation against one observed runtime
+// value; a non-nil error describes the soundness violation.
+func (v Value) Contains(w lang.Width, x uint64, wrapped bool) error {
+	if v.Bot {
+		return fmt.Errorf("value %d observed at a point the analysis proved unreachable", x)
+	}
+	if v.W != 0 && v.W != w {
+		return fmt.Errorf("runtime width %d, static width %d", w, v.W)
+	}
+	if x < v.Lo || x > v.Hi {
+		return fmt.Errorf("value %d outside static interval [%d, %d]", x, v.Lo, v.Hi)
+	}
+	if x&v.KnownMask != v.KnownVal {
+		return fmt.Errorf("value %#x contradicts known bits %#x=%#x", x, v.KnownMask, v.KnownVal)
+	}
+	if wrapped && !v.MayWrap {
+		return fmt.Errorf("value %d wrapped but the analysis proved it cannot", x)
+	}
+	if v.MustWrap && !wrapped {
+		return fmt.Errorf("value %d did not wrap but the analysis proved it must", x)
+	}
+	return nil
+}

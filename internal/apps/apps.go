@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"diode/internal/absint"
 	"diode/internal/cache"
 	"diode/internal/discover"
 	"diode/internal/formats"
@@ -97,6 +98,13 @@ type App struct {
 	discoverOnce sync.Once
 	discovered   []discover.Site
 	discoverErr  error
+
+	triageOnce sync.Once
+	triaged    []discover.Site
+	triageErr  error
+
+	probeMu sync.Mutex
+	probes  map[string]*App
 }
 
 // Compiled returns the application's guest program in slot-resolved compiled
@@ -129,6 +137,66 @@ func (a *App) Fingerprint() string {
 func (a *App) Discovered() ([]discover.Site, error) {
 	a.discoverOnce.Do(func() { a.discovered, a.discoverErr = discover.Sites(a.Program) })
 	return a.discovered, a.discoverErr
+}
+
+// Triaged returns the application's discovered sites annotated with the
+// static value-range triage (absint pass), computed once per instance under
+// sync.Once like Discovered(). Safe for concurrent use.
+func (a *App) Triaged() ([]discover.Site, error) {
+	a.triageOnce.Do(func() {
+		sites, err := a.Discovered()
+		if err != nil {
+			a.triageErr = err
+			return
+		}
+		an, err := absint.Analyze(a.Program)
+		if err != nil {
+			a.triageErr = fmt.Errorf("apps: %s: triage analysis: %w", a.Short, err)
+			return
+		}
+		a.triaged = an.TriageSites(sites)
+	})
+	return a.triaged, a.triageErr
+}
+
+// Probe returns the derived application that hunts the named arith site:
+// the guest program instrumented with a probe allocation at the arith node
+// (discover.Probe), sharing the original's format but with no paper
+// expectations. Instances are memoized per site, so the derived program's
+// compiled form, fingerprint and analyses warm up once. The derived Short
+// is suffixed with the site so a cache that indexes instances by short name
+// can never shadow the base application with a probe variant. Safe for
+// concurrent use.
+func (a *App) Probe(site string) (*App, error) {
+	a.probeMu.Lock()
+	defer a.probeMu.Unlock()
+	if p, ok := a.probes[site]; ok {
+		return p, nil
+	}
+	sites, err := a.Discovered()
+	if err != nil {
+		return nil, err
+	}
+	var rec *discover.Site
+	for i := range sites {
+		if sites[i].Name == site {
+			rec = &sites[i]
+			break
+		}
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("apps: %s has no discovered site %q", a.Short, site)
+	}
+	prog, err := discover.Probe(a.Program, *rec)
+	if err != nil {
+		return nil, err
+	}
+	p := &App{Name: a.Name, Short: a.Short + "!" + site, Program: prog, Format: a.Format}
+	if a.probes == nil {
+		a.probes = make(map[string]*App)
+	}
+	a.probes[site] = p
+	return p, nil
 }
 
 // PaperFor returns the paper expectations for a site.

@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diode/internal/discover"
+)
+
+var updateTriage = flag.Bool("update-triage", false,
+	"rewrite the golden triage listings under testdata/triage")
+
+// TestGoldenTriageSites pins the full triage listing of every registered
+// application. The listing is byte-identical to `diode -app X -triage` (and
+// to what `make triage-smoke` diffs), so a change here means the abstract
+// interpreter, the discovery pass, or a guest program changed — if
+// intentional, rerun with -update-triage.
+func TestGoldenTriageSites(t *testing.T) {
+	for _, a := range All() {
+		sites, err := a.Triaged()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Short, err)
+		}
+		got := discover.FormatTriage(sites)
+		path := filepath.Join("testdata", "triage", a.Short+".golden")
+		if *updateTriage {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-triage to create)", a.Short, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: triage listing diverges from %s (rerun with -update-triage if intentional)\ngot:\n%swant:\n%s",
+				a.Short, path, got, want)
+		}
+	}
+}
+
+// TestTriagePreservesDiscovery checks that triage is a pure annotation pass:
+// same sites, same order, same names and kinds as raw discovery — only the
+// Triage, SafeNoGuards and Bounds fields differ.
+func TestTriagePreservesDiscovery(t *testing.T) {
+	for _, a := range All() {
+		raw, err := a.Discovered()
+		if err != nil {
+			t.Fatal(err)
+		}
+		triaged, err := a.Triaged()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) != len(triaged) {
+			t.Fatalf("%s: %d triaged sites, %d discovered", a.Short, len(triaged), len(raw))
+		}
+		for i := range raw {
+			if raw[i].Name != triaged[i].Name || raw[i].Kind != triaged[i].Kind {
+				t.Errorf("%s: site %d renamed by triage: %s/%s -> %s/%s",
+					a.Short, i, raw[i].Name, raw[i].Kind, triaged[i].Name, triaged[i].Kind)
+			}
+		}
+	}
+}
+
+// TestPaperSitesNotTriagedSafe is the soundness gate at registry level: every
+// curated paper site is dynamically exposable or at least dynamically
+// reachable, so the static triage must never claim one is safe. A failure
+// here means the abstract interpreter's over-approximation broke.
+func TestPaperSitesNotTriagedSafe(t *testing.T) {
+	for _, a := range All() {
+		sites, err := a.Triaged()
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := make(map[string]discover.Site, len(sites))
+		for _, s := range sites {
+			byName[s.Name] = s
+		}
+		for _, ps := range a.Paper {
+			s, ok := byName[ps.Site]
+			if !ok {
+				t.Errorf("%s: paper site %s missing from triage listing", a.Short, ps.Site)
+				continue
+			}
+			if ps.Class == ClassExposed && s.Triage == discover.TriageSafe {
+				t.Errorf("%s: dynamically exposed site %s triaged safe (unsound)", a.Short, ps.Site)
+			}
+		}
+	}
+}

@@ -51,9 +51,18 @@ func (a *Analyzer) Discovered() ([]discover.Site, error) {
 // siteInfo resolves the discovery record for an alloc site name. Static
 // discovery over-approximates the dynamic taint run, so every analyzed
 // site should be found; the fallback synthesizes a minimal record rather
-// than failing analysis if discovery cannot run.
+// than failing analysis if discovery cannot run. Unless the NoTriage
+// ablation is on, the record comes from the triaged list, so Targets carry
+// the static verdict and bounds for the Hunter's short-circuits.
 func (a *Analyzer) siteInfo(site string) discover.Site {
-	if sites, err := a.app.Discovered(); err == nil {
+	var sites []discover.Site
+	var err error
+	if a.opts.NoTriage {
+		sites, err = a.app.Discovered()
+	} else if sites, err = a.app.Triaged(); err != nil {
+		sites, err = a.app.Discovered()
+	}
+	if err == nil {
 		for _, s := range sites {
 			if s.Kind == discover.KindAlloc && s.Name == site {
 				return s

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"diode/internal/bv"
+	"diode/internal/discover"
 	"diode/internal/interp"
 	"diode/internal/solver"
 )
@@ -43,6 +44,42 @@ func (h *Hunter) HuntContext(ctx context.Context, t *Target) *SiteResult {
 	start := time.Now()
 	res := &SiteResult{Target: t}
 	defer func() { res.Discovery = time.Since(start) }()
+
+	// Static-triage short-circuits (unless the NoTriage ablation is on).
+	//
+	// A must-overflow site wraps on every execution that reaches it, so the
+	// seed run itself is the witness: execute it once and report the exposure
+	// without opening a solver session. If the seed unexpectedly fails to
+	// trigger (it should not, by soundness of the must verdict), fall through
+	// to the full hunt rather than mis-report.
+	//
+	// A safe *arith* site is skipped outright: safety means no execution on
+	// any input wraps at the node, so no hunt can expose it, and the loop
+	// reports VerdictUnsat without opening a solver session. The label is a
+	// static certificate, not a solver one — the approximated φ∧β can still
+	// be satisfiable at a safe site (β omits the runtime sanity checks), so
+	// a full hunt may spell the same non-exposable outcome sanity-prevented;
+	// the harness marks these results pruned and the prune-parity test pins
+	// that no pruned site ever hunts to exposed. Safe *alloc* sites are NOT
+	// short-circuited: their curated verdicts distinguish unsatisfiable from
+	// sanity-prevented, and the paper tables pin that distinction.
+	if !h.opts.NoTriage {
+		switch {
+		case t.Info.Triage == discover.TriageMustOverflow:
+			input := append([]byte(nil), h.app.Format.Seed...)
+			res.Runs++
+			out := h.execute(ctx, t, input, false)
+			if ok, et := triggered(t, out); ok {
+				res.Verdict = VerdictExposed
+				res.Input = input
+				res.ErrorType = et
+				return res
+			}
+		case t.Info.Triage == discover.TriageSafe && t.Info.Kind == discover.KindArith:
+			res.Verdict = VerdictUnsat
+			return res
+		}
+	}
 
 	// One incremental solving session serves the whole hunt: the loop below
 	// only ever *grows* the conjunction (φ′∧β gains one branch constraint

@@ -83,6 +83,14 @@ type Options struct {
 	// DisableRelevanceFilter keeps branches that share no input variable
 	// with the target constraint (ablation hook).
 	DisableRelevanceFilter bool
+	// NoTriage disables the static value-range triage (ablation hook): the
+	// Analyzer then works from the raw discovery records and the Hunter
+	// never short-circuits on a triage verdict — every site, including
+	// statically-safe arith sites, is hunted dynamically. The curated alloc
+	// tables are identical either way (safe alloc sites always hunt fully);
+	// the flag exists to measure what the triage pruning saves on the
+	// extended arith surface.
+	NoTriage bool
 	// Progress, when non-nil, is called at the top of every Figure 7
 	// enforcement iteration with the 0-based iteration number. It is a live
 	// observation hook (the dispatch layer's Sink rides on it); it runs on
@@ -156,6 +164,16 @@ type Target struct {
 	branchOrder []string          // relevant branch labels in first-occurrence seed order
 	seedDirs    map[string]dirSet // per-label directions the seed run took
 	pathIndex   map[string]int    // label → index into SeedPath
+}
+
+// WithInfo returns a shallow copy of the target carrying a different
+// discovery record. The dispatch layer re-stamps probe-program targets with
+// the original arith site's record (kind, path, triage) so the Hunter and
+// reports see the arith site, not the synthetic probe allocation.
+func (t *Target) WithInfo(info discover.Site) *Target {
+	out := *t
+	out.Info = info
+	return &out
 }
 
 // finalize computes the derived lookup structures. The Analyzer calls it

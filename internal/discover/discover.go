@@ -47,6 +47,32 @@ const (
 	KindArith Kind = "arith"
 )
 
+// Triage is the static value-range verdict for a site, computed by the
+// absint pass (empty when the site has not been triaged).
+type Triage string
+
+// Triage verdicts.
+const (
+	// TriageSafe marks a site the abstract interpreter proved can never
+	// carry the wrapped flag: the hunt's overflow constraint is
+	// unsatisfiable on every path, so the dynamic hunt is skipped.
+	TriageSafe Triage = "safe"
+	// TriageMustOverflow marks a site whose value wraps on every execution
+	// that reaches it — the seed input itself already triggers it.
+	TriageMustOverflow Triage = "must-overflow"
+	// TriageUnknown marks a site the static pass could not decide; it is
+	// hunted dynamically as before.
+	TriageUnknown Triage = "unknown"
+)
+
+// Bounds is the statically derived unsigned interval of a site's value
+// (the Alloc size or the arith node's result), from the guard-refined pass.
+type Bounds struct {
+	W  lang.Width `json:"w"`
+	Lo uint64     `json:"lo"`
+	Hi uint64     `json:"hi"`
+}
+
 // Site is a discovered overflow site: a structured record replacing the
 // bare site-name string that Alloc statements used to carry.
 type Site struct {
@@ -66,6 +92,16 @@ type Site struct {
 	// "in" for input bytes, tainted variable names, "mem" for tainted
 	// loads, and "fn()" for calls with tainted returns. Sorted.
 	Taint []string `json:"taint,omitempty"`
+	// Triage is the static verdict from the absint pass; empty on sites
+	// that have not been triaged (plain Sites output).
+	Triage Triage `json:"triage,omitempty"`
+	// SafeNoGuards reports that the unguarded pass alone (no branch
+	// condition meets) already proves the site safe — the strongest form,
+	// independent of which guards the seed path takes.
+	SafeNoGuards bool `json:"safeNoGuards,omitempty"`
+	// Bounds is the statically derived value interval at the site, when
+	// the guarded pass reaches it.
+	Bounds *Bounds `json:"bounds,omitempty"`
 }
 
 // Sites runs the discovery pass and returns every discovered site in
@@ -90,6 +126,28 @@ func Format(sites []Site) string {
 	for _, s := range sites {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
 			s.Name, s.Kind, s.Func, strings.Join(s.Taint, ","), s.Expr)
+	}
+	tw.Flush()
+	return buf.String()
+}
+
+// FormatTriage renders triaged sites as a tab-aligned listing (one row per
+// site: name, kind, triage verdict, static bounds, expression). Like
+// Format, the output is pure and safe to diff against golden files.
+func FormatTriage(sites []Site) string {
+	var buf strings.Builder
+	tw := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SITE\tKIND\tTRIAGE\tBOUNDS\tEXPR")
+	for _, s := range sites {
+		triage := string(s.Triage)
+		if s.Triage == TriageSafe && s.SafeNoGuards {
+			triage += "*" // proved without branch-guard refinement
+		}
+		bounds := "-"
+		if s.Bounds != nil {
+			bounds = fmt.Sprintf("u%d:[%d,%d]", s.Bounds.W, s.Bounds.Lo, s.Bounds.Hi)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", s.Name, s.Kind, triage, bounds, s.Expr)
 	}
 	tw.Flush()
 	return buf.String()

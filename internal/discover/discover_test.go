@@ -212,3 +212,55 @@ func TestFormatListing(t *testing.T) {
 		t.Fatalf("arith row = %q", lines[2])
 	}
 }
+
+// TestNestedArithEnumeration is the regression pin for a reported (and
+// disproved) enumeration bug: the claim was that only the outermost
+// arithmetic node of a sink expression became a site, silently dropping
+// nested tainted arithmetic. The descent in emit in fact recurses into both
+// operands of every Bin node, so `(w + pad) * h` yields three sites — the
+// outer mul and both-depths-of-nesting adds — each with its own stable
+// .a/.b path, and each path resolves back to the exact sub-expression via
+// the probe transform.
+func TestNestedArithEnumeration(t *testing.T) {
+	p := NewProgram("x")
+	p.AddFunc(Fn("main", nil,
+		Let("w", ZX(32, InAt(0))),
+		Let("h", ZX(32, InAt(1))),
+		Let("pad", ZX(32, InAt(2))),
+		// Nested on both sides: ((w + pad) * h) + (h + pad)
+		AllocAt("buf", "img@1",
+			Add(Mul(Add(V("w"), V("pad")), V("h")), Add(V("h"), V("pad")))),
+	))
+	sites := mustSites(t, p)
+	arith := names(sites, KindArith)
+	want := []string{
+		"x:main#s3.size@add",     // outermost add
+		"x:main#s3.size.a@mul",   // (w + pad) * h
+		"x:main#s3.size.a.a@add", // w + pad, nested two levels deep
+		"x:main#s3.size.b@add",   // h + pad
+	}
+	if !reflect.DeepEqual(arith, want) {
+		t.Fatalf("arith sites = %v, want %v", arith, want)
+	}
+	// Every nested site must round-trip through the probe transform: the
+	// recorded path resolves to a sub-expression, and the probed program
+	// re-finalizes with the probe allocation in place.
+	for _, s := range sites {
+		if s.Kind != KindArith {
+			continue
+		}
+		probed, err := Probe(p, s)
+		if err != nil {
+			t.Fatalf("site %s does not probe: %v", s.Name, err)
+		}
+		found := false
+		probed.WalkStmts(func(f *Func, path string, st Stmt) {
+			if a, ok := st.(Alloc); ok && a.Site == s.Name {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("site %s: probe allocation missing from transformed program", s.Name)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package discover
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"diode/internal/lang"
+)
+
+// ProbeVar is the local variable the probe allocation assigns. Guest
+// programs never use it (double underscore is reserved for instrumentation).
+const ProbeVar = "__probe"
+
+// Probe returns a copy of the program instrumented to hunt an arith site:
+// an `__probe = alloc(<expr>)` statement carrying the site's name is
+// inserted immediately before the statement containing the arith node, with
+// the node's expression deep-copied as the allocation size. The existing
+// alloc-site pipeline then derives the overflow constraint at the arith
+// node — the Analyzer's symbolic run records the probe's size expression,
+// bv.OverflowCond turns it into the node's wrap condition, and triggered()
+// observes the probe allocation's wrapped flag.
+//
+// Branch labels and existing site names survive the transformation (Clone
+// preserves them; only node paths after the insertion point shift), so
+// branch-trace comparison in the probe program matches the original.
+//
+// Caveats, accepted and deliberate: the copied expression evaluates once
+// more than in the original program, so a call inside it runs twice
+// (guest helpers on the arith paths are pure readers); and a probe before a
+// While evaluates the condition's pre-loop valuation only.
+func Probe(p *lang.Program, site Site) (*lang.Program, error) {
+	if site.Kind != KindArith {
+		return nil, fmt.Errorf("discover: probe target %s has kind %q, want %s", site.Name, site.Kind, KindArith)
+	}
+	clone := p.Clone()
+	f := clone.Funcs[site.Func]
+	if f == nil {
+		return nil, fmt.Errorf("discover: probe site %s names unknown function %q", site.Name, site.Func)
+	}
+	segs := strings.Split(site.Path, ".")
+	split := 0
+	for split < len(segs) && isStmtSeg(segs[split]) {
+		split++
+	}
+	if split == 0 || split == len(segs) {
+		return nil, fmt.Errorf("discover: probe site %s has malformed path %q", site.Name, site.Path)
+	}
+	body, err := insertProbe(f.Body, segs[:split], segs[split:], site.Name)
+	if err != nil {
+		return nil, fmt.Errorf("discover: probe site %s: %w", site.Name, err)
+	}
+	f.Body = body
+	if err := clone.Finalize(); err != nil {
+		return nil, fmt.Errorf("discover: probe site %s: %w", site.Name, err)
+	}
+	return clone, nil
+}
+
+// isStmtSeg reports whether a path segment addresses a statement: "s<i>" or
+// a branch arm. Expression segments (e, size, cond, a, b, bare indices, …)
+// never match, so the statement/expression split of a site path is
+// unambiguous.
+func isStmtSeg(seg string) bool {
+	switch seg {
+	case "then", "else", "body":
+		return true
+	}
+	if len(seg) < 2 || seg[0] != 's' {
+		return false
+	}
+	_, err := strconv.Atoi(seg[1:])
+	return err == nil
+}
+
+// insertProbe descends the statement path, then splices the probe Alloc in
+// front of the addressed statement. The returned block replaces b.
+func insertProbe(b lang.Block, stmtSegs, exprSegs []string, siteName string) (lang.Block, error) {
+	idx, err := strconv.Atoi(strings.TrimPrefix(stmtSegs[0], "s"))
+	if err != nil || idx < 0 || idx >= len(b) {
+		return nil, fmt.Errorf("statement segment %q out of range", stmtSegs[0])
+	}
+	if len(stmtSegs) > 1 {
+		arm := stmtSegs[1]
+		switch x := b[idx].(type) {
+		case lang.If:
+			switch arm {
+			case "then":
+				nb, err := insertProbe(x.Then, stmtSegs[2:], exprSegs, siteName)
+				if err != nil {
+					return nil, err
+				}
+				x.Then = nb
+			case "else":
+				nb, err := insertProbe(x.Else, stmtSegs[2:], exprSegs, siteName)
+				if err != nil {
+					return nil, err
+				}
+				x.Else = nb
+			default:
+				return nil, fmt.Errorf("segment %q does not name an If arm", arm)
+			}
+			b[idx] = x
+		case lang.While:
+			if arm != "body" {
+				return nil, fmt.Errorf("segment %q does not name a While body", arm)
+			}
+			nb, err := insertProbe(x.Body, stmtSegs[2:], exprSegs, siteName)
+			if err != nil {
+				return nil, err
+			}
+			x.Body = nb
+			b[idx] = x
+		default:
+			return nil, fmt.Errorf("segment %q descends into a %T", arm, b[idx])
+		}
+		return b, nil
+	}
+	expr, err := exprAt(b[idx], exprSegs)
+	if err != nil {
+		return nil, err
+	}
+	if bin, ok := expr.(lang.Bin); !ok || !isArith(bin.Op) {
+		return nil, fmt.Errorf("path resolves to %T, not an arith node", expr)
+	}
+	out := make(lang.Block, 0, len(b)+1)
+	out = append(out, b[:idx]...)
+	out = append(out, lang.Alloc{Var: ProbeVar, Site: siteName, Size: lang.CloneExpr(expr)})
+	out = append(out, b[idx:]...)
+	return out, nil
+}
+
+// exprAt resolves an expression path (the emit vocabulary: a head naming
+// the statement's expression slot, then descent segments) within one
+// statement.
+func exprAt(s lang.Stmt, segs []string) (lang.Expr, error) {
+	head, rest := segs[0], segs[1:]
+	var e lang.Expr
+	var be lang.BoolExpr
+	switch x := s.(type) {
+	case lang.Assign:
+		if head != "e" {
+			return nil, fmt.Errorf("assign has no slot %q", head)
+		}
+		e = x.E
+	case lang.Alloc:
+		if head != "size" {
+			return nil, fmt.Errorf("alloc has no slot %q", head)
+		}
+		e = x.Size
+	case lang.Store:
+		switch head {
+		case "ptr":
+			e = x.Ptr
+		case "off":
+			e = x.Off
+		case "val":
+			e = x.Val
+		default:
+			return nil, fmt.Errorf("store has no slot %q", head)
+		}
+	case lang.If:
+		if head != "cond" {
+			return nil, fmt.Errorf("if has no slot %q", head)
+		}
+		be = x.Cond
+	case lang.While:
+		if head != "cond" {
+			return nil, fmt.Errorf("while has no slot %q", head)
+		}
+		be = x.Cond
+	case lang.ExprStmt:
+		if head != "e" {
+			return nil, fmt.Errorf("expr stmt has no slot %q", head)
+		}
+		e = x.E
+	case lang.Return:
+		if head != "ret" || x.E == nil {
+			return nil, fmt.Errorf("return has no slot %q", head)
+		}
+		e = x.E
+	default:
+		return nil, fmt.Errorf("%T has no expression slots", s)
+	}
+	for _, seg := range rest {
+		if be != nil {
+			switch x := be.(type) {
+			case lang.Cmp:
+				switch seg {
+				case "a":
+					e, be = x.A, nil
+				case "b":
+					e, be = x.B, nil
+				default:
+					return nil, fmt.Errorf("cmp has no child %q", seg)
+				}
+			case lang.NotE:
+				if seg != "a" {
+					return nil, fmt.Errorf("not has no child %q", seg)
+				}
+				be = x.A
+			case lang.AndE:
+				switch seg {
+				case "a":
+					be = x.A
+				case "b":
+					be = x.B
+				default:
+					return nil, fmt.Errorf("and has no child %q", seg)
+				}
+			case lang.OrE:
+				switch seg {
+				case "a":
+					be = x.A
+				case "b":
+					be = x.B
+				default:
+					return nil, fmt.Errorf("or has no child %q", seg)
+				}
+			default:
+				return nil, fmt.Errorf("%T has no child %q", be, seg)
+			}
+			continue
+		}
+		switch x := e.(type) {
+		case lang.Bin:
+			switch seg {
+			case "a":
+				e = x.A
+			case "b":
+				e = x.B
+			default:
+				return nil, fmt.Errorf("bin has no child %q", seg)
+			}
+		case lang.Un:
+			if seg != "a" {
+				return nil, fmt.Errorf("un has no child %q", seg)
+			}
+			e = x.A
+		case lang.Cvt:
+			if seg != "a" {
+				return nil, fmt.Errorf("cvt has no child %q", seg)
+			}
+			e = x.A
+		case lang.InByte:
+			if seg != "idx" {
+				return nil, fmt.Errorf("inbyte has no child %q", seg)
+			}
+			e = x.Idx
+		case lang.LoadExpr:
+			switch seg {
+			case "ptr":
+				e = x.Ptr
+			case "off":
+				e = x.Off
+			default:
+				return nil, fmt.Errorf("load has no child %q", seg)
+			}
+		case lang.CallExpr:
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(x.Args) {
+				return nil, fmt.Errorf("call has no argument %q", seg)
+			}
+			e = x.Args[i]
+		default:
+			return nil, fmt.Errorf("%T has no child %q", e, seg)
+		}
+	}
+	if e == nil {
+		return nil, fmt.Errorf("path ends inside a boolean expression")
+	}
+	return e, nil
+}

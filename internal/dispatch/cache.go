@@ -6,6 +6,7 @@ import (
 	"errors"
 	"strconv"
 
+	"diode/internal/absint"
 	"diode/internal/apps"
 	"diode/internal/cache"
 	"diode/internal/core"
@@ -18,7 +19,11 @@ import (
 // could change for unchanged inputs; every existing key then misses at once.
 // Version 2: jobs carry the structured site identity (kind + node path) and
 // keys carry the discovery-pass version.
-const keyVersion = "2"
+// Version 3: keys carry the static-triage pass version (absint.Version) —
+// triage verdicts ride on targets and can short-circuit hunts, so a triage
+// algorithm change can change results for unchanged programs — and options
+// gained NoTriage.
+const keyVersion = "3"
 
 // CacheConfig configures a JobCache. The zero value is a pure in-memory
 // cache with default bounds.
@@ -145,7 +150,7 @@ func (c *JobCache) Targets(ctx context.Context, app *apps.App, opts Options) ([]
 // identity) are deliberately excluded.
 func JobKey(fingerprint string, job Job) string {
 	parts := []string{
-		"result", keyVersion, discover.Version, fingerprint,
+		"result", keyVersion, discover.Version, absint.Version, fingerprint,
 		string(job.Kind), job.Site, job.SiteKind, job.SitePath,
 		strconv.FormatInt(job.Seed, 10),
 		strconv.Itoa(job.SampleN),

@@ -12,18 +12,65 @@ import (
 	"diode/internal/solver"
 )
 
+// optionsKeyFlips maps every dispatch.Options field, by name, to a mutation
+// that must change the cache key. TestJobKeySensitivity walks the struct by
+// reflection and fails on any field without an entry, and the diodelint
+// options-coverage analyzer checks the same property statically — so adding
+// an Options field without a flip case here fails both the test run and
+// `make lint`.
+var optionsKeyFlips = map[string]func(*Options){
+	"InitialAttempts":        func(o *Options) { o.InitialAttempts++ },
+	"MaxEnforce":             func(o *Options) { o.MaxEnforce++ },
+	"Fuel":                   func(o *Options) { o.Fuel++ },
+	"SolverMode":             func(o *Options) { o.SolverMode = solver.Mode(1) },
+	"OneShotSolver":          func(o *Options) { o.OneShotSolver = true },
+	"OneShotSampling":        func(o *Options) { o.OneShotSampling = true },
+	"Portfolio":              func(o *Options) { o.Portfolio = 4 },
+	"OneShotExecution":       func(o *Options) { o.OneShotExecution = true },
+	"DisableCompression":     func(o *Options) { o.DisableCompression = true },
+	"DisableRelevanceFilter": func(o *Options) { o.DisableRelevanceFilter = true },
+	"NoTriage":               func(o *Options) { o.NoTriage = true },
+}
+
+// jobKeyFlips maps every key-bearing dispatch.Job field, by name, to a
+// mutation that must change the cache key; jobKeyExcluded lists the fields
+// deliberately outside the key, each checked to NOT change it. Every Job
+// field must appear in exactly one of the two (enforced below by reflection
+// and statically by diodelint).
+var jobKeyFlips = map[string]func(*Job){
+	"Kind":     func(j *Job) { j.Kind = KindHunt },
+	"Site":     func(j *Job) { j.Site = "png.c@126" },
+	"SiteKind": func(j *Job) { j.SiteKind = "" },
+	"SitePath": func(j *Job) { j.SitePath = "s4" },
+	"Seed":     func(j *Job) { j.Seed = 78 },
+	"SampleN":  func(j *Job) { j.SampleN = 11 },
+	"Enforced": func(j *Job) { j.Enforced = j.Enforced[:1] },
+	"Opts":     func(j *Job) { j.Opts.Fuel += 7 },
+}
+
+var jobKeyExcluded = map[string]func(*Job){
+	"ID":  func(j *Job) { j.ID = 99 },       // batch-local handle
+	"App": func(j *Job) { j.App = "other" }, // the fingerprint is the identity
+}
+
 // TestJobKeySensitivity checks the cache-key contract: every job field that
 // can influence a Result changes the key, and the batch-local ID does not.
+// Field coverage is enforced structurally: each field of Options and Job
+// must have an entry in the flip tables above.
 func TestJobKeySensitivity(t *testing.T) {
-	// Guard against silently missing a future Options or Job field: each
-	// field below gets an explicit flip case (or, for Job.ID and Job.App, an
-	// explicit exclusion check).
-	if n := reflect.TypeOf(Options{}).NumField(); n != 10 {
-		t.Fatalf("dispatch.Options has %d fields; update the flip cases and this guard", n)
+	for _, f := range reflect.VisibleFields(reflect.TypeOf(Options{})) {
+		if _, ok := optionsKeyFlips[f.Name]; !ok {
+			t.Errorf("Options.%s has no flip case in optionsKeyFlips", f.Name)
+		}
 	}
-	if n := reflect.TypeOf(Job{}).NumField(); n != 10 {
-		t.Fatalf("dispatch.Job has %d fields; update the flip cases and this guard", n)
+	for _, f := range reflect.VisibleFields(reflect.TypeOf(Job{})) {
+		_, flips := jobKeyFlips[f.Name]
+		_, excluded := jobKeyExcluded[f.Name]
+		if flips == excluded {
+			t.Errorf("Job.%s must be in exactly one of jobKeyFlips / jobKeyExcluded", f.Name)
+		}
 	}
+
 	base := Job{
 		ID: 1, Kind: KindSuccessRate, App: "dillo", Site: "png.c@125",
 		SiteKind: "alloc", SitePath: "s3",
@@ -36,33 +83,24 @@ func TestJobKeySensitivity(t *testing.T) {
 		t.Fatal("JobKey is not deterministic")
 	}
 
-	mutate := func(name string, f func(j *Job)) (string, string) {
+	mutate := func(f func(j *Job)) string {
 		j := base
 		j.Enforced = append([]string(nil), base.Enforced...)
 		f(&j)
-		return name, JobKey(fp, j)
+		return JobKey(fp, j)
 	}
 	cases := map[string]string{}
-	add := func(name, key string) { cases[name] = key }
-	add(mutate("kind", func(j *Job) { j.Kind = KindHunt }))
-	add(mutate("site", func(j *Job) { j.Site = "png.c@126" }))
-	add(mutate("siteKind", func(j *Job) { j.SiteKind = "" }))
-	add(mutate("sitePath", func(j *Job) { j.SitePath = "s4" }))
-	add(mutate("seed", func(j *Job) { j.Seed = 78 }))
-	add(mutate("sampleN", func(j *Job) { j.SampleN = 11 }))
-	add(mutate("enforced-drop", func(j *Job) { j.Enforced = j.Enforced[:1] }))
-	add(mutate("enforced-order", func(j *Job) { j.Enforced[0], j.Enforced[1] = j.Enforced[1], j.Enforced[0] }))
-	add(mutate("opts.InitialAttempts", func(j *Job) { j.Opts.InitialAttempts++ }))
-	add(mutate("opts.MaxEnforce", func(j *Job) { j.Opts.MaxEnforce++ }))
-	add(mutate("opts.Fuel", func(j *Job) { j.Opts.Fuel++ }))
-	add(mutate("opts.SolverMode", func(j *Job) { j.Opts.SolverMode = solver.Mode(1) }))
-	add(mutate("opts.OneShotSolver", func(j *Job) { j.Opts.OneShotSolver = true }))
-	add(mutate("opts.OneShotSampling", func(j *Job) { j.Opts.OneShotSampling = true }))
-	add(mutate("opts.Portfolio", func(j *Job) { j.Opts.Portfolio = 4 }))
-	add(mutate("opts.OneShotExecution", func(j *Job) { j.Opts.OneShotExecution = true }))
-	add(mutate("opts.DisableCompression", func(j *Job) { j.Opts.DisableCompression = true }))
-	add(mutate("opts.DisableRelevanceFilter", func(j *Job) { j.Opts.DisableRelevanceFilter = true }))
-	add(mutate("fingerprint", func(j *Job) {})) // handled below
+	for name, f := range jobKeyFlips {
+		cases["job."+name] = mutate(f)
+	}
+	for name, f := range optionsKeyFlips {
+		flip := f
+		cases["opts."+name] = mutate(func(j *Job) { flip(&j.Opts) })
+	}
+	// Order-sensitivity of the enforced-label list, beyond presence.
+	cases["job.Enforced-order"] = mutate(func(j *Job) {
+		j.Enforced[0], j.Enforced[1] = j.Enforced[1], j.Enforced[0]
+	})
 	cases["fingerprint"] = JobKey("ffff0000", base)
 
 	seen := map[string]string{baseKey: "base"}
@@ -76,12 +114,12 @@ func TestJobKeySensitivity(t *testing.T) {
 		seen[key] = name
 	}
 
-	// The batch-local handle and the registry name are excluded: the same
-	// content under a different ID must hit.
-	idFlip := base
-	idFlip.ID = 99
-	if JobKey(fp, idFlip) != baseKey {
-		t.Error("Job.ID leaked into the key; identical content under a new ID would miss")
+	// The excluded fields must NOT influence the key: the same content under
+	// a different batch ID or registry name must hit.
+	for name, f := range jobKeyExcluded {
+		if mutate(f) != baseKey {
+			t.Errorf("Job.%s leaked into the key; identical content would miss", name)
+		}
 	}
 }
 

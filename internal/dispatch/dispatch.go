@@ -57,6 +57,7 @@ type Options struct {
 	OneShotExecution       bool        `json:"oneShotExecution,omitempty"`
 	DisableCompression     bool        `json:"disableCompression,omitempty"`
 	DisableRelevanceFilter bool        `json:"disableRelevanceFilter,omitempty"`
+	NoTriage               bool        `json:"noTriage,omitempty"`
 }
 
 // OptionsFrom extracts the serializable subset from engine options.
@@ -72,6 +73,7 @@ func OptionsFrom(o core.Options) Options {
 		OneShotExecution:       o.OneShotExecution,
 		DisableCompression:     o.DisableCompression,
 		DisableRelevanceFilter: o.DisableRelevanceFilter,
+		NoTriage:               o.NoTriage,
 	}
 }
 
@@ -89,6 +91,7 @@ func (o Options) Core(seed int64) core.Options {
 		OneShotExecution:       o.OneShotExecution,
 		DisableCompression:     o.DisableCompression,
 		DisableRelevanceFilter: o.DisableRelevanceFilter,
+		NoTriage:               o.NoTriage,
 	}
 }
 
@@ -106,9 +109,11 @@ type Job struct {
 	App string `json:"app"`
 	// Site is the target allocation-site name.
 	Site string `json:"site"`
-	// SiteKind is the discovered site's kind. Only alloc-kind sites are
-	// executable (arith sites are a static listing, not a hunt target);
-	// empty is accepted as alloc so pre-discovery job records stay valid.
+	// SiteKind is the discovered site's kind. Alloc-kind sites run the
+	// pipeline directly; arith-kind sites run it against the probe-
+	// instrumented program (discover.Probe), which derives the overflow
+	// constraint at the arith node. Empty is accepted as alloc so
+	// pre-discovery job records stay valid.
 	SiteKind string `json:"siteKind,omitempty"`
 	// SitePath is the site's stable node path from the discovery pass.
 	SitePath string `json:"sitePath,omitempty"`
@@ -149,9 +154,9 @@ func (j Job) Validate() error {
 	if j.Site == "" {
 		return fmt.Errorf("dispatch: job has no site")
 	}
-	if j.SiteKind != "" && j.SiteKind != string(discover.KindAlloc) {
-		return fmt.Errorf("dispatch: site %s has kind %q; only %s-kind sites are executable",
-			j.Site, j.SiteKind, discover.KindAlloc)
+	if j.SiteKind != "" && j.SiteKind != string(discover.KindAlloc) && j.SiteKind != string(discover.KindArith) {
+		return fmt.Errorf("dispatch: site %s has kind %q; only %s- and %s-kind sites are executable",
+			j.Site, j.SiteKind, discover.KindAlloc, discover.KindArith)
 	}
 	return nil
 }

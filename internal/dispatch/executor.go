@@ -7,6 +7,7 @@ import (
 
 	"diode/internal/apps"
 	"diode/internal/core"
+	"diode/internal/discover"
 )
 
 // flight is the result cache's value type: the Result of one singleflight
@@ -108,9 +109,27 @@ func Execute(ctx context.Context, job Job, jc *JobCache, sink Sink) (Result, err
 // solver is seeded by the job's derived seed alone, which is the whole
 // determinism story — no state crosses jobs, so placement and order cannot
 // matter (and results stay safe to cache by content).
+//
+// An arith-kind job runs the whole pipeline against the probe-instrumented
+// derived application (apps.App.Probe): the probe allocation carries the
+// arith site's name, so analysis extracts the overflow constraint at the
+// arith node and triggered() observes its wrap. The probe program has its
+// own fingerprint, so its analysis and results occupy their own cache
+// entries. The resolved Target is re-stamped with the original program's
+// site record so the Hunter's triage short-circuits and the reports see the
+// arith site, not the synthetic probe allocation.
 func run(ctx context.Context, job Job, app *apps.App, jc *JobCache, sink Sink) (Result, error) {
 	res := Result{JobID: job.ID, Kind: job.Kind, App: job.App, Site: job.Site}
-	targets, err := jc.Targets(ctx, app, job.Opts)
+	execApp := app
+	if job.SiteKind == string(discover.KindArith) {
+		probe, err := app.Probe(job.Site)
+		if err != nil {
+			res.Err = err.Error()
+			return res, nil
+		}
+		execApp = probe
+	}
+	targets, err := jc.Targets(ctx, execApp, job.Opts)
 	if err != nil {
 		if ctx.Err() != nil {
 			return res, ctx.Err()
@@ -129,6 +148,11 @@ func run(ctx context.Context, job Job, app *apps.App, jc *JobCache, sink Sink) (
 		res.Err = fmt.Sprintf("dispatch: application %q has no target site %q", job.App, job.Site)
 		return res, nil
 	}
+	if execApp != app {
+		if info, ok := originalSite(app, job); ok {
+			t = t.WithInfo(info)
+		}
+	}
 
 	sink.emit(Event{Type: EventStarted, Job: job})
 	opts := job.Opts.Core(job.Seed)
@@ -137,7 +161,7 @@ func run(ctx context.Context, job Job, app *apps.App, jc *JobCache, sink Sink) (
 			sink(Event{Type: EventIteration, Job: job, Iteration: i})
 		}
 	}
-	h := core.NewHunter(app, opts)
+	h := core.NewHunter(execApp, opts)
 	switch job.Kind {
 	case KindHunt:
 		sr := h.HuntContext(ctx, t)
@@ -165,4 +189,25 @@ func run(ctx context.Context, job Job, app *apps.App, jc *JobCache, sink Sink) (
 	res.Stats = h.SolverStats()
 	sink.emit(Event{Type: EventFinished, Job: job, Result: &res})
 	return res, nil
+}
+
+// originalSite resolves the base program's discovery record for a job's site
+// — triaged unless the job opts out — for re-stamping probe-program targets.
+func originalSite(app *apps.App, job Job) (discover.Site, bool) {
+	var sites []discover.Site
+	var err error
+	if job.Opts.NoTriage {
+		sites, err = app.Discovered()
+	} else if sites, err = app.Triaged(); err != nil {
+		sites, err = app.Discovered()
+	}
+	if err != nil {
+		return discover.Site{}, false
+	}
+	for _, s := range sites {
+		if s.Name == job.Site {
+			return s, true
+		}
+	}
+	return discover.Site{}, false
 }

@@ -14,6 +14,7 @@ import (
 
 	"diode/internal/apps"
 	"diode/internal/core"
+	"diode/internal/discover"
 	"diode/internal/dispatch"
 	"diode/internal/queue"
 	"diode/internal/report"
@@ -38,6 +39,14 @@ type Config struct {
 	// runs apps × sites concurrently, matching the pre-dispatch scheduler
 	// behavior. Verdicts are identical at any setting.
 	Parallelism int
+	// Arith extends the sweep to the discovered arith-node surface: after
+	// the alloc waves, every discovered arith site is hunted end-to-end via
+	// the probe transformation (dispatch runs the pipeline on the
+	// probe-instrumented program). Sites the static triage proves safe are
+	// pre-folded as unsatisfiable without planning a job — unless
+	// Engine.NoTriage, which hunts them all. Arith outcomes are reported
+	// separately (AppOutcome.Arith) and never enter the curated tables.
+	Arith bool
 	// Engine carries additional engine options (ablation hooks); Seed is
 	// derived per job.
 	Engine core.Options
@@ -81,12 +90,34 @@ func (cfg Config) backend(apps int, jc *dispatch.JobCache) dispatch.Backend {
 	return &dispatch.Local{Workers: workers * sites, Sink: cfg.Sink, Cache: jc}
 }
 
+// ArithSite is the outcome of one arith-site hunt in a Config.Arith sweep.
+type ArithSite struct {
+	// Site is the arith site's discovery record (with triage annotations
+	// unless the sweep ran under NoTriage).
+	Site discover.Site
+	// Verdict is the hunt verdict. Pruned sites read unsatisfiable.
+	Verdict core.Verdict
+	// ErrorType is set for exposed sites.
+	ErrorType string
+	// Pruned reports the site was folded from its safe triage verdict
+	// without planning a job.
+	Pruned bool
+	// Err reports a site whose probe hunt could not run — typically an
+	// arith node the seed input never reaches, which the probe pipeline
+	// surfaces as a missing target site. Arith errors are per-site and
+	// deliberately do not fail the application's sweep.
+	Err string
+}
+
 // AppOutcome bundles an application's engine result with its render record.
 type AppOutcome struct {
 	App    *apps.App
 	Result *core.AppResult
 	Record *report.AppRecord
-	Err    error
+	// Arith holds the extended arith-surface outcomes of a Config.Arith
+	// sweep, in discovery order; nil otherwise.
+	Arith []ArithSite
+	Err   error
 }
 
 // EvaluateAll runs the configured evaluation over every benchmark
@@ -112,6 +143,7 @@ type appPlan struct {
 
 	result *core.AppResult
 	record *report.AppRecord
+	arith  []ArithSite
 }
 
 // siteRef addresses one site of one planned application.
@@ -291,15 +323,88 @@ func EvaluateContext(ctx context.Context, cfg Config, list []*apps.App) []AppOut
 		}
 	}
 
+	// Arith wave: the extended hunt surface. Every discovered arith site is
+	// either pre-folded from its safe triage verdict (no job — this is the
+	// pruning the triage pays for) or hunted via the probe transformation.
+	// Per-site failures stay on the ArithSite: an arith node the seed never
+	// reaches is an expected outcome of sweeping the full static surface,
+	// not an application failure.
+	if ctx.Err() == nil && cfg.Arith {
+		jobs, refs = jobs[:0], refs[:0]
+		for _, p := range plans {
+			if p.err != nil {
+				continue
+			}
+			sites, err := arithSites(p.app, cfg.Engine.NoTriage)
+			if err != nil {
+				p.err = fmt.Errorf("harness: %s: %w", p.app.Short, err)
+				continue
+			}
+			p.arith = make([]ArithSite, len(sites))
+			for i, s := range sites {
+				p.arith[i] = ArithSite{Site: s, Verdict: core.VerdictUnknown}
+				if !cfg.Engine.NoTriage && s.Triage == discover.TriageSafe {
+					p.arith[i].Verdict = core.VerdictUnsat
+					p.arith[i].Pruned = true
+					continue
+				}
+				jobs = append(jobs, dispatch.Job{
+					ID:       len(refs),
+					Kind:     dispatch.KindHunt,
+					App:      p.app.Short,
+					Site:     s.Name,
+					SiteKind: string(s.Kind),
+					SitePath: s.Path,
+					Seed:     core.SiteSeed(p.seed, s.Name),
+					Opts:     engineOpts,
+				})
+				refs = append(refs, siteRef{plan: p, site: i})
+			}
+		}
+		for _, res := range runWave(ctx, backend, jobs) {
+			ref := refs[res.JobID]
+			as := &ref.plan.arith[ref.site]
+			if res.Err != "" {
+				as.Err = res.Err
+				continue
+			}
+			verdict, _ := res.CoreVerdict()
+			as.Verdict = verdict
+			as.ErrorType = res.ErrorType
+		}
+	}
+
 	outcomes := make([]AppOutcome, len(plans))
 	for i, p := range plans {
 		if p.err != nil {
 			outcomes[i] = AppOutcome{App: p.app, Err: p.err}
 			continue
 		}
-		outcomes[i] = AppOutcome{App: p.app, Result: p.result, Record: p.record}
+		outcomes[i] = AppOutcome{App: p.app, Result: p.result, Record: p.record, Arith: p.arith}
 	}
 	return outcomes
+}
+
+// arithSites lists an application's discovered arith sites, triaged unless
+// the sweep opts out.
+func arithSites(app *apps.App, noTriage bool) ([]discover.Site, error) {
+	var sites []discover.Site
+	var err error
+	if noTriage {
+		sites, err = app.Discovered()
+	} else {
+		sites, err = app.Triaged()
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []discover.Site
+	for _, s := range sites {
+		if s.Kind == discover.KindArith {
+			out = append(out, s)
+		}
+	}
+	return out, nil
 }
 
 // runWave runs one job wave on the backend and returns the streamed results

@@ -1,0 +1,95 @@
+package lang
+
+// Clone returns a deep copy of the program with its finalized state reset.
+// Labels and site names already assigned (by hand or by a prior Finalize)
+// are part of the AST and survive the copy, so re-finalizing a clone is
+// stable: branch labels and allocation-site names match the original even
+// after statements are inserted. Program transformations (the discover
+// package's arith probes) clone, edit, then Finalize.
+func (p *Program) Clone() *Program {
+	out := NewProgram(p.Name)
+	for name, f := range p.Funcs {
+		out.Funcs[name] = &Func{
+			Name:   f.Name,
+			Params: append([]string(nil), f.Params...),
+			Body:   cloneBlock(f.Body),
+		}
+	}
+	return out
+}
+
+func cloneBlock(b Block) Block {
+	if b == nil {
+		return nil
+	}
+	out := make(Block, len(b))
+	for i, s := range b {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case Assign:
+		return Assign{Var: x.Var, E: CloneExpr(x.E)}
+	case Alloc:
+		return Alloc{Var: x.Var, Site: x.Site, Size: CloneExpr(x.Size)}
+	case Store:
+		return Store{Ptr: CloneExpr(x.Ptr), Off: CloneExpr(x.Off), Val: CloneExpr(x.Val)}
+	case If:
+		return If{Label: x.Label, Cond: cloneBool(x.Cond), Then: cloneBlock(x.Then), Else: cloneBlock(x.Else)}
+	case While:
+		return While{Label: x.Label, Cond: cloneBool(x.Cond), Body: cloneBlock(x.Body)}
+	case ExprStmt:
+		return ExprStmt{E: CloneExpr(x.E)}
+	case Return:
+		if x.E == nil {
+			return Return{}
+		}
+		return Return{E: CloneExpr(x.E)}
+	default:
+		// AbortStmt, WarnStmt: value types with no nested nodes.
+		return s
+	}
+}
+
+// CloneExpr returns a deep copy of an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case Bin:
+		return Bin{Op: x.Op, A: CloneExpr(x.A), B: CloneExpr(x.B)}
+	case Un:
+		return Un{Neg: x.Neg, A: CloneExpr(x.A)}
+	case Cvt:
+		return Cvt{W: x.W, Signed: x.Signed, A: CloneExpr(x.A)}
+	case InByte:
+		return InByte{Idx: CloneExpr(x.Idx)}
+	case LoadExpr:
+		return LoadExpr{Ptr: CloneExpr(x.Ptr), Off: CloneExpr(x.Off)}
+	case CallExpr:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return CallExpr{Fn: x.Fn, Args: args}
+	default:
+		// Lit, VarRef, InLen: value types with no nested nodes.
+		return e
+	}
+}
+
+func cloneBool(b BoolExpr) BoolExpr {
+	switch x := b.(type) {
+	case Cmp:
+		return Cmp{Op: x.Op, A: CloneExpr(x.A), B: CloneExpr(x.B)}
+	case NotE:
+		return NotE{A: cloneBool(x.A)}
+	case AndE:
+		return AndE{A: cloneBool(x.A), B: cloneBool(x.B)}
+	case OrE:
+		return OrE{A: cloneBool(x.A), B: cloneBool(x.B)}
+	default:
+		return b
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"diode/internal/absint"
 	"diode/internal/apps"
 	"diode/internal/core"
 	"diode/internal/discover"
@@ -285,6 +286,54 @@ func TableDiscovered(appList []*apps.App) (string, error) {
 		}
 	}
 	fmt.Fprintf(w, "Total\t%d\t%d\t%d\t%d\n", totals[0], totals[1], totals[2], totals[3])
+	w.Flush()
+	return b.String(), nil
+}
+
+// TableTriage renders the static value-range triage summary: per
+// application, the discovered sites by triage verdict and what the triage
+// prunes from the extended arith hunt — statically safe arith sites are
+// skipped outright (the Hunter folds them as unsatisfiable without opening
+// a solver session), so they are hunts an arith sweep never pays for.
+// Triage is static — the counts come from the apps' triage pass, not from
+// sweep records. Safe counts include the sites whose safety holds even with
+// guards ignored (the "unconditionally safe" subset, shown in parentheses).
+func TableTriage(appList []*apps.App) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Static Value-Range Triage (abstract interpretation v%s)\n\n", absint.Version)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Application\tSites\tSafe\tMust-overflow\tUnknown\tPruned arith hunts")
+	var totals [6]int
+	for _, app := range appList {
+		sites, err := app.Triaged()
+		if err != nil {
+			return "", fmt.Errorf("report: %s: %w", app.Short, err)
+		}
+		var safe, uncond, must, unknown, pruned int
+		for _, s := range sites {
+			switch s.Triage {
+			case discover.TriageSafe:
+				safe++
+				if s.SafeNoGuards {
+					uncond++
+				}
+				if s.Kind == discover.KindArith {
+					pruned++
+				}
+			case discover.TriageMustOverflow:
+				must++
+			default:
+				unknown++
+			}
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d (%d)\t%d\t%d\t%d\n",
+			app.Name, len(sites), safe, uncond, must, unknown, pruned)
+		for i, v := range []int{len(sites), safe, uncond, must, unknown, pruned} {
+			totals[i] += v
+		}
+	}
+	fmt.Fprintf(w, "Total\t%d\t%d (%d)\t%d\t%d\t%d\n",
+		totals[0], totals[1], totals[2], totals[3], totals[4], totals[5])
 	w.Flush()
 	return b.String(), nil
 }
